@@ -1,0 +1,55 @@
+// Command bcast-capture subscribes to a running broadcast server (see
+// cmd/bcast-serve or repro.StartBroadcastServer) and records complete
+// broadcast cycles into a capture file for offline inspection with
+// cmd/bcast-inspect.
+//
+// Usage:
+//
+//	bcast-capture -addr 127.0.0.1:9000 -cycles 5 -out session.xbc
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bcast-capture:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bcast-capture", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "", "broadcast address to subscribe to (required)")
+		cycles  = fs.Int("cycles", 3, "number of complete cycles to record")
+		out     = fs.String("out", "capture.xbc", "output capture file")
+		timeout = fs.Duration("timeout", 30*time.Second, "recording deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	n, err := repro.RecordBroadcast(ctx, *addr, *cycles, f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d cycles to %s\n", n, *out)
+	return nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func startBusyServer(t *testing.T) *repro.BroadcastServer {
+	t.Helper()
+	coll, err := repro.GenerateDocuments(repro.NITFSchema, 8, 1)
+	if err != nil {
+		t.Fatalf("GenerateDocuments: %v", err)
+	}
+	srv, err := repro.StartBroadcastServer(repro.BroadcastServerConfig{
+		Collection:    coll,
+		CycleCapacity: 40_000,
+		CycleInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("StartBroadcastServer: %v", err)
+	}
+	t.Cleanup(srv.Shutdown)
+	cl, err := repro.DialBroadcast(srv.UplinkAddr(), srv.BroadcastAddr(), repro.SizeModel{})
+	if err != nil {
+		t.Fatalf("DialBroadcast: %v", err)
+	}
+	t.Cleanup(cl.Close)
+	// Keep the channel busy for the whole test: a drained pending set
+	// stops the cycle loop and would starve the recorder of cycle heads.
+	feederStop := make(chan struct{})
+	feederDone := make(chan struct{})
+	t.Cleanup(func() { close(feederStop); <-feederDone })
+	go func() {
+		defer close(feederDone)
+		q := repro.MustParseQuery("/nitf")
+		for {
+			select {
+			case <-feederStop:
+				return
+			default:
+			}
+			if err := cl.Submit(q); err != nil {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	return srv
+}
+
+func TestCaptureToFile(t *testing.T) {
+	srv := startBusyServer(t)
+	out := filepath.Join(t.TempDir(), "session.xbc")
+	if err := run([]string{"-addr", srv.BroadcastAddr(), "-cycles", "2", "-out", out, "-timeout", "15s"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	recs, err := repro.ReadBroadcastCapture(f)
+	if err != nil {
+		t.Fatalf("ReadBroadcastCapture: %v", err)
+	}
+	if len(recs) < 2 {
+		t.Errorf("captured %d cycles, want >= 2", len(recs))
+	}
+}
+
+func TestCaptureErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -addr succeeded")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:1", "-timeout", "300ms", "-out", filepath.Join(t.TempDir(), "x.xbc")}); err == nil {
+		t.Error("dead address succeeded")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bogus flag succeeded")
+	}
+}

@@ -1,0 +1,114 @@
+// Command bcast-exp regenerates the paper's evaluation: every figure and
+// table of §4 plus this repository's ablations, printed as text tables.
+//
+// Usage:
+//
+//	bcast-exp -list
+//	bcast-exp -exp fig11a
+//	bcast-exp -all
+//
+// Workload parameters (N_Q, P, D_Q, document count, cycle capacity,
+// scheduler, seeds) can be overridden with flags; defaults reproduce the
+// reconstructed Table 2 setup.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bcast-exp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bcast-exp", flag.ContinueOnError)
+	var (
+		list    = fs.Bool("list", false, "list available experiments and exit")
+		expID   = fs.String("exp", "", "experiment ID to run (see -list)")
+		all     = fs.Bool("all", false, "run every experiment")
+		schema  = fs.String("schema", "", "document schema: nitf or nasa")
+		docs    = fs.Int("docs", 0, "number of generated documents")
+		nq      = fs.Int("nq", 0, "N_Q: pending queries")
+		p       = fs.Float64("p", -1, "P: wildcard probability")
+		dq      = fs.Int("dq", 0, "D_Q: maximum query depth")
+		cap     = fs.Int("capacity", 0, "cycle document budget in bytes")
+		sched   = fs.String("scheduler", "", "scheduler: leelo, fcfs, mrf or rxw")
+		docSeed = fs.Int64("doc-seed", 0, "document generation seed")
+		qSeed   = fs.Int64("query-seed", 0, "query generation seed")
+		format  = fs.String("format", "table", "output format for -exp: table, csv or json")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range repro.Experiments() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Desc)
+		}
+		return nil
+	}
+
+	cfg := repro.DefaultExperimentConfig()
+	if *schema != "" {
+		cfg.Schema = *schema
+	}
+	if *docs > 0 {
+		cfg.NumDocs = *docs
+	}
+	if *nq > 0 {
+		cfg.NQ = *nq
+	}
+	if *p >= 0 {
+		cfg.P = *p
+	}
+	if *dq > 0 {
+		cfg.DQ = *dq
+	}
+	if *cap > 0 {
+		cfg.CycleCapacity = *cap
+	}
+	if *sched != "" {
+		cfg.Scheduler = *sched
+	}
+	if *docSeed != 0 {
+		cfg.DocSeed = *docSeed
+	}
+	if *qSeed != 0 {
+		cfg.QuerySeed = *qSeed
+	}
+
+	switch {
+	case *all:
+		return repro.RunAllExperiments(os.Stdout, cfg)
+	case *expID != "":
+		tbl, err := repro.RunExperiment(*expID, cfg)
+		if err != nil {
+			return err
+		}
+		switch *format {
+		case "table":
+			fmt.Print(tbl.Render())
+		case "csv":
+			fmt.Print(tbl.RenderCSV())
+		case "json":
+			data, err := json.MarshalIndent(tbl, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(data))
+		default:
+			return fmt.Errorf("unknown format %q (want table, csv or json)", *format)
+		}
+		return nil
+	default:
+		return fmt.Errorf("nothing to do: pass -list, -exp <id> or -all")
+	}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs run() with stdout redirected to a pipe and returns the
+// output.
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String(), runErr
+}
+
+func TestList(t *testing.T) {
+	out, err := capture(t, []string{"-list"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"fig9a", "fig11c", "claims", "baseline-perdoc", "ext-energy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunSetupWithOverrides(t *testing.T) {
+	out, err := capture(t, []string{"-exp", "setup", "-docs", "10", "-nq", "20", "-p", "0.2", "-dq", "4",
+		"-capacity", "50000", "-scheduler", "mrf", "-schema", "nitf", "-doc-seed", "3", "-query-seed", "4"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"10", "20", "0.200", "mrf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("setup output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSmallExperiment(t *testing.T) {
+	out, err := capture(t, []string{"-exp", "fig9a", "-docs", "10", "-nq", "10"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "N_Q") || !strings.Contains(out, "PCI") {
+		t.Errorf("fig9a output malformed:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := capture(t, nil); err == nil {
+		t.Error("no-op invocation succeeded")
+	}
+	if _, err := capture(t, []string{"-exp", "nope"}); err == nil {
+		t.Error("unknown experiment succeeded")
+	}
+	if _, err := capture(t, []string{"-exp", "setup", "-schema", "bogus"}); err == nil {
+		t.Error("bogus schema succeeded")
+	}
+	if _, err := capture(t, []string{"-bogusflag"}); err == nil {
+		t.Error("bogus flag succeeded")
+	}
+}
+
+func TestFormats(t *testing.T) {
+	csvOut, err := capture(t, []string{"-exp", "setup", "-docs", "10", "-format", "csv"})
+	if err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	if !strings.HasPrefix(csvOut, "variable,description,value\n") {
+		t.Errorf("csv malformed:\n%s", csvOut)
+	}
+	jsonOut, err := capture(t, []string{"-exp", "setup", "-docs", "10", "-format", "json"})
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	if !strings.Contains(jsonOut, `"columns"`) {
+		t.Errorf("json malformed:\n%s", jsonOut)
+	}
+	if _, err := capture(t, []string{"-exp", "setup", "-docs", "10", "-format", "yaml"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+func TestBuildAndSaveCI(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ci.xidx")
+	if err := run([]string{"-docs", "10", "-out", out}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	ix, tier, err := repro.LoadIndex(f)
+	if err != nil {
+		t.Fatalf("LoadIndex: %v", err)
+	}
+	if tier != repro.FirstTier {
+		t.Errorf("tier = %v", tier)
+	}
+	if ix.NumNodes() == 0 {
+		t.Error("saved index empty")
+	}
+}
+
+func TestBuildPrunedOneTier(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "pci.xidx")
+	if err := run([]string{"-docs", "10", "-queries", "/nitf/head/title", "-tier", "one", "-out", out}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	ix, tier, err := repro.LoadIndex(f)
+	if err != nil {
+		t.Fatalf("LoadIndex: %v", err)
+	}
+	if tier != repro.OneTier {
+		t.Errorf("tier = %v", tier)
+	}
+	// A PCI pruned to one exact query is a single root-to-leaf path.
+	if got := ix.NumNodes(); got != 3 {
+		t.Errorf("PCI nodes = %d, want 3 (/nitf/head/title)", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tests := [][]string{
+		{"-schema", "bogus"},
+		{"-data", "/does/not/exist"},
+		{"-queries", "not a path", "-docs", "5"},
+		{"-tier", "third", "-docs", "5"},
+		{"-out", "/no/such/dir/x.xidx", "-docs", "5"},
+		{"-bogus"},
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("args %v succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Command bcast-serve runs a live broadcast server over TCP: an uplink port
+// accepting XPath query frames and a broadcast port streaming cycles to any
+// subscriber (try cmd/bcast-capture against it). With -selfdrive the server
+// also feeds itself a trickle of synthetic requests so the channel is busy
+// without external clients.
+//
+// Usage:
+//
+//	bcast-serve -uplink 127.0.0.1:9001 -broadcast 127.0.0.1:9000 -selfdrive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bcast-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bcast-serve", flag.ContinueOnError)
+	var (
+		uplink    = fs.String("uplink", "127.0.0.1:0", "uplink listen address")
+		bcast     = fs.String("broadcast", "127.0.0.1:0", "broadcast listen address")
+		schema    = fs.String("schema", "nitf", "document schema: nitf or nasa")
+		dataDir   = fs.String("data", "", "directory of .xml files to broadcast (overrides -schema/-docs)")
+		docs      = fs.Int("docs", 50, "number of generated documents")
+		capacity  = fs.Int("capacity", 100_000, "cycle document budget in bytes")
+		mode      = fs.String("mode", "two-tier", "index organisation: one-tier or two-tier")
+		interval  = fs.Duration("interval", 100*time.Millisecond, "cycle pacing")
+		seed      = fs.Int64("seed", 1, "random seed")
+		selfdrive = fs.Bool("selfdrive", false, "submit synthetic requests continuously")
+		duration  = fs.Duration("for", 0, "stop after this long (default: run until interrupted)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var bm repro.BroadcastMode
+	switch *mode {
+	case "one-tier":
+		bm = repro.OneTierMode
+	case "two-tier":
+		bm = repro.TwoTierMode
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	var (
+		coll *repro.Collection
+		err  error
+	)
+	if *dataDir != "" {
+		coll, err = repro.LoadCollection(*dataDir)
+	} else {
+		coll, err = repro.GenerateDocuments(*schema, *docs, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	srv, err := repro.StartBroadcastServer(repro.BroadcastServerConfig{
+		Collection:    coll,
+		Mode:          bm,
+		CycleCapacity: *capacity,
+		CycleInterval: *interval,
+		UplinkAddr:    *uplink,
+		BroadcastAddr: *bcast,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Shutdown()
+	fmt.Printf("serving %d documents (%d bytes) in %s mode\n", coll.Len(), coll.TotalSize(), *mode)
+	fmt.Printf("uplink    %s\n", srv.UplinkAddr())
+	fmt.Printf("broadcast %s\n", srv.BroadcastAddr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	driverDone := make(chan struct{})
+	driverStop := make(chan struct{})
+	if *selfdrive {
+		pool, err := repro.GenerateQueries(coll, 30, 5, 0.1, *seed+1)
+		if err != nil {
+			return err
+		}
+		cl, err := repro.DialBroadcast(srv.UplinkAddr(), srv.BroadcastAddr(), repro.SizeModel{})
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer close(driverDone)
+			defer cl.Close()
+			ticker := time.NewTicker(*interval)
+			defer ticker.Stop()
+			i := 0
+			for {
+				select {
+				case <-driverStop:
+					return
+				case <-ticker.C:
+					if err := cl.Submit(pool[i%len(pool)]); err != nil {
+						return
+					}
+					i++
+				}
+			}
+		}()
+	} else {
+		close(driverDone)
+	}
+
+	if *duration > 0 {
+		select {
+		case <-stop:
+		case <-time.After(*duration):
+		}
+	} else {
+		<-stop
+	}
+	close(driverStop)
+	<-driverDone
+	fmt.Printf("shutting down after %d cycles\n", srv.Cycles())
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestServeSelfDriveForDuration(t *testing.T) {
+	if err := run([]string{"-docs", "8", "-selfdrive", "-interval", "5ms", "-for", "300ms"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestServeWithDataDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.xml"), []byte("<a><b/></a>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", dir, "-for", "100ms"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	tests := [][]string{
+		{"-mode", "three-tier"},
+		{"-schema", "bogus"},
+		{"-data", "/does/not/exist"},
+		{"-bogus"},
+		{"-uplink", "256.0.0.1:99999"},
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("args %v succeeded, want error", args)
+		}
+	}
+}

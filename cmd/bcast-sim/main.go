@@ -1,0 +1,117 @@
+// Command bcast-sim runs one on-demand broadcast simulation and prints the
+// server- and client-side metrics: index sizes per cycle, tuning time and
+// access time per client, and their means.
+//
+// Usage:
+//
+//	bcast-sim -mode two-tier -docs 100 -nq 500 -p 0.1 -dq 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bcast-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bcast-sim", flag.ContinueOnError)
+	var (
+		mode     = fs.String("mode", "two-tier", "index organisation: one-tier or two-tier")
+		schema   = fs.String("schema", "nitf", "document schema: nitf or nasa")
+		dataDir  = fs.String("data", "", "directory of .xml files to broadcast (overrides -schema/-docs)")
+		docs     = fs.Int("docs", 50, "number of generated documents")
+		nq       = fs.Int("nq", 100, "number of client requests")
+		p        = fs.Float64("p", 0.1, "wildcard probability")
+		dq       = fs.Int("dq", 5, "maximum query depth")
+		capacity = fs.Int("capacity", 100_000, "cycle document budget in bytes")
+		sched    = fs.String("scheduler", "leelo", "scheduler: leelo, fcfs, mrf or rxw")
+		seed     = fs.Int64("seed", 1, "random seed")
+		verbose  = fs.Bool("v", false, "print per-cycle and per-client detail")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var bm repro.BroadcastMode
+	switch *mode {
+	case "one-tier":
+		bm = repro.OneTierMode
+	case "two-tier":
+		bm = repro.TwoTierMode
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	var (
+		coll *repro.Collection
+		err  error
+	)
+	if *dataDir != "" {
+		coll, err = repro.LoadCollection(*dataDir)
+	} else {
+		coll, err = repro.GenerateDocuments(*schema, *docs, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	queries, err := repro.GenerateQueries(coll, *nq, *dq, *p, *seed+1)
+	if err != nil {
+		return err
+	}
+	reqs := make([]repro.ClientRequest, len(queries))
+	for i, q := range queries {
+		reqs[i] = repro.ClientRequest{Query: q, Arrival: int64(i) * 100}
+	}
+	scheduler, err := repro.NewScheduler(*sched)
+	if err != nil {
+		return err
+	}
+	res, err := repro.Simulate(repro.SimulationConfig{
+		Collection:    coll,
+		Mode:          bm,
+		Scheduler:     scheduler,
+		CycleCapacity: *capacity,
+		Requests:      reqs,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("mode=%s schema=%s docs=%d data=%dB requests=%d scheduler=%s\n",
+		*mode, *schema, coll.Len(), coll.TotalSize(), len(reqs), *sched)
+	fmt.Printf("cycles broadcast:        %d\n", res.NumCycles())
+	fmt.Printf("mean cycle length:       %.0f B\n", res.MeanCycleBytes())
+	fmt.Printf("mean index size (L_I):   %.0f B\n", res.MeanIndexBytes())
+	fmt.Printf("mean 2nd tier (L_O):     %.0f B\n", res.MeanSecondTierBytes())
+	fmt.Printf("mean cycles per query:   %.1f\n", res.MeanCyclesListened())
+	fmt.Printf("mean index tuning:       %.0f B\n", res.MeanIndexTuningBytes())
+	fmt.Printf("mean doc tuning:         %.0f B\n", res.MeanDocTuningBytes())
+	fmt.Printf("mean access time:        %.0f B\n", res.MeanAccessBytes())
+	fmt.Printf("access p50 / p99:        %.0f / %.0f B\n",
+		res.AccessBytesPercentile(50), res.AccessBytesPercentile(99))
+	fmt.Printf("index tuning p50 / p99:  %.0f / %.0f B\n",
+		res.IndexTuningBytesPercentile(50), res.IndexTuningBytesPercentile(99))
+
+	if *verbose {
+		fmt.Println("\ncycle  start      L_I    L_O   docs  docBytes  pending")
+		for _, c := range res.Cycles {
+			fmt.Printf("%5d  %9d  %5d  %5d  %4d  %8d  %7d\n",
+				c.Number, c.Start, c.IndexBytes, c.SecondTierBytes, c.NumDocs, c.DocBytes, c.Pending)
+		}
+		fmt.Println("\nclient  arrival    tuning(idx)  tuning(doc)  access     cycles  query")
+		for i, cl := range res.Clients {
+			fmt.Printf("%6d  %9d  %11d  %11d  %9d  %6d  %s\n",
+				i, cl.Arrival, cl.IndexTuningBytes, cl.DocTuningBytes, cl.AccessBytes, cl.CyclesListened, cl.Query)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+// Command querygen generates a synthetic simple-XPath workload against a
+// built-in document schema, mirroring the paper's query generator: maximum
+// depth D_Q and wildcard probability P. Every emitted query is satisfiable
+// over the generated collection.
+//
+// Usage:
+//
+//	querygen -schema nitf -docs 100 -n 500 -p 0.1 -dq 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "querygen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("querygen", flag.ContinueOnError)
+	var (
+		schema = fs.String("schema", "nitf", "document schema: nitf or nasa")
+		docs   = fs.Int("docs", 100, "size of the backing collection")
+		n      = fs.Int("n", 100, "number of queries")
+		p      = fs.Float64("p", 0.1, "wildcard probability P")
+		dq     = fs.Int("dq", 5, "maximum depth D_Q")
+		seed   = fs.Int64("seed", 1, "random seed")
+		counts = fs.Bool("counts", false, "append each query's result count")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	coll, err := repro.GenerateDocuments(*schema, *docs, *seed)
+	if err != nil {
+		return err
+	}
+	queries, err := repro.GenerateQueries(coll, *n, *dq, *p, *seed+1)
+	if err != nil {
+		return err
+	}
+	var answers [][]repro.DocID
+	if *counts {
+		answers = repro.FilterDocuments(coll, queries)
+	}
+	for i, q := range queries {
+		if *counts {
+			fmt.Printf("%s\t%d\n", q, len(answers[i]))
+			continue
+		}
+		fmt.Println(q)
+	}
+	return nil
+}

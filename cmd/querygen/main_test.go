@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String(), runErr
+}
+
+func TestGenerateQueries(t *testing.T) {
+	out, err := capture(t, []string{"-docs", "10", "-n", "7", "-p", "0.2", "-dq", "4"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("got %d queries, want 7:\n%s", len(lines), out)
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "/") {
+			t.Errorf("line %q is not an absolute path", l)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	out, err := capture(t, []string{"-docs", "10", "-n", "4", "-counts"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, l := range strings.Split(strings.TrimSpace(out), "\n") {
+		parts := strings.Split(l, "\t")
+		if len(parts) != 2 {
+			t.Fatalf("line %q missing count", l)
+		}
+		if parts[1] == "0" {
+			t.Errorf("query %s has zero results", parts[0])
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := capture(t, []string{"-schema", "bogus"}); err == nil {
+		t.Error("bogus schema succeeded")
+	}
+	if _, err := capture(t, []string{"-n", "0"}); err == nil {
+		t.Error("zero queries succeeded")
+	}
+	if _, err := capture(t, []string{"-bogusflag"}); err == nil {
+		t.Error("bogus flag succeeded")
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteToDirectory(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-schema", "nitf", "-docs", "3", "-seed", "5", "-out", dir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "nitf-*.xml"))
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("wrote %d files, want 3", len(files))
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "<nitf>") {
+		t.Errorf("file does not look like NITF XML: %.60s", data)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a, b := t.TempDir(), t.TempDir()
+	for _, dir := range []string{a, b} {
+		if err := run([]string{"-docs", "2", "-seed", "9", "-out", dir}); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	}
+	fa, _ := os.ReadFile(filepath.Join(a, "nitf-0001.xml"))
+	fb, _ := os.ReadFile(filepath.Join(b, "nitf-0001.xml"))
+	if string(fa) != string(fb) {
+		t.Error("same seed produced different files")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{"-schema", "bogus"}); err == nil {
+		t.Error("bogus schema succeeded")
+	}
+	if err := run([]string{"-docs", "0"}); err == nil {
+		t.Error("zero docs succeeded")
+	}
+	if err := run([]string{"-bogusflag"}); err == nil {
+		t.Error("bogus flag succeeded")
+	}
+}

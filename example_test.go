@@ -1,0 +1,89 @@
+package repro_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro"
+)
+
+// ExampleBuildIndex builds the paper's running example and answers query q1.
+func ExampleBuildIndex() {
+	sources := []string{
+		`<a><b><a/><c/></b></a>`,
+		`<a><b><a/><c/></b><c><b/></c></a>`,
+		`<a><b/><c/></a>`,
+		`<a><c><a/></c></a>`,
+		`<a><b/><c><a/></c></a>`,
+	}
+	docs := make([]*repro.Document, len(sources))
+	for i, src := range sources {
+		d, err := repro.ParseDocument(repro.DocID(i+1), strings.NewReader(src))
+		if err != nil {
+			panic(err)
+		}
+		docs[i] = d
+	}
+	coll, err := repro.NewCollection(docs)
+	if err != nil {
+		panic(err)
+	}
+	idx, err := repro.BuildIndex(coll)
+	if err != nil {
+		panic(err)
+	}
+	res := idx.Lookup(repro.MustParseQuery("/a/b/a"))
+	fmt.Println(res.Docs)
+	// Output: [1 2]
+}
+
+// ExampleIndex_Prune prunes the index to a pending query set, keeping only
+// nodes on root-to-match paths (paper §3.2, Fig. 6).
+func ExampleIndex_Prune() {
+	d1, _ := repro.ParseDocument(1, strings.NewReader(`<a><b><a/><c/></b></a>`))
+	d2, _ := repro.ParseDocument(2, strings.NewReader(`<a><b/><c/></a>`))
+	coll, _ := repro.NewCollection([]*repro.Document{d1, d2})
+	idx, _ := repro.BuildIndex(coll)
+
+	pending := []repro.Query{repro.MustParseQuery("/a/b")}
+	pci, stats, err := idx.Prune(pending)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d -> %d nodes\n", stats.NodesBefore, stats.NodesAfter)
+	fmt.Println(pci.Lookup(pending[0]).Docs)
+	// Output:
+	// 5 -> 2 nodes
+	// [1 2]
+}
+
+// ExampleParseQuery shows the supported XPath fragment.
+func ExampleParseQuery() {
+	q, err := repro.ParseQuery("/a//c/*")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q.Depth(), q.HasWildcards())
+	// Output: 3 true
+}
+
+// ExampleSimulate runs a tiny end-to-end broadcast simulation.
+func ExampleSimulate() {
+	coll, _ := repro.GenerateDocuments(repro.NITFSchema, 10, 1)
+	queries, _ := repro.GenerateQueries(coll, 5, 4, 0.1, 2)
+	reqs := make([]repro.ClientRequest, len(queries))
+	for i, q := range queries {
+		reqs[i] = repro.ClientRequest{Query: q, Arrival: int64(i) * 100}
+	}
+	res, err := repro.Simulate(repro.SimulationConfig{
+		Collection:    coll,
+		Mode:          repro.TwoTierMode,
+		CycleCapacity: 50_000,
+		Requests:      reqs,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(res.Clients) == 5, res.NumCycles() > 0)
+	// Output: true true
+}

@@ -1,0 +1,79 @@
+// Newsfeed: the paper's motivating scenario — a news service pushing NITF
+// documents to a large mobile audience over a broadcast channel. A hundred
+// clients submit Zipf-skewed XPath requests (everyone wants the headlines);
+// the example runs the full discrete-event simulation under both index
+// organisations and prints the energy story: tuning time under the two-tier
+// index vs the one-tier baseline.
+//
+// Run with:
+//
+//	go run ./examples/newsfeed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A day's worth of news: 100 NITF documents, ~1 MB.
+	coll, err := repro.GenerateDocuments(repro.NITFSchema, 100, 42)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collection: %d NITF documents, %d bytes\n", coll.Len(), coll.TotalSize())
+
+	// A pool of 40 subscriptions (headlines, bylines, media captions, ...)
+	// requested by 200 clients with Zipf-skewed popularity.
+	pool, err := repro.GenerateQueries(coll, 40, 5, 0.15, 7)
+	if err != nil {
+		return err
+	}
+	reqs, err := repro.GenerateWorkload(pool, 200, 1.4, 100, 8)
+	if err != nil {
+		return err
+	}
+	sched, err := repro.NewScheduler("leelo")
+	if err != nil {
+		return err
+	}
+
+	run := func(mode repro.BroadcastMode) (*repro.SimulationResult, error) {
+		return repro.Simulate(repro.SimulationConfig{
+			Collection:    coll,
+			Mode:          mode,
+			Scheduler:     sched,
+			CycleCapacity: 100_000,
+			Requests:      reqs,
+		})
+	}
+	one, err := run(repro.OneTierMode)
+	if err != nil {
+		return err
+	}
+	two, err := run(repro.TwoTierMode)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-28s %12s %12s\n", "metric", "one-tier", "two-tier")
+	row := func(name string, a, b float64) { fmt.Printf("%-28s %12.0f %12.0f\n", name, a, b) }
+	row("cycles broadcast", float64(one.NumCycles()), float64(two.NumCycles()))
+	row("mean cycle length (B)", one.MeanCycleBytes(), two.MeanCycleBytes())
+	row("mean index on air (B)", one.MeanIndexBytes(), two.MeanIndexBytes()+two.MeanSecondTierBytes())
+	row("mean index tuning (B)", one.MeanIndexTuningBytes(), two.MeanIndexTuningBytes())
+	row("mean access time (B)", one.MeanAccessBytes(), two.MeanAccessBytes())
+	fmt.Printf("\ntwo-tier index lookup costs %.1fx less tuning energy\n",
+		one.MeanIndexTuningBytes()/two.MeanIndexTuningBytes())
+	fmt.Printf("a client listens to %.1f cycles on average to complete a query\n",
+		two.MeanCyclesListened())
+	return nil
+}

@@ -1,0 +1,90 @@
+// Newsroom: a live broadcast station whose collection changes while it is
+// on air. Fresh stories are published to a running server (the merged
+// DataGuide and Compact Index are maintained incrementally — no rebuild),
+// stale ones are retired, and a subscribed client picks the new content up
+// on the very next cycle.
+//
+// Run with:
+//
+//	go run ./examples/newsroom
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	coll, err := repro.GenerateDocuments(repro.NITFSchema, 20, 23)
+	if err != nil {
+		return err
+	}
+	srv, err := repro.StartBroadcastServer(repro.BroadcastServerConfig{
+		Collection:    coll,
+		Mode:          repro.TwoTierMode,
+		CycleCapacity: 2 * coll.TotalSize() / coll.Len(),
+		CycleInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Shutdown()
+	fmt.Printf("on air with %d documents\n", srv.NumDocs())
+
+	// A breaking story is published after the station is already live.
+	breaking, err := repro.ParseDocument(500, strings.NewReader(
+		`<nitf><head><title>BREAKING</title></head>`+
+			`<body><body.head><hedline><hl1>Wire copy lands mid-broadcast</hl1></hedline></body.head>`+
+			`<body.content><block><p>The index is maintained incrementally.</p></block></body.content></body></nitf>`))
+	if err != nil {
+		return err
+	}
+	if err := srv.AddDocument(breaking); err != nil {
+		return err
+	}
+	fmt.Printf("published doc %d; station now has %d documents\n", breaking.ID, srv.NumDocs())
+
+	// A subscriber asks for headlines and receives the fresh story.
+	cl, err := repro.DialBroadcast(srv.UplinkAddr(), srv.BroadcastAddr(), repro.SizeModel{})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	q := repro.MustParseQuery("/nitf/body/body.head/hedline/hl1")
+	if err := cl.Submit(q); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	docs, stats, err := cl.Retrieve(ctx, q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("client retrieved %d headline documents over %d cycles (awake %d B)\n",
+		len(docs), stats.Cycles, stats.TuningBytes)
+	for _, d := range docs {
+		if d.ID == breaking.ID {
+			hl := d.Root.Child("body").Child("body.head").Child("hedline").Child("hl1")
+			fmt.Printf("  -> got the breaking story: %q\n", hl.Text)
+		}
+	}
+
+	// The oldest story is retired; querying only-it afterwards is refused.
+	victim := coll.Docs()[0].ID
+	if err := srv.RemoveDocument(victim); err != nil {
+		return err
+	}
+	fmt.Printf("retired doc %d; station now has %d documents\n", victim, srv.NumDocs())
+	return nil
+}

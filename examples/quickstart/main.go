@@ -1,0 +1,91 @@
+// Quickstart: build the paper's running example (Fig. 2) with the public
+// API — five XML documents, the merged-DataGuide Compact Index, query-set
+// pruning, and the two-tier size win — and answer the paper's six queries
+// through the index.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The five documents of the paper's Fig. 2, as XML text.
+	sources := []string{
+		`<a><b><a/><c/></b></a>`,            // d1
+		`<a><b><a/><c/></b><c><b/></c></a>`, // d2
+		`<a><b/><c/></a>`,                   // d3
+		`<a><c><a/></c></a>`,                // d4
+		`<a><b/><c><a/></c></a>`,            // d5
+	}
+	docs := make([]*repro.Document, len(sources))
+	for i, src := range sources {
+		d, err := repro.ParseDocument(repro.DocID(i+1), strings.NewReader(src))
+		if err != nil {
+			return err
+		}
+		docs[i] = d
+	}
+	coll, err := repro.NewCollection(docs)
+	if err != nil {
+		return err
+	}
+
+	// Build the Compact Index: the merged DataGuides of all documents with
+	// each document attached at its maximal paths.
+	ci, err := repro.BuildIndex(coll)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("CI: %d nodes, %d document attachments, %d bytes one-tier / %d bytes first-tier\n",
+		ci.NumNodes(), ci.NumAttachments(), ci.Size(repro.OneTier), ci.Size(repro.FirstTier))
+
+	// The paper's query set (q6 duplicates q2, as in Fig. 2(b)).
+	exprs := []string{"/a/b/a", "/a/c/a", "/a//c", "/a/b", "/a/c/*", "/a/c/a"}
+	queries := make([]repro.Query, len(exprs))
+	for i, e := range exprs {
+		q, err := repro.ParseQuery(e)
+		if err != nil {
+			return err
+		}
+		queries[i] = q
+	}
+	fmt.Println("\nquery      result documents")
+	for i, q := range queries {
+		res := ci.Lookup(q)
+		fmt.Printf("q%d %-7s %v\n", i+1, q, res.Docs)
+	}
+
+	// Prune to a smaller pending set, as the server does per cycle: with
+	// Q = {/a/b, /a/b/c} only three nodes survive (paper Fig. 6).
+	pending := []repro.Query{repro.MustParseQuery("/a/b"), repro.MustParseQuery("/a/b/c")}
+	pci, st, err := ci.Prune(pending)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nPCI for Q={/a/b, /a/b/c}: %d -> %d nodes, %d -> %d attachments, %d requested docs\n",
+		st.NodesBefore, st.NodesAfter, st.AttachmentsBefore, st.AttachmentsAfter, st.DocsRequested)
+	for _, q := range pending {
+		fmt.Printf("  %-7s -> %v (identical over CI: %v)\n", q, pci.Lookup(q).Docs, ci.Lookup(q).Docs)
+	}
+
+	// Pack both layouts into 128-byte packets and compare the air size.
+	one := pci.Pack(repro.OneTier)
+	first := pci.Pack(repro.FirstTier)
+	fmt.Printf("\npacked PCI: one-tier %d packets (%d B), first tier %d packets (%d B)\n",
+		one.NumPackets, one.AirBytes(), first.NumPackets, first.AirBytes())
+	return nil
+}

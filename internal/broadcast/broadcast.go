@@ -1,0 +1,315 @@
+// Package broadcast assembles broadcast cycles: the per-cycle air index
+// (PCI), the second-tier offset list under the two-tier organisation, and the
+// scheduled documents, following the program layout of §3.4 (Fig. 8):
+//
+//	one-tier:  [head][one-tier index with embedded offsets][documents]
+//	two-tier:  [head][first-tier index][second-tier offsets][documents]
+//
+// The head carries the label catalog, root labels and segment lengths. All
+// segment sizes are real encodable bytes (package wire), so the simulator's
+// byte clock matches what a receiver would download.
+package broadcast
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dataguide"
+	"repro/internal/wire"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// Mode selects the index organisation of the broadcast program.
+type Mode int
+
+const (
+	// OneTierMode embeds document offsets in the index nodes.
+	OneTierMode Mode = iota + 1
+	// TwoTierMode splits offsets into the second tier (the contribution).
+	TwoTierMode
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case OneTierMode:
+		return "one-tier"
+	case TwoTierMode:
+		return "two-tier"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// DocPlacement locates one document inside a cycle's document section.
+type DocPlacement struct {
+	ID xmldoc.DocID
+	// Offset is the byte offset within the document section.
+	Offset int
+	// Size is the document's serialised size.
+	Size int
+}
+
+// Cycle is one fully laid-out broadcast cycle.
+type Cycle struct {
+	// Number is the cycle's sequence number, starting at 0.
+	Number int64
+	// Start is the absolute byte-time at which the cycle begins.
+	Start int64
+	// Mode is the index organisation.
+	Mode Mode
+
+	// Index is the pruned index broadcast this cycle (first tier in
+	// two-tier mode, the full one-tier index otherwise).
+	Index *core.Index
+	// Packing is the index's packet layout.
+	Packing *core.Packing
+	// Catalog is the label dictionary for the index.
+	Catalog *wire.Catalog
+
+	// HeadBytes is the size of the cycle head (catalog, root labels,
+	// segment lengths).
+	HeadBytes int
+	// IndexBytes is the on-air size of the packed index (L_I).
+	IndexBytes int
+	// SecondTierBytes is the size of the offset list (L_O); zero in
+	// one-tier mode.
+	SecondTierBytes int
+	// DocBytes is the size of the document section (L_D).
+	DocBytes int
+
+	// Docs are the scheduled documents in broadcast order.
+	Docs []DocPlacement
+	// Offsets maps each scheduled document to its offset in the document
+	// section.
+	Offsets wire.DocOffsets
+}
+
+// TotalBytes is the full cycle length on air.
+func (c *Cycle) TotalBytes() int {
+	return c.HeadBytes + c.IndexBytes + c.SecondTierBytes + c.DocBytes
+}
+
+// IndexStart is the absolute byte-time of the index segment.
+func (c *Cycle) IndexStart() int64 { return c.Start + int64(c.HeadBytes) }
+
+// SecondTierStart is the absolute byte-time of the second-tier segment.
+func (c *Cycle) SecondTierStart() int64 { return c.IndexStart() + int64(c.IndexBytes) }
+
+// DocStart is the absolute byte-time of the document section.
+func (c *Cycle) DocStart() int64 { return c.SecondTierStart() + int64(c.SecondTierBytes) }
+
+// End is the absolute byte-time one past the cycle.
+func (c *Cycle) End() int64 { return c.Start + int64(c.TotalBytes()) }
+
+// Placement returns the placement of a document in this cycle, if scheduled.
+func (c *Cycle) Placement(id xmldoc.DocID) (DocPlacement, bool) {
+	for _, p := range c.Docs {
+		if p.ID == id {
+			return p, true
+		}
+	}
+	return DocPlacement{}, false
+}
+
+// Builder assembles cycles over a document collection. The collection is
+// dynamic: documents can be added and removed between cycles (the merged
+// DataGuide is maintained incrementally) and the CI is rebuilt lazily from
+// the maintained forest. A Builder is not safe for concurrent use; callers
+// broadcasting from multiple goroutines (e.g. netcast.Server) serialise
+// access.
+type Builder struct {
+	model core.SizeModel
+	mode  Mode
+
+	docs   map[xmldoc.DocID]*xmldoc.Document
+	forest *dataguide.Forest
+
+	// snapshot caches an immutable Collection view over docs; ci caches
+	// the CI built from forest. Both invalidate on mutation.
+	snapshot *xmldoc.Collection
+	ci       *core.Index
+}
+
+// NewBuilder prepares a builder over the initial collection.
+func NewBuilder(c *xmldoc.Collection, m core.SizeModel, mode Mode) (*Builder, error) {
+	if mode != OneTierMode && mode != TwoTierMode {
+		return nil, fmt.Errorf("broadcast: invalid mode %d", mode)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Builder{
+		model:  m,
+		mode:   mode,
+		docs:   make(map[xmldoc.DocID]*xmldoc.Document, c.Len()),
+		forest: dataguide.Merge(c),
+	}
+	for _, d := range c.Docs() {
+		b.docs[d.ID] = d
+	}
+	b.snapshot = c
+	return b, nil
+}
+
+// AddDocument admits a new document to the collection; it becomes indexable
+// and schedulable from the next cycle.
+func (b *Builder) AddDocument(d *xmldoc.Document) error {
+	if d == nil || d.Root == nil {
+		return fmt.Errorf("broadcast: cannot add an empty document")
+	}
+	if _, dup := b.docs[d.ID]; dup {
+		return fmt.Errorf("broadcast: document %d already present", d.ID)
+	}
+	b.forest.Add(d)
+	b.docs[d.ID] = d
+	b.invalidate()
+	return nil
+}
+
+// RemoveDocument retires a document from the collection.
+func (b *Builder) RemoveDocument(id xmldoc.DocID) error {
+	d, ok := b.docs[id]
+	if !ok {
+		return fmt.Errorf("broadcast: document %d not present", id)
+	}
+	if err := b.forest.Remove(d); err != nil {
+		return fmt.Errorf("broadcast: %w", err)
+	}
+	delete(b.docs, id)
+	b.invalidate()
+	return nil
+}
+
+func (b *Builder) invalidate() {
+	b.snapshot = nil
+	b.ci = nil
+}
+
+// Collection returns an immutable snapshot view of the current documents.
+func (b *Builder) Collection() (*xmldoc.Collection, error) {
+	if b.snapshot != nil {
+		return b.snapshot, nil
+	}
+	ids := make([]int, 0, len(b.docs))
+	for id := range b.docs {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	docs := make([]*xmldoc.Document, 0, len(ids))
+	for _, id := range ids {
+		docs = append(docs, b.docs[xmldoc.DocID(id)])
+	}
+	c, err := xmldoc.NewCollection(docs)
+	if err != nil {
+		return nil, err
+	}
+	b.snapshot = c
+	return c, nil
+}
+
+// DocByID returns a current document, or nil.
+func (b *Builder) DocByID(id xmldoc.DocID) *xmldoc.Document { return b.docs[id] }
+
+// NumDocs reports the current collection size.
+func (b *Builder) NumDocs() int { return len(b.docs) }
+
+// CI exposes the full compact index over the current collection.
+func (b *Builder) CI() *core.Index {
+	if b.ci == nil {
+		// BuildCIFromForest errors only on an invalid model, which the
+		// constructor validated.
+		b.ci, _ = core.BuildCIFromForest(b.forest, b.model)
+	}
+	return b.ci
+}
+
+// Mode reports the builder's index organisation.
+func (b *Builder) Mode() Mode { return b.mode }
+
+// BuildCycle lays out one cycle: the CI is pruned to the pending query set,
+// packed under the mode's tier, and the scheduled documents are placed after
+// it. docPlan must not contain duplicates or unknown documents.
+func (b *Builder) BuildCycle(number, start int64, pending []xpath.Path, docPlan []xmldoc.DocID) (*Cycle, error) {
+	pci, _, err := b.CI().Prune(pending)
+	if err != nil {
+		return nil, fmt.Errorf("broadcast: prune: %w", err)
+	}
+	cycle := &Cycle{
+		Number:  number,
+		Start:   start,
+		Mode:    b.mode,
+		Index:   pci,
+		Catalog: wire.BuildCatalog(pci),
+		Offsets: make(wire.DocOffsets, len(docPlan)),
+	}
+
+	// Document section layout.
+	seen := make(map[xmldoc.DocID]struct{}, len(docPlan))
+	offset := 0
+	for _, id := range docPlan {
+		if _, dup := seen[id]; dup {
+			return nil, fmt.Errorf("broadcast: duplicate document %d in plan", id)
+		}
+		seen[id] = struct{}{}
+		doc := b.docs[id]
+		if doc == nil {
+			return nil, fmt.Errorf("broadcast: unknown document %d in plan", id)
+		}
+		cycle.Docs = append(cycle.Docs, DocPlacement{ID: id, Offset: offset, Size: doc.Size()})
+		cycle.Offsets[id] = uint64(offset)
+		offset += doc.Size()
+	}
+	cycle.DocBytes = offset
+
+	// Index segment.
+	tier := core.OneTier
+	if b.mode == TwoTierMode {
+		tier = core.FirstTier
+	}
+	cycle.Packing = pci.Pack(tier)
+	cycle.IndexBytes = cycle.Packing.AirBytes()
+	if b.mode == TwoTierMode {
+		cycle.SecondTierBytes = wire.SecondTierSize(len(docPlan), b.model)
+	}
+
+	// Head: encoded catalog + root labels + three segment lengths.
+	catBytes, err := cycle.Catalog.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("broadcast: encode catalog: %w", err)
+	}
+	head := len(catBytes) + 3*b.model.PointerBytes
+	for _, l := range wire.RootLabels(pci) {
+		head += 1 + len(l)
+	}
+	cycle.HeadBytes = head
+	return cycle, nil
+}
+
+// Encode produces the real byte stream of the cycle's index and second-tier
+// segments (the decodable air image used by examples and round-trip tests).
+// It returns the index segment and, in two-tier mode, the second-tier
+// segment.
+func (b *Builder) Encode(c *Cycle) (indexSeg, secondTierSeg []byte, err error) {
+	var offs wire.DocOffsets
+	if b.mode == OneTierMode {
+		offs = c.Offsets
+	}
+	indexSeg, err = wire.EncodeIndex(c.Index, c.Packing, c.Catalog, offs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("broadcast: encode index: %w", err)
+	}
+	if b.mode == TwoTierMode {
+		entries := make([]wire.SecondTierEntry, 0, len(c.Docs))
+		for _, p := range c.Docs {
+			entries = append(entries, wire.SecondTierEntry{Doc: p.ID, Offset: uint64(p.Offset)})
+		}
+		secondTierSeg, err = wire.EncodeSecondTier(entries, b.model)
+		if err != nil {
+			return nil, nil, fmt.Errorf("broadcast: encode second tier: %w", err)
+		}
+	}
+	return indexSeg, secondTierSeg, nil
+}

@@ -1,0 +1,126 @@
+package broadcast
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+func dynBuilder(t *testing.T) (*Builder, *xmldoc.Collection) {
+	t.Helper()
+	c, queries := testSetup(t)
+	_ = queries
+	b, err := NewBuilder(c, core.DefaultSizeModel(), TwoTierMode)
+	if err != nil {
+		t.Fatalf("NewBuilder: %v", err)
+	}
+	return b, c
+}
+
+func TestBuilderAddDocument(t *testing.T) {
+	b, c := dynBuilder(t)
+	before := b.CI().NumNodes()
+	fresh := xmldoc.NewDocument(9001, xmldoc.El("nitf",
+		xmldoc.El("head", xmldoc.El("brandnewlabel"))))
+	if err := b.AddDocument(fresh); err != nil {
+		t.Fatalf("AddDocument: %v", err)
+	}
+	if b.NumDocs() != c.Len()+1 {
+		t.Errorf("NumDocs = %d, want %d", b.NumDocs(), c.Len()+1)
+	}
+	// The CI gained the new path and answers queries for it.
+	if b.CI().NumNodes() <= before {
+		t.Error("CI did not grow after add")
+	}
+	q := xpath.MustParse("/nitf/head/brandnewlabel")
+	if got := b.CI().Lookup(q).Docs; !reflect.DeepEqual(got, []xmldoc.DocID{9001}) {
+		t.Errorf("lookup after add = %v", got)
+	}
+	// And it is schedulable in a cycle.
+	cy, err := b.BuildCycle(0, 0, []xpath.Path{q}, []xmldoc.DocID{9001})
+	if err != nil {
+		t.Fatalf("BuildCycle: %v", err)
+	}
+	if got := cy.Index.Lookup(q).Docs; !reflect.DeepEqual(got, []xmldoc.DocID{9001}) {
+		t.Errorf("cycle PCI lookup = %v", got)
+	}
+	// Duplicate IDs are rejected.
+	if err := b.AddDocument(fresh); err == nil {
+		t.Error("duplicate add succeeded")
+	}
+	if err := b.AddDocument(&xmldoc.Document{ID: 9002}); err == nil {
+		t.Error("empty document added")
+	}
+}
+
+func TestBuilderRemoveDocument(t *testing.T) {
+	b, c := dynBuilder(t)
+	victim := c.Docs()[0].ID
+	if err := b.RemoveDocument(victim); err != nil {
+		t.Fatalf("RemoveDocument: %v", err)
+	}
+	if b.NumDocs() != c.Len()-1 {
+		t.Errorf("NumDocs = %d", b.NumDocs())
+	}
+	if b.DocByID(victim) != nil {
+		t.Error("removed document still resolvable")
+	}
+	// No lookup over the maintained CI may return the removed document.
+	q := xpath.MustParse("/nitf")
+	for _, d := range b.CI().Lookup(q).Docs {
+		if d == victim {
+			t.Error("removed document still indexed")
+		}
+	}
+	// The maintained CI equals a fresh build over the survivors.
+	snap, err := b.Collection()
+	if err != nil {
+		t.Fatalf("Collection: %v", err)
+	}
+	fresh, err := core.BuildCI(snap, core.DefaultSizeModel())
+	if err != nil {
+		t.Fatalf("BuildCI: %v", err)
+	}
+	if b.CI().NumNodes() != fresh.NumNodes() || b.CI().NumAttachments() != fresh.NumAttachments() {
+		t.Errorf("maintained CI (%d nodes, %d att) differs from rebuild (%d, %d)",
+			b.CI().NumNodes(), b.CI().NumAttachments(), fresh.NumNodes(), fresh.NumAttachments())
+	}
+	// Planning the removed document now fails.
+	if _, err := b.BuildCycle(0, 0, nil, []xmldoc.DocID{victim}); err == nil {
+		t.Error("cycle planned a removed document")
+	}
+	if err := b.RemoveDocument(victim); err == nil {
+		t.Error("double removal succeeded")
+	}
+}
+
+func TestBuilderCollectionSnapshotCaching(t *testing.T) {
+	b, c := dynBuilder(t)
+	s1, err := b.Collection()
+	if err != nil {
+		t.Fatalf("Collection: %v", err)
+	}
+	if s1 != c {
+		t.Error("initial snapshot should be the constructor collection")
+	}
+	if err := b.RemoveDocument(c.Docs()[1].ID); err != nil {
+		t.Fatalf("RemoveDocument: %v", err)
+	}
+	s2, err := b.Collection()
+	if err != nil {
+		t.Fatalf("Collection: %v", err)
+	}
+	if s2 == s1 || s2.Len() != c.Len()-1 {
+		t.Error("snapshot not refreshed after mutation")
+	}
+	s3, err := b.Collection()
+	if err != nil {
+		t.Fatalf("Collection: %v", err)
+	}
+	if s3 != s2 {
+		t.Error("snapshot not cached between mutations")
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/gen"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+func benchFixture(b *testing.B) (*xmldoc.Collection, *Index, []xpath.Path) {
+	b.Helper()
+	c, err := gen.Documents(gen.DocConfig{Schema: dtd.NITF(), NumDocs: 50, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := BuildCI(c, DefaultSizeModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := gen.Queries(c, gen.QueryConfig{NumQueries: 200, MaxDepth: 5, WildcardProb: 0.1, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, ix, queries
+}
+
+func BenchmarkBuildCI(b *testing.B) {
+	c, _, _ := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildCI(c, DefaultSizeModel()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrune200Queries(b *testing.B) {
+	_, ix, queries := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.Prune(queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNavigatorLookup(b *testing.B) {
+	_, ix, queries := benchFixture(b)
+	navs := make([]*Navigator, len(queries))
+	for i, q := range queries {
+		navs[i] = NewNavigator(q)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		navs[i%len(navs)].Lookup(ix)
+	}
+}
+
+func BenchmarkPackBothTiers(b *testing.B) {
+	_, ix, _ := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Pack(OneTier)
+		ix.Pack(FirstTier)
+	}
+}
+
+func BenchmarkSubtreeDocs(b *testing.B) {
+	_, ix, _ := benchFixture(b)
+	root := ix.Roots[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SubtreeDocs(root)
+	}
+}

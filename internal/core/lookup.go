@@ -1,0 +1,88 @@
+package core
+
+import (
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+	"repro/internal/yfilter"
+)
+
+// LookupResult is the outcome of one client-style index navigation.
+type LookupResult struct {
+	// Docs is the query's answer: the sorted IDs of matching documents.
+	Docs []xmldoc.DocID
+	// Visited lists the distinct index nodes the client had to read, in
+	// read order: every node on the explored navigation frontier plus the
+	// full subtree of every match node (document tuples are scattered
+	// across match subtrees).
+	Visited []NodeID
+}
+
+// Navigator performs index lookups for one query, caching the query's
+// automaton so a client can re-navigate each broadcast cycle without
+// recompiling. A Navigator is not safe for concurrent use.
+type Navigator struct {
+	query xpath.Path
+	f     *yfilter.Filter
+}
+
+// NewNavigator compiles a navigator for the query.
+func NewNavigator(q xpath.Path) *Navigator {
+	return &Navigator{query: q, f: yfilter.New([]xpath.Path{q})}
+}
+
+// Query returns the navigator's query.
+func (nav *Navigator) Query() xpath.Path { return nav.query }
+
+// Lookup navigates the index as the client access protocol does (§3.1):
+// starting from the roots, the client reads a node, advances its query
+// automaton on the node's label, and uses the node's <entry, pointer> tuples
+// to descend only into children whose label keeps the automaton alive. At a
+// node where the query accepts, the client reads the whole subtree to
+// collect document tuples and descends no further there.
+func (nav *Navigator) Lookup(ix *Index) LookupResult {
+	var res LookupResult
+	docs := make(map[xmldoc.DocID]struct{})
+	var visit func(id NodeID, s yfilter.StateSet)
+	visit = func(id NodeID, s yfilter.StateSet) {
+		n := &ix.Nodes[id]
+		res.Visited = append(res.Visited, id)
+		next := nav.f.Step(s, n.Label)
+		if next.Empty() {
+			return
+		}
+		if len(nav.f.Accepting(next)) > 0 {
+			for _, d := range n.Docs {
+				docs[d] = struct{}{}
+			}
+			for _, c := range n.Children {
+				ix.walkSubtree(c, func(sub *Node) {
+					res.Visited = append(res.Visited, sub.ID)
+					for _, d := range sub.Docs {
+						docs[d] = struct{}{}
+					}
+				})
+			}
+			return
+		}
+		for _, c := range n.Children {
+			// The child's label is known from this node's entry list, so
+			// the client steps the automaton before deciding to read it.
+			if !nav.f.Step(next, ix.Nodes[c].Label).Empty() {
+				visit(c, next)
+			}
+		}
+	}
+	for _, r := range ix.Roots {
+		// The root's label is part of the index head, but the root node
+		// itself must be read to obtain its entry list.
+		visit(r, nav.f.Start())
+	}
+	res.Docs = sortedDocSet(docs)
+	return res
+}
+
+// Lookup is a convenience wrapper that compiles and runs a one-off
+// navigation for q.
+func (ix *Index) Lookup(q xpath.Path) LookupResult {
+	return NewNavigator(q).Lookup(ix)
+}

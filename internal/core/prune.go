@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+	"repro/internal/yfilter"
+)
+
+// PruneStats summarises the effect of a pruning pass.
+type PruneStats struct {
+	// NodesBefore and NodesAfter count index nodes.
+	NodesBefore, NodesAfter int
+	// AttachmentsBefore and AttachmentsAfter count document tuples.
+	AttachmentsBefore, AttachmentsAfter int
+	// DocsRequested counts distinct documents requested by the query set.
+	DocsRequested int
+	// MatchedNodes counts nodes where at least one query accepts.
+	MatchedNodes int
+}
+
+// Prune builds the PCI for the pending query set (§3.2): every node where
+// some query accepts is marked, marked nodes and their ancestors are kept,
+// all other nodes are removed. Documents requested by no query are dropped;
+// document tuples orphaned by the removal of their node are re-attached to
+// the nearest kept ancestor, which preserves the answer of every pending
+// query exactly (an answer is the union of subtree attachments of the
+// query's match nodes, and re-attachment never moves a document out of a
+// kept match node's subtree).
+//
+// Pruning is transparent to clients: lookups over the PCI use the same
+// protocol as over the CI.
+func (ix *Index) Prune(queries []xpath.Path) (*Index, PruneStats, error) {
+	f := yfilter.New(queries)
+	return ix.PruneWithFilter(f)
+}
+
+// PruneWithFilter is Prune with a pre-compiled query automaton, letting the
+// broadcast server reuse one filter for both document filtering and pruning.
+func (ix *Index) PruneWithFilter(f *yfilter.Filter) (*Index, PruneStats, error) {
+	stats := PruneStats{
+		NodesBefore:       ix.NumNodes(),
+		AttachmentsBefore: ix.NumAttachments(),
+	}
+
+	// Pass 1: run the query DFA over the trie to find match nodes, and
+	// gather the requested document set (union of match-node subtree docs).
+	matched := make(map[NodeID]struct{})
+	requested := make(map[xmldoc.DocID]struct{})
+	var walk func(id NodeID, s yfilter.StateSet)
+	walk = func(id NodeID, s yfilter.StateSet) {
+		n := &ix.Nodes[id]
+		next := f.Step(s, n.Label)
+		if next.Empty() {
+			return
+		}
+		if len(f.Accepting(next)) > 0 {
+			matched[id] = struct{}{}
+			for _, d := range ix.SubtreeDocs(id) {
+				requested[d] = struct{}{}
+			}
+		}
+		for _, c := range n.Children {
+			walk(c, next)
+		}
+	}
+	for _, r := range ix.Roots {
+		walk(r, f.Start())
+	}
+	stats.MatchedNodes = len(matched)
+	stats.DocsRequested = len(requested)
+
+	// Pass 2: keep = matched ∪ ancestors(matched).
+	keep := make(map[NodeID]struct{}, len(matched)*2)
+	for id := range matched {
+		for cur := id; cur != NoNode; cur = ix.Nodes[cur].Parent {
+			if _, ok := keep[cur]; ok {
+				break
+			}
+			keep[cur] = struct{}{}
+		}
+	}
+
+	// Pass 3: rebuild in DFS pre-order over kept nodes, filtering document
+	// tuples to requested documents and bubbling orphaned tuples up to the
+	// nearest kept ancestor. An unkept node's whole subtree is unkept
+	// (any kept descendant would have kept it as an ancestor).
+	out := &Index{Model: ix.Model}
+	var rebuild func(old NodeID, parent NodeID) NodeID
+	rebuild = func(old NodeID, parent NodeID) NodeID {
+		id := NodeID(len(out.Nodes))
+		n := &ix.Nodes[old]
+		docs := make(map[xmldoc.DocID]struct{})
+		for _, d := range n.Docs {
+			if _, ok := requested[d]; ok {
+				docs[d] = struct{}{}
+			}
+		}
+		out.Nodes = append(out.Nodes, Node{ID: id, Label: n.Label, Parent: parent})
+		for _, c := range n.Children {
+			if _, ok := keep[c]; ok {
+				childID := rebuild(c, id)
+				out.Nodes[id].Children = append(out.Nodes[id].Children, childID)
+				continue
+			}
+			ix.walkSubtree(c, func(dropped *Node) {
+				for _, d := range dropped.Docs {
+					if _, ok := requested[d]; ok {
+						docs[d] = struct{}{}
+					}
+				}
+			})
+		}
+		out.Nodes[id].Docs = sortedDocSet(docs)
+		return id
+	}
+	for _, r := range ix.Roots {
+		if _, ok := keep[r]; ok {
+			out.Roots = append(out.Roots, rebuild(r, NoNode))
+		}
+	}
+
+	stats.NodesAfter = out.NumNodes()
+	stats.AttachmentsAfter = out.NumAttachments()
+	return out, stats, nil
+}
+
+func sortedDocSet(set map[xmldoc.DocID]struct{}) []xmldoc.DocID {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]xmldoc.DocID, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,61 @@
+package core
+
+// IndexStats is a structural summary of an index, used by the inspection
+// tooling and documentation examples.
+type IndexStats struct {
+	// Nodes is the node count.
+	Nodes int
+	// Leaves counts leaf nodes.
+	Leaves int
+	// Attachments counts document tuples across all nodes.
+	Attachments int
+	// Docs counts distinct referenced documents.
+	Docs int
+	// MaxDepth is the deepest node's depth (root = 1).
+	MaxDepth int
+	// MaxFanout is the largest child count of any node.
+	MaxFanout int
+	// AvgFanout is the mean child count over internal nodes.
+	AvgFanout float64
+	// OneTierBytes and FirstTierBytes are the logical sizes per tier.
+	OneTierBytes, FirstTierBytes int
+}
+
+// Stats computes the structural summary.
+func (ix *Index) Stats() IndexStats {
+	st := IndexStats{
+		Nodes:          ix.NumNodes(),
+		Attachments:    ix.NumAttachments(),
+		Docs:           len(ix.DocIDs()),
+		OneTierBytes:   ix.Size(OneTier),
+		FirstTierBytes: ix.Size(FirstTier),
+	}
+	internal := 0
+	children := 0
+	var walk func(id NodeID, depth int)
+	walk = func(id NodeID, depth int) {
+		n := &ix.Nodes[id]
+		if depth > st.MaxDepth {
+			st.MaxDepth = depth
+		}
+		if len(n.Children) == 0 {
+			st.Leaves++
+		} else {
+			internal++
+			children += len(n.Children)
+			if len(n.Children) > st.MaxFanout {
+				st.MaxFanout = len(n.Children)
+			}
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range ix.Roots {
+		walk(r, 1)
+	}
+	if internal > 0 {
+		st.AvgFanout = float64(children) / float64(internal)
+	}
+	return st
+}

@@ -1,0 +1,159 @@
+package dataguide
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/xmldoc"
+)
+
+// Dynamic maintenance: the merged forest can be kept up to date as documents
+// join and leave the server's collection, instead of being rebuilt from
+// scratch. Add merges a document's own guide in (summing reference counts);
+// Remove walks the document's paths, decrements counts, detaches the
+// document and prunes nodes whose count reaches zero. The invariant —
+// checked by property tests — is that any add/remove sequence yields exactly
+// the forest a batch Merge over the surviving documents would.
+
+// Add merges one document into the forest.
+func (f *Forest) Add(d *xmldoc.Document) {
+	g := Build(d)
+	if g == nil {
+		return
+	}
+	if existing := f.Root(g.Label); existing != nil {
+		mergeInto(existing, g)
+	} else {
+		f.Roots = append(f.Roots, g)
+		sort.Slice(f.Roots, func(i, j int) bool { return f.Roots[i].Label < f.Roots[j].Label })
+	}
+}
+
+// Remove detaches one document from the forest. The document's tree is
+// needed to know which paths to decrement; removing a document that was
+// never added (or was already removed) is reported as an error, detected by
+// a reference count or attachment that would go inconsistent.
+func (f *Forest) Remove(d *xmldoc.Document) error {
+	own := Build(d)
+	if own == nil {
+		return nil
+	}
+	root := f.Root(own.Label)
+	if root == nil {
+		return fmt.Errorf("dataguide: document %d has unknown root %q", d.ID, own.Label)
+	}
+	// Pre-validate against a partial mutation: every path of the document
+	// must exist with a positive count, and the document must be attached
+	// exactly at its maximal paths.
+	if err := validateRemoval(root, own, d.ID); err != nil {
+		return err
+	}
+	removeGuide(root, own, d.ID)
+	if root.Refs == 0 {
+		for i, r := range f.Roots {
+			if r == root {
+				f.Roots = append(f.Roots[:i], f.Roots[i+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// validateRemoval checks the forest actually contains the document.
+func validateRemoval(node, own *Guide, id xmldoc.DocID) error {
+	if node == nil || node.Label != own.Label || node.Refs < 1 {
+		return fmt.Errorf("dataguide: document %d path %q not present", id, own.Label)
+	}
+	if len(own.Children) == 0 {
+		if !containsID(node.Docs, id) {
+			return fmt.Errorf("dataguide: document %d not attached at a maximal path under %q", id, own.Label)
+		}
+		return nil
+	}
+	for _, oc := range own.Children {
+		if err := validateRemoval(node.Child(oc.Label), oc, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// removeGuide applies the decrement/detach/prune walk.
+func removeGuide(node, own *Guide, id xmldoc.DocID) {
+	node.Refs--
+	if len(own.Children) == 0 {
+		node.Docs = withoutID(node.Docs, id)
+	}
+	for _, oc := range own.Children {
+		child := node.Child(oc.Label)
+		removeGuide(child, oc, id)
+		if child.Refs == 0 {
+			node.Children = dropChild(node.Children, child)
+		}
+	}
+}
+
+func containsID(ids []xmldoc.DocID, id xmldoc.DocID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func withoutID(ids []xmldoc.DocID, id xmldoc.DocID) []xmldoc.DocID {
+	out := ids[:0]
+	for _, x := range ids {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func dropChild(children []*Guide, child *Guide) []*Guide {
+	out := children[:0]
+	for _, c := range children {
+		if c != child {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two forests are structurally identical (labels,
+// children order, attachments and reference counts). Used by tests and by
+// consistency checks after dynamic maintenance.
+func (f *Forest) Equal(other *Forest) bool {
+	if len(f.Roots) != len(other.Roots) {
+		return false
+	}
+	for i := range f.Roots {
+		if !guidesEqual(f.Roots[i], other.Roots[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func guidesEqual(a, b *Guide) bool {
+	if a.Label != b.Label || a.Refs != b.Refs || len(a.Children) != len(b.Children) || len(a.Docs) != len(b.Docs) {
+		return false
+	}
+	for i := range a.Docs {
+		if a.Docs[i] != b.Docs[i] {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !guidesEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,205 @@
+// Package docindex implements the prior-art baseline the paper argues
+// against (§1, refs [2] Chung & Lee 2007 and [10] Park et al. 2006): an air
+// index built *inside each XML document* and broadcast together with it.
+// Each document carries its own DataGuide whose nodes point at the element
+// instances of that document, so the per-document index grows with the
+// number of elements — the paper's footnote 1 reports it at "close to 10% of
+// the total data size", against 0.1%–0.5% for the pruned two-tier index.
+//
+// Under this organisation a client has no overall picture of the document
+// set: it must stay awake for every document's index preamble to decide
+// whether the document matches, and it cannot know when its result set is
+// complete. The Baseline experiment quantifies both effects.
+package docindex
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dataguide"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+	"repro/internal/yfilter"
+)
+
+// Index is the per-document air index of [2]: the document's DataGuide with,
+// at every node, position pointers to the matching element instances.
+type Index struct {
+	// Doc is the indexed document's ID.
+	Doc xmldoc.DocID
+	// Root is the document's DataGuide.
+	Root *dataguide.Guide
+	// Occurrences counts, per DataGuide path key, the element instances of
+	// that path in the document; each instance costs one position pointer
+	// on air.
+	Occurrences map[string]int
+
+	model core.SizeModel
+}
+
+// Build constructs the per-document index.
+func Build(d *xmldoc.Document, m core.SizeModel) (*Index, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		Doc:         d.ID,
+		Root:        dataguide.Build(d),
+		Occurrences: make(map[string]int),
+		model:       m,
+	}
+	d.WalkPaths(func(path []string, _ *xmldoc.Node) {
+		ix.Occurrences[xmldoc.PathKey(path)]++
+	})
+	return ix, nil
+}
+
+// NumNodes reports the DataGuide node count.
+func (ix *Index) NumNodes() int { return ix.Root.NumNodes() }
+
+// NumOccurrences reports the total element-instance pointers carried.
+func (ix *Index) NumOccurrences() int {
+	total := 0
+	for _, n := range ix.Occurrences {
+		total += n
+	}
+	return total
+}
+
+// Size reports the on-air byte size of the per-document index: per node, a
+// flag block, one <entry, pointer> tuple per child, and one position pointer
+// per element instance of the node's path.
+func (ix *Index) Size() int {
+	total := 0
+	ix.Root.Walk(func(path []string, g *dataguide.Guide) {
+		total += ix.model.FlagBytes
+		total += len(g.Children) * ix.model.EntryBytes()
+		total += ix.Occurrences[xmldoc.PathKey(path)] * ix.model.PointerBytes
+	})
+	return total
+}
+
+// Matches reports whether the document satisfies the query, resolved over
+// the per-document index alone (the client-side decision of [2]).
+func (ix *Index) Matches(q xpath.Path) bool {
+	f := yfilter.New([]xpath.Path{q})
+	matched := false
+	var walk func(g *dataguide.Guide, s yfilter.StateSet)
+	walk = func(g *dataguide.Guide, s yfilter.StateSet) {
+		if matched || g == nil {
+			return
+		}
+		next := f.Step(s, g.Label)
+		if next.Empty() {
+			return
+		}
+		if len(f.Accepting(next)) > 0 {
+			matched = true
+			return
+		}
+		for _, c := range g.Children {
+			walk(c, next)
+		}
+	}
+	walk(ix.Root, f.Start())
+	return matched
+}
+
+// Broadcast is a flat per-document broadcast program: every document of the
+// collection preceded by its own index, in collection order — the push-style
+// organisation of [2]/[10] that the paper contrasts with on-demand mode.
+type Broadcast struct {
+	// Items are the broadcast units in order.
+	Items []Item
+	// model fixes widths.
+	model core.SizeModel
+}
+
+// Item is one (index, document) pair on air.
+type Item struct {
+	Doc        xmldoc.DocID
+	Index      *Index
+	IndexBytes int
+	DocBytes   int
+	// Offset is the item's byte offset within the program.
+	Offset int
+}
+
+// NewBroadcast lays out the full collection as a per-document-index program.
+func NewBroadcast(c *xmldoc.Collection, m core.SizeModel) (*Broadcast, error) {
+	b := &Broadcast{model: m}
+	offset := 0
+	for _, d := range c.Docs() {
+		ix, err := Build(d, m)
+		if err != nil {
+			return nil, err
+		}
+		item := Item{
+			Doc:        d.ID,
+			Index:      ix,
+			IndexBytes: ix.Size(),
+			DocBytes:   d.Size(),
+			Offset:     offset,
+		}
+		offset += item.IndexBytes + item.DocBytes
+		b.Items = append(b.Items, item)
+	}
+	return b, nil
+}
+
+// TotalBytes is the program length on air.
+func (b *Broadcast) TotalBytes() int {
+	if len(b.Items) == 0 {
+		return 0
+	}
+	last := b.Items[len(b.Items)-1]
+	return last.Offset + last.IndexBytes + last.DocBytes
+}
+
+// IndexBytes is the summed per-document index overhead.
+func (b *Broadcast) IndexBytes() int {
+	total := 0
+	for _, it := range b.Items {
+		total += it.IndexBytes
+	}
+	return total
+}
+
+// TuneResult is the outcome of one client pass over the program.
+type TuneResult struct {
+	// Docs is the sorted result set.
+	Docs []xmldoc.DocID
+	// IndexTuningBytes is the tuning time spent reading per-document
+	// indexes: the client must wake for every item's index because it has
+	// no overall picture of the set (§1 point (1)).
+	IndexTuningBytes int64
+	// DocTuningBytes is the tuning time spent downloading matched
+	// documents.
+	DocTuningBytes int64
+	// AccessBytes is one full pass over the program — the client cannot
+	// know its result set is complete before the pass ends.
+	AccessBytes int64
+}
+
+// Tune plays one client's query over a full pass of the program.
+func (b *Broadcast) Tune(q xpath.Path) TuneResult {
+	var res TuneResult
+	set := make(map[xmldoc.DocID]struct{})
+	for _, it := range b.Items {
+		res.IndexTuningBytes += int64(it.IndexBytes)
+		if it.Index.Matches(q) {
+			set[it.Doc] = struct{}{}
+			res.DocTuningBytes += int64(it.DocBytes)
+		}
+	}
+	res.AccessBytes = int64(b.TotalBytes())
+	res.Docs = make([]xmldoc.DocID, 0, len(set))
+	for id := range set {
+		res.Docs = append(res.Docs, id)
+	}
+	sort.Slice(res.Docs, func(i, j int) bool { return res.Docs[i] < res.Docs[j] })
+	if len(res.Docs) == 0 {
+		res.Docs = nil
+	}
+	return res
+}

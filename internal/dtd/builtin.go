@@ -1,0 +1,247 @@
+package dtd
+
+// NITF returns a schema modelled after the News Industry Text Format DTD used
+// in the paper's evaluation: a news document with a metadata head and a body
+// whose content blocks recurse through block quotes. The occurrence numbers
+// are tuned so that, with the default generator settings, documents average
+// roughly 10 KB and expose the deep, label-sharing path structure that makes
+// DataGuide merging worthwhile.
+func NITF() *Schema {
+	return build("nitf", "nitf", []*Element{
+		{Name: "nitf", Children: []Particle{
+			{Name: "head", Min: 1, Max: 1, Prob: 1},
+			{Name: "body", Min: 1, Max: 1, Prob: 1},
+		}},
+
+		// --- head ---
+		{Name: "head", Children: []Particle{
+			{Name: "title", Min: 1, Max: 1, Prob: 1},
+			{Name: "meta", Min: 1, Max: 4, Prob: 0.9},
+			{Name: "docdata", Min: 1, Max: 1, Prob: 1},
+			{Name: "pubdata", Min: 0, Max: 1, Prob: 0.5},
+		}},
+		{Name: "title", TextProb: 1, TextLen: 48},
+		{Name: "meta", TextProb: 0.8, TextLen: 24},
+		{Name: "docdata", Children: []Particle{
+			{Name: "doc-id", Min: 1, Max: 1, Prob: 1},
+			{Name: "urgency", Min: 0, Max: 1, Prob: 0.6},
+			{Name: "date-issue", Min: 1, Max: 1, Prob: 1},
+			{Name: "du-key", Min: 0, Max: 1, Prob: 0.4},
+			{Name: "key-list", Min: 0, Max: 1, Prob: 0.7},
+		}},
+		{Name: "doc-id", TextProb: 1, TextLen: 16},
+		{Name: "urgency", TextProb: 1, TextLen: 2},
+		{Name: "date-issue", TextProb: 1, TextLen: 10},
+		{Name: "du-key", TextProb: 1, TextLen: 12},
+		{Name: "key-list", Children: []Particle{
+			{Name: "keyword", Min: 1, Max: 6, Prob: 1},
+		}},
+		{Name: "keyword", TextProb: 1, TextLen: 10},
+		{Name: "pubdata", Children: []Particle{
+			{Name: "position-section", Min: 0, Max: 1, Prob: 0.7},
+			{Name: "position-sequence", Min: 0, Max: 1, Prob: 0.5},
+		}},
+		{Name: "position-section", TextProb: 1, TextLen: 12},
+		{Name: "position-sequence", TextProb: 1, TextLen: 4},
+
+		// --- body ---
+		{Name: "body", Children: []Particle{
+			{Name: "body.head", Min: 1, Max: 1, Prob: 1},
+			{Name: "body.content", Min: 1, Max: 1, Prob: 1},
+			{Name: "body.end", Min: 0, Max: 1, Prob: 0.6},
+		}},
+		{Name: "body.head", Children: []Particle{
+			{Name: "hedline", Min: 1, Max: 1, Prob: 1},
+			{Name: "byline", Min: 0, Max: 2, Prob: 0.8},
+			{Name: "dateline", Min: 0, Max: 1, Prob: 0.8},
+			{Name: "abstract", Min: 0, Max: 1, Prob: 0.7},
+		}},
+		{Name: "hedline", Children: []Particle{
+			{Name: "hl1", Min: 1, Max: 1, Prob: 1},
+			{Name: "hl2", Min: 0, Max: 2, Prob: 0.5},
+		}},
+		{Name: "hl1", TextProb: 1, TextLen: 40},
+		{Name: "hl2", TextProb: 1, TextLen: 32},
+		{Name: "byline", Children: []Particle{
+			{Name: "person", Min: 1, Max: 2, Prob: 1},
+			{Name: "byttl", Min: 0, Max: 1, Prob: 0.5},
+		}},
+		{Name: "person", TextProb: 1, TextLen: 18},
+		{Name: "byttl", TextProb: 1, TextLen: 20},
+		{Name: "dateline", Children: []Particle{
+			{Name: "location", Min: 1, Max: 1, Prob: 1},
+			{Name: "story.date", Min: 1, Max: 1, Prob: 1},
+		}},
+		{Name: "location", TextProb: 1, TextLen: 16},
+		{Name: "story.date", TextProb: 1, TextLen: 10},
+		{Name: "abstract", Children: []Particle{
+			{Name: "p", Min: 1, Max: 2, Prob: 1},
+		}},
+
+		{Name: "body.content", Children: []Particle{
+			{Name: "block", Min: 2, Max: 6, Prob: 1},
+		}},
+		// block is the recursive workhorse: paragraphs plus optional media,
+		// tables and nested block quotes.
+		{Name: "block", Children: []Particle{
+			{Name: "p", Min: 1, Max: 6, Prob: 1},
+			{Name: "media", Min: 0, Max: 2, Prob: 0.4},
+			{Name: "table", Min: 0, Max: 1, Prob: 0.2},
+			{Name: "bq", Min: 0, Max: 1, Prob: 0.25},
+			{Name: "note", Min: 0, Max: 1, Prob: 0.2},
+			{Name: "hl2", Min: 0, Max: 1, Prob: 0.3},
+		}},
+		{Name: "p", TextProb: 1, TextLen: 160},
+		{Name: "media", Children: []Particle{
+			{Name: "media-reference", Min: 1, Max: 1, Prob: 1},
+			{Name: "media-caption", Min: 0, Max: 1, Prob: 0.8},
+			{Name: "media-producer", Min: 0, Max: 1, Prob: 0.4},
+		}},
+		{Name: "media-reference", TextProb: 1, TextLen: 30},
+		{Name: "media-caption", TextProb: 1, TextLen: 60},
+		{Name: "media-producer", TextProb: 1, TextLen: 20},
+		{Name: "table", Children: []Particle{
+			{Name: "tr", Min: 2, Max: 5, Prob: 1},
+		}},
+		{Name: "tr", Children: []Particle{
+			{Name: "td", Min: 2, Max: 4, Prob: 1},
+		}},
+		{Name: "td", TextProb: 1, TextLen: 12},
+		{Name: "bq", Children: []Particle{
+			{Name: "block", Min: 1, Max: 1, Prob: 1},
+			{Name: "credit", Min: 0, Max: 1, Prob: 0.5},
+		}},
+		{Name: "credit", TextProb: 1, TextLen: 20},
+		{Name: "note", Children: []Particle{
+			{Name: "body.content", Min: 1, Max: 1, Prob: 1},
+		}},
+
+		{Name: "body.end", Children: []Particle{
+			{Name: "tagline", Min: 0, Max: 1, Prob: 0.7},
+			{Name: "bibliography", Min: 0, Max: 1, Prob: 0.3},
+		}},
+		{Name: "tagline", TextProb: 1, TextLen: 24},
+		{Name: "bibliography", TextProb: 1, TextLen: 60},
+	})
+}
+
+// NASA returns a schema modelled after the NASA astronomy XML dataset the
+// paper uses as its second document set: per-dataset metadata with reference
+// chains, field tables and ingest history.
+func NASA() *Schema {
+	return build("nasa", "dataset", []*Element{
+		{Name: "dataset", Children: []Particle{
+			{Name: "title", Min: 1, Max: 1, Prob: 1},
+			{Name: "altname", Min: 0, Max: 3, Prob: 0.6},
+			{Name: "reference", Min: 1, Max: 3, Prob: 1},
+			{Name: "keywords", Min: 0, Max: 1, Prob: 0.8},
+			{Name: "descriptions", Min: 1, Max: 1, Prob: 1},
+			{Name: "tableHead", Min: 1, Max: 1, Prob: 1},
+			{Name: "history", Min: 1, Max: 1, Prob: 1},
+			{Name: "identifier", Min: 1, Max: 1, Prob: 1},
+		}},
+		{Name: "title", TextProb: 1, TextLen: 50},
+		{Name: "altname", TextProb: 1, TextLen: 20},
+		{Name: "identifier", TextProb: 1, TextLen: 14},
+
+		{Name: "reference", Children: []Particle{
+			{Name: "source", Min: 1, Max: 1, Prob: 1},
+			{Name: "related", Min: 0, Max: 2, Prob: 0.3},
+		}},
+		{Name: "source", Children: []Particle{
+			{Name: "other", Min: 0, Max: 1, Prob: 0.5},
+			{Name: "journal", Min: 0, Max: 1, Prob: 0.6},
+		}},
+		{Name: "other", Children: []Particle{
+			{Name: "title", Min: 1, Max: 1, Prob: 1},
+			{Name: "author", Min: 1, Max: 3, Prob: 1},
+			{Name: "name", Min: 0, Max: 1, Prob: 0.5},
+		}},
+		{Name: "journal", Children: []Particle{
+			{Name: "title", Min: 1, Max: 1, Prob: 1},
+			{Name: "author", Min: 1, Max: 4, Prob: 1},
+			{Name: "volume", Min: 0, Max: 1, Prob: 0.8},
+		}},
+		{Name: "author", Children: []Particle{
+			{Name: "lastName", Min: 1, Max: 1, Prob: 1},
+			{Name: "initial", Min: 0, Max: 2, Prob: 0.8},
+		}},
+		{Name: "lastName", TextProb: 1, TextLen: 12},
+		{Name: "initial", TextProb: 1, TextLen: 2},
+		{Name: "name", TextProb: 1, TextLen: 20},
+		{Name: "volume", TextProb: 1, TextLen: 4},
+		{Name: "related", TextProb: 1, TextLen: 30},
+
+		{Name: "keywords", Children: []Particle{
+			{Name: "keyword", Min: 1, Max: 8, Prob: 1},
+		}},
+		{Name: "keyword", TextProb: 1, TextLen: 12},
+
+		{Name: "descriptions", Children: []Particle{
+			{Name: "description", Min: 1, Max: 2, Prob: 1},
+			{Name: "details", Min: 0, Max: 1, Prob: 0.5},
+		}},
+		{Name: "description", Children: []Particle{
+			{Name: "para", Min: 1, Max: 6, Prob: 1},
+		}},
+		{Name: "para", TextProb: 1, TextLen: 200},
+		{Name: "details", Children: []Particle{
+			{Name: "para", Min: 1, Max: 3, Prob: 1},
+		}},
+
+		{Name: "tableHead", Children: []Particle{
+			{Name: "tableLinks", Min: 0, Max: 1, Prob: 0.7},
+			{Name: "fields", Min: 1, Max: 1, Prob: 1},
+		}},
+		{Name: "tableLinks", Children: []Particle{
+			{Name: "tableLink", Min: 1, Max: 4, Prob: 1},
+		}},
+		{Name: "tableLink", TextProb: 1, TextLen: 24},
+		{Name: "fields", Children: []Particle{
+			{Name: "field", Min: 2, Max: 10, Prob: 1},
+		}},
+		{Name: "field", Children: []Particle{
+			{Name: "name", Min: 1, Max: 1, Prob: 1},
+			{Name: "definition", Min: 0, Max: 1, Prob: 0.8},
+			{Name: "units", Min: 0, Max: 1, Prob: 0.5},
+		}},
+		{Name: "definition", TextProb: 1, TextLen: 40},
+		{Name: "units", TextProb: 1, TextLen: 8},
+
+		{Name: "history", Children: []Particle{
+			{Name: "ingest", Min: 1, Max: 2, Prob: 1},
+			{Name: "revision", Min: 0, Max: 3, Prob: 0.5},
+		}},
+		{Name: "ingest", Children: []Particle{
+			{Name: "creator", Min: 1, Max: 1, Prob: 1},
+			{Name: "date", Min: 1, Max: 1, Prob: 1},
+		}},
+		{Name: "creator", Children: []Particle{
+			{Name: "lastName", Min: 1, Max: 1, Prob: 1},
+		}},
+		{Name: "revision", Children: []Particle{
+			{Name: "date", Min: 1, Max: 1, Prob: 1},
+			{Name: "description", Min: 0, Max: 1, Prob: 0.5},
+		}},
+		{Name: "date", Children: []Particle{
+			{Name: "year", Min: 1, Max: 1, Prob: 1},
+			{Name: "month", Min: 1, Max: 1, Prob: 1},
+			{Name: "day", Min: 1, Max: 1, Prob: 1},
+		}},
+		{Name: "year", TextProb: 1, TextLen: 4},
+		{Name: "month", TextProb: 1, TextLen: 2},
+		{Name: "day", TextProb: 1, TextLen: 2},
+	})
+}
+
+// ByName returns a built-in schema by name ("nitf" or "nasa"), or nil.
+func ByName(name string) *Schema {
+	switch name {
+	case "nitf":
+		return NITF()
+	case "nasa":
+		return NASA()
+	default:
+		return nil
+	}
+}

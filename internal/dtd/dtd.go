@@ -1,0 +1,140 @@
+// Package dtd models the part of a document type definition that matters for
+// synthetic XML generation: which elements exist, which children each element
+// may contain (with occurrence bounds and inclusion probabilities), and how
+// much character data an element typically carries.
+//
+// It stands in for the DTDs fed to the IBM XML Generator in the paper's
+// evaluation (News Industry Text Format, and the NASA astronomy dataset). The
+// air index only depends on the label-path distribution of the generated
+// documents, which these schemas mirror.
+package dtd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Particle is one candidate child of an element.
+type Particle struct {
+	// Name of the child element. Must be declared in the schema.
+	Name string
+	// Min and Max bound how many instances are generated when the particle
+	// is included. Max must be >= Min >= 0.
+	Min, Max int
+	// Prob is the probability that the particle is included at all.
+	// 1 means mandatory.
+	Prob float64
+}
+
+// Element declares one element type.
+type Element struct {
+	// Name is the element label.
+	Name string
+	// Children are the candidate child particles, generated in order.
+	Children []Particle
+	// TextProb is the probability a generated instance carries character
+	// data (only meaningful for elements that may be leaves).
+	TextProb float64
+	// TextLen is the mean character-data length in bytes.
+	TextLen int
+}
+
+// Schema is a set of element declarations with a designated root.
+type Schema struct {
+	// Name identifies the schema (e.g. "nitf").
+	Name string
+	// Root is the document element label.
+	Root string
+	// Elements maps label to declaration.
+	Elements map[string]*Element
+}
+
+// Validate checks internal consistency: the root is declared, every particle
+// references a declared element, and occurrence bounds are sane.
+func (s *Schema) Validate() error {
+	if s.Root == "" {
+		return fmt.Errorf("dtd: schema %q has no root", s.Name)
+	}
+	if _, ok := s.Elements[s.Root]; !ok {
+		return fmt.Errorf("dtd: schema %q root %q not declared", s.Name, s.Root)
+	}
+	for name, el := range s.Elements {
+		if el.Name != name {
+			return fmt.Errorf("dtd: schema %q element %q declared under key %q", s.Name, el.Name, name)
+		}
+		for _, p := range el.Children {
+			if _, ok := s.Elements[p.Name]; !ok {
+				return fmt.Errorf("dtd: schema %q element %q references undeclared child %q", s.Name, name, p.Name)
+			}
+			if p.Min < 0 || p.Max < p.Min {
+				return fmt.Errorf("dtd: schema %q element %q child %q has bad occurrence [%d,%d]", s.Name, name, p.Name, p.Min, p.Max)
+			}
+			if p.Prob < 0 || p.Prob > 1 {
+				return fmt.Errorf("dtd: schema %q element %q child %q has bad probability %g", s.Name, name, p.Name, p.Prob)
+			}
+		}
+		if el.TextProb < 0 || el.TextProb > 1 {
+			return fmt.Errorf("dtd: schema %q element %q has bad text probability %g", s.Name, name, el.TextProb)
+		}
+	}
+	return nil
+}
+
+// Labels returns the sorted element labels of the schema.
+func (s *Schema) Labels() []string {
+	labels := make([]string, 0, len(s.Elements))
+	for l := range s.Elements {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// IsRecursive reports whether any element can (transitively) contain itself.
+// Generators must enforce a depth cap for recursive schemas.
+func (s *Schema) IsRecursive() bool {
+	// Colour-based DFS cycle detection over the child graph.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make(map[string]int, len(s.Elements))
+	var visit func(string) bool
+	visit = func(name string) bool {
+		colour[name] = grey
+		for _, p := range s.Elements[name].Children {
+			switch colour[p.Name] {
+			case grey:
+				return true
+			case white:
+				if visit(p.Name) {
+					return true
+				}
+			}
+		}
+		colour[name] = black
+		return false
+	}
+	for name := range s.Elements {
+		if colour[name] == white && visit(name) {
+			return true
+		}
+	}
+	return false
+}
+
+// build assembles a schema from a list of elements, panicking on an invalid
+// definition. It is used only for the package's built-in schemas, which are
+// validated by tests; user-defined schemas should call Validate directly.
+func build(name, root string, els []*Element) *Schema {
+	m := make(map[string]*Element, len(els))
+	for _, el := range els {
+		m[el.Name] = el
+	}
+	s := &Schema{Name: name, Root: root, Elements: m}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}

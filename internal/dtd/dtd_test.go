@@ -1,0 +1,117 @@
+package dtd
+
+import "testing"
+
+func TestBuiltinSchemasValidate(t *testing.T) {
+	for _, name := range []string{"nitf", "nasa"} {
+		t.Run(name, func(t *testing.T) {
+			s := ByName(name)
+			if s == nil {
+				t.Fatalf("ByName(%q) = nil", name)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if s.Name != name {
+				t.Errorf("Name = %q, want %q", s.Name, name)
+			}
+		})
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if s := ByName("unknown"); s != nil {
+		t.Errorf("ByName(unknown) = %v, want nil", s)
+	}
+}
+
+func TestNITFIsRecursive(t *testing.T) {
+	if !NITF().IsRecursive() {
+		t.Error("NITF schema should be recursive (block -> bq -> block)")
+	}
+}
+
+func TestNASAIsNotRecursive(t *testing.T) {
+	if NASA().IsRecursive() {
+		t.Error("NASA schema should not be recursive")
+	}
+}
+
+func TestLabelsSortedAndComplete(t *testing.T) {
+	s := NITF()
+	labels := s.Labels()
+	if len(labels) != len(s.Elements) {
+		t.Fatalf("Labels() has %d entries, want %d", len(labels), len(s.Elements))
+	}
+	for i := 1; i < len(labels); i++ {
+		if labels[i-1] >= labels[i] {
+			t.Fatalf("Labels() not strictly sorted at %d: %q >= %q", i, labels[i-1], labels[i])
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give *Schema
+	}{
+		{
+			name: "no root",
+			give: &Schema{Name: "x", Elements: map[string]*Element{}},
+		},
+		{
+			name: "undeclared root",
+			give: &Schema{Name: "x", Root: "a", Elements: map[string]*Element{}},
+		},
+		{
+			name: "undeclared child",
+			give: &Schema{Name: "x", Root: "a", Elements: map[string]*Element{
+				"a": {Name: "a", Children: []Particle{{Name: "b", Min: 1, Max: 1, Prob: 1}}},
+			}},
+		},
+		{
+			name: "bad occurrence",
+			give: &Schema{Name: "x", Root: "a", Elements: map[string]*Element{
+				"a": {Name: "a", Children: []Particle{{Name: "a", Min: 2, Max: 1, Prob: 1}}},
+			}},
+		},
+		{
+			name: "bad probability",
+			give: &Schema{Name: "x", Root: "a", Elements: map[string]*Element{
+				"a": {Name: "a", Children: []Particle{{Name: "a", Min: 0, Max: 1, Prob: 1.5}}},
+			}},
+		},
+		{
+			name: "bad text probability",
+			give: &Schema{Name: "x", Root: "a", Elements: map[string]*Element{
+				"a": {Name: "a", TextProb: -0.1},
+			}},
+		},
+		{
+			name: "mismatched key",
+			give: &Schema{Name: "x", Root: "a", Elements: map[string]*Element{
+				"a": {Name: "b"},
+			}},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.give.Validate(); err == nil {
+				t.Error("Validate succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestIsRecursiveSimpleCycle(t *testing.T) {
+	s := &Schema{Name: "x", Root: "a", Elements: map[string]*Element{
+		"a": {Name: "a", Children: []Particle{{Name: "b", Min: 0, Max: 1, Prob: 0.5}}},
+		"b": {Name: "b", Children: []Particle{{Name: "a", Min: 0, Max: 1, Prob: 0.5}}},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !s.IsRecursive() {
+		t.Error("IsRecursive() = false, want true")
+	}
+}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Claims checks the paper's headline numbers under the default setup:
+//
+//   - §4.2(1): CI is ~1.5 % of the document set size.
+//   - §4.2(1): PCI saves a substantial fraction of CI (paper: ≥30 % in most
+//     cases, ~90 % of CI's size on average under the default N_Q).
+//   - §4.2(2): the final (two-tier, pruned) index is 0.1 %–0.5 % of the data.
+//   - §4.2(3): a client listens to ~11.8 broadcast cycles per query.
+//
+// The returned table lists claim, paper value and measured value.
+func Claims(cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	coll, err := cfg.documents()
+	if err != nil {
+		return nil, err
+	}
+	ci, err := core.BuildCI(coll, cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := cfg.queries(coll, cfg.NQ, cfg.P, cfg.DQ)
+	if err != nil {
+		return nil, err
+	}
+	pci, _, err := ci.Prune(queries)
+	if err != nil {
+		return nil, err
+	}
+	two, err := cfg.modeRun(broadcast.TwoTierMode, cfg.NQ, cfg.P, cfg.DQ)
+	if err != nil {
+		return nil, err
+	}
+	one, err := cfg.modeRun(broadcast.OneTierMode, cfg.NQ, cfg.P, cfg.DQ)
+	if err != nil {
+		return nil, err
+	}
+
+	data := float64(coll.TotalSize())
+	ciB := float64(ci.Size(core.OneTier))
+	pciB := float64(pci.Size(core.OneTier))
+	firstB := float64(pci.Size(core.FirstTier))
+
+	tbl := &stats.Table{
+		Title:   "Headline claims (paper §4.2 vs measured, default setup)",
+		Columns: []string{"claim", "paper", "measured"},
+	}
+	tbl.AddRow("document set size (bytes)", "~1 MB", coll.TotalSize())
+	tbl.AddRow("CI / data (%)", "~1.5", 100*ciB/data)
+	tbl.AddRow("PCI / CI (%)", "~90 at default N_Q", 100*pciB/ciB)
+	tbl.AddRow("two-tier first tier / data (%)", "0.1–0.5", 100*firstB/data)
+	tbl.AddRow("cycles listened per query", "11.8", two.MeanCyclesListened())
+	tbl.AddRow("index tuning, one-tier (bytes)", "(Fig. 11)", one.MeanIndexTuningBytes())
+	tbl.AddRow("index tuning, two-tier (bytes)", "(Fig. 11, lower+stable)", two.MeanIndexTuningBytes())
+	tbl.AddRow("tuning ratio one/two", ">1", one.MeanIndexTuningBytes()/two.MeanIndexTuningBytes())
+	tbl.AddRow("mean cycle length (bytes)", "~100 KB", two.MeanCycleBytes())
+	return tbl, nil
+}

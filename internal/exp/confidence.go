@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/broadcast"
+	"repro/internal/stats"
+)
+
+// Fig11Confidence repeats the Fig. 11 tuning-time measurement across
+// independent workload seeds and reports mean ± standard deviation, giving
+// the paper's single-run curves error bars. Used by the fig11-confidence
+// experiment with 5 repeats over the N_Q sweep.
+func Fig11Confidence(cfg Config, param Param, values []float64, repeats int) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	if values == nil {
+		values = DefaultSweep(param)
+	}
+	if repeats <= 0 {
+		repeats = 5
+	}
+	tbl := &stats.Table{
+		Title: fmt.Sprintf("Fig. 11 with error bars — tuning time vs %s over %d seeds (bytes)", param, repeats),
+		Columns: []string{param.String(), "one-tier mean", "one-tier sd",
+			"two-tier mean", "two-tier sd", "ratio of means"},
+	}
+	for _, v := range values {
+		nq, p, dq, err := cfg.workloadAt(param, v)
+		if err != nil {
+			return nil, err
+		}
+		var oneTT, twoTT []float64
+		for r := 0; r < repeats; r++ {
+			c := cfg
+			c.QuerySeed = cfg.QuerySeed + int64(r)*101
+			one, err := c.modeRun(broadcast.OneTierMode, nq, p, dq)
+			if err != nil {
+				return nil, fmt.Errorf("exp: confidence %s=%v seed %d: %w", param, v, r, err)
+			}
+			two, err := c.modeRun(broadcast.TwoTierMode, nq, p, dq)
+			if err != nil {
+				return nil, fmt.Errorf("exp: confidence %s=%v seed %d: %w", param, v, r, err)
+			}
+			oneTT = append(oneTT, one.MeanIndexTuningBytes())
+			twoTT = append(twoTT, two.MeanIndexTuningBytes())
+		}
+		tbl.AddRow(v, stats.Mean(oneTT), stats.Stddev(oneTT),
+			stats.Mean(twoTT), stats.Stddev(twoTT),
+			stats.Mean(oneTT)/stats.Mean(twoTT))
+	}
+	return tbl, nil
+}

@@ -1,0 +1,170 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuerySkew(t *testing.T) {
+	cfg := small()
+	cfg.NQ = 30
+	tbl, err := QuerySkew(cfg, []float64{0, 2.0})
+	if err != nil {
+		t.Fatalf("QuerySkew: %v", err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for r := range tbl.Rows {
+		if ratio := cell(t, tbl.Rows, r, 3); ratio <= 1 {
+			t.Errorf("row %d: two-tier not better under skew (ratio %v)", r, ratio)
+		}
+	}
+}
+
+func TestQuerySkewBadSkew(t *testing.T) {
+	if _, err := QuerySkew(small(), []float64{0.5}); err == nil {
+		t.Error("invalid skew accepted")
+	}
+}
+
+func TestChannelLoss(t *testing.T) {
+	cfg := small()
+	cfg.NQ = 20
+	tbl, err := ChannelLoss(cfg, []float64{0, 0.2})
+	if err != nil {
+		t.Fatalf("ChannelLoss: %v", err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Loss strictly inflates access time for both protocols.
+	if !(cell(t, tbl.Rows, 1, 4) > cell(t, tbl.Rows, 0, 4)) {
+		t.Error("one-tier access did not grow under loss")
+	}
+	if !(cell(t, tbl.Rows, 1, 5) > cell(t, tbl.Rows, 0, 5)) {
+		t.Error("two-tier access did not grow under loss")
+	}
+	// Two-tier stays ahead even on a lossy channel.
+	for r := range tbl.Rows {
+		if ratio := cell(t, tbl.Rows, r, 3); ratio <= 1 {
+			t.Errorf("row %d: ratio %v", r, ratio)
+		}
+	}
+}
+
+func TestChannelLossBadProb(t *testing.T) {
+	if _, err := ChannelLoss(small(), []float64{1.5}); err == nil {
+		t.Error("invalid loss probability accepted")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	cfg := small()
+	cfg.NQ = 20
+	tbl, err := Energy(cfg)
+	if err != nil {
+		t.Fatalf("Energy: %v", err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	one := cell(t, tbl.Rows, 0, 3)
+	two := cell(t, tbl.Rows, 1, 3)
+	if !(two < one) {
+		t.Errorf("two-tier energy %v not below one-tier %v", two, one)
+	}
+}
+
+func TestBaselinePerDocument(t *testing.T) {
+	cfg := small()
+	cfg.NQ = 20
+	tbl, err := BaselinePerDocument(cfg)
+	if err != nil {
+		t.Fatalf("BaselinePerDocument: %v", err)
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "per-document") {
+		t.Error("baseline table malformed")
+	}
+	// The per-document organisation's index overhead is an order of
+	// magnitude above the two-tier PCI (paper footnote 1).
+	perDoc := cell(t, tbl.Rows, 1, 2)
+	twoTier := cell(t, tbl.Rows, 1, 3)
+	if perDoc < 5*twoTier {
+		t.Errorf("per-document overhead %v%% not far above two-tier %v%%", perDoc, twoTier)
+	}
+	// Index tuning: per-document far above two-tier.
+	if cell(t, tbl.Rows, 2, 2) <= cell(t, tbl.Rows, 2, 3) {
+		t.Error("per-document index tuning not worse than two-tier")
+	}
+	// Total tuning ranks as the paper argues: exhaustive listening (no
+	// index) is the worst.
+	noIndex := cell(t, tbl.Rows, 3, 1)
+	twoTT := cell(t, tbl.Rows, 3, 3)
+	if noIndex <= twoTT {
+		t.Error("exhaustive listening not worse than two-tier")
+	}
+}
+
+func TestSchemaCompare(t *testing.T) {
+	cfg := small()
+	cfg.NQ = 20
+	tbl, err := SchemaCompare(cfg)
+	if err != nil {
+		t.Fatalf("SchemaCompare: %v", err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	// The finding must be "pretty much the same": two-tier wins on both
+	// document sets.
+	for r := range tbl.Rows {
+		if ratio := cell(t, tbl.Rows, r, 6); ratio <= 1 {
+			t.Errorf("%s: two-tier not better (ratio %v)", tbl.Rows[r][0], ratio)
+		}
+	}
+}
+
+func TestFig11Confidence(t *testing.T) {
+	cfg := small()
+	cfg.NQ = 20
+	tbl, err := Fig11Confidence(cfg, ParamNQ, []float64{10, 20}, 2)
+	if err != nil {
+		t.Fatalf("Fig11Confidence: %v", err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for r := range tbl.Rows {
+		if ratio := cell(t, tbl.Rows, r, 5); ratio <= 1 {
+			t.Errorf("row %d: ratio of means %v", r, ratio)
+		}
+		if sd := cell(t, tbl.Rows, r, 2); sd < 0 {
+			t.Errorf("row %d: negative sd", r)
+		}
+	}
+}
+
+func TestFig11ConfidenceBadParam(t *testing.T) {
+	if _, err := Fig11Confidence(small(), Param(99), []float64{5}, 1); err == nil {
+		t.Error("bad param accepted")
+	}
+}
+
+func TestArrivalPattern(t *testing.T) {
+	cfg := small()
+	cfg.NQ = 20
+	tbl, err := ArrivalPattern(cfg)
+	if err != nil {
+		t.Fatalf("ArrivalPattern: %v", err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	for r := range tbl.Rows {
+		if ratio := cell(t, tbl.Rows, r, 3); ratio <= 1 {
+			t.Errorf("%s arrivals: two-tier not better (ratio %v)", tbl.Rows[r][0], ratio)
+		}
+	}
+}

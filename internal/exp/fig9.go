@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/yfilter"
+)
+
+// Fig9 reproduces Fig. 9(a/b/c): the index size of CI vs PCI as one workload
+// parameter sweeps. Sizes are logical one-tier bytes (the structure under
+// comparison predates the two-tier split). The CI column is constant by
+// construction — the CI depends only on the document set (§4.2: "CI is built
+// on the document set which is independent of the query number"); only the
+// PCI responds to the workload. If values is nil the paper's sweep is used.
+func Fig9(cfg Config, param Param, values []float64) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	if values == nil {
+		values = DefaultSweep(param)
+	}
+	coll, err := cfg.documents()
+	if err != nil {
+		return nil, err
+	}
+	ci, err := core.BuildCI(coll, cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	dataSize := float64(coll.TotalSize())
+	ciSize := float64(ci.Size(core.OneTier))
+
+	tbl := &stats.Table{
+		Title: fmt.Sprintf("Fig. 9 — index size vs %s (CI vs PCI, bytes; data=%d bytes)", param, coll.TotalSize()),
+		Columns: []string{param.String(), "CI(B)", "PCI(B)", "PCI/CI(%)", "CI/data(%)", "PCI/data(%)",
+			"nodesCI", "nodesPCI", "docsReq", "docs/query"},
+	}
+	for _, v := range values {
+		nq, p, dq, err := cfg.workloadAt(param, v)
+		if err != nil {
+			return nil, err
+		}
+		queries, err := cfg.queries(coll, nq, p, dq)
+		if err != nil {
+			return nil, err
+		}
+		pci, st, err := ci.Prune(queries)
+		if err != nil {
+			return nil, err
+		}
+		// Per-query selectivity: the mean result-set size. The paper's D_Q
+		// narrative ("a larger D_Q implies a smaller query selectivity")
+		// is about this quantity.
+		perQuery := yfilter.New(queries).Filter(coll)
+		meanResult := 0.0
+		for _, docs := range perQuery {
+			meanResult += float64(len(docs))
+		}
+		meanResult /= float64(len(perQuery))
+		pciSize := float64(pci.Size(core.OneTier))
+		tbl.AddRow(v, ciSize, pciSize,
+			100*pciSize/ciSize,
+			100*ciSize/dataSize,
+			100*pciSize/dataSize,
+			st.NodesBefore, st.NodesAfter, st.DocsRequested, meanResult)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,56 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/xpath"
+)
+
+// TestQueriesCommonRandomNumbers verifies the sweep property the experiment
+// harness relies on: with a fixed seed, raising P only relaxes steps — the
+// query sets at P1 < P2 are pointwise related (same shape, P2's steps are a
+// superset of P1's relaxations), so every match set grows monotonically.
+func TestQueriesCommonRandomNumbers(t *testing.T) {
+	c, err := Documents(DocConfig{Schema: dtd.NITF(), NumDocs: 10, Seed: 42})
+	if err != nil {
+		t.Fatalf("Documents: %v", err)
+	}
+	gen := func(p float64) []xpath.Path {
+		qs, err := Queries(c, QueryConfig{NumQueries: 80, MaxDepth: 5, WildcardProb: p, Seed: 9})
+		if err != nil {
+			t.Fatalf("Queries(P=%v): %v", p, err)
+		}
+		return qs
+	}
+	low := gen(0.1)
+	high := gen(0.4)
+	if len(low) != len(high) {
+		t.Fatalf("query counts differ: %d vs %d", len(low), len(high))
+	}
+	for i := range low {
+		if len(low[i].Steps) != len(high[i].Steps) {
+			t.Fatalf("query %d: depths differ (%s vs %s)", i, low[i], high[i])
+		}
+		for s := range low[i].Steps {
+			ls, hs := low[i].Steps[s], high[i].Steps[s]
+			lRelaxed := ls.Label == xpath.Wildcard || ls.Axis == xpath.Descendant
+			hRelaxed := hs.Label == xpath.Wildcard || hs.Axis == xpath.Descendant
+			if lRelaxed && !hRelaxed {
+				t.Fatalf("query %d step %d: relaxed at P=0.1 but not at P=0.4 (%s vs %s)", i, s, low[i], high[i])
+			}
+			if lRelaxed && hRelaxed && ls != hs {
+				t.Fatalf("query %d step %d: relaxation kind changed (%s vs %s)", i, s, low[i], high[i])
+			}
+			if !lRelaxed && !hRelaxed && ls != hs {
+				t.Fatalf("query %d step %d: unrelaxed steps differ (%s vs %s)", i, s, low[i], high[i])
+			}
+		}
+		// Consequence: the match set can only grow.
+		lowDocs := low[i].MatchingDocs(c)
+		highDocs := high[i].MatchingDocs(c)
+		if len(highDocs) < len(lowDocs) {
+			t.Fatalf("query %d: match set shrank with P (%d -> %d)", i, len(lowDocs), len(highDocs))
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package gen produces the synthetic workloads of the paper's evaluation:
+// schema-driven random XML documents (standing in for the IBM XML Generator
+// over the NITF and NASA DTDs) and random simple-XPath queries with a
+// configurable wildcard probability P and maximum depth D_Q (standing in for
+// the modified YFilter query generator). All generation is deterministic for
+// a given seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dtd"
+	"repro/internal/xmldoc"
+)
+
+// DocConfig controls document generation.
+type DocConfig struct {
+	// Schema drives the element structure. Required.
+	Schema *dtd.Schema
+	// NumDocs is how many documents to generate. Required (> 0).
+	NumDocs int
+	// MaxDepth caps the element depth of generated trees; elements at the
+	// cap are emitted as leaves. This bounds recursive schemas. Default 12.
+	MaxDepth int
+	// TextScale multiplies every element's mean text length, scaling the
+	// byte size of documents without changing their path structure.
+	// Default 1.0.
+	TextScale float64
+	// FirstID is the DocID assigned to the first document; subsequent
+	// documents get consecutive IDs. Default 1.
+	FirstID xmldoc.DocID
+	// Seed seeds the deterministic random source. A zero seed is valid and
+	// distinct from seed 1.
+	Seed int64
+}
+
+func (c *DocConfig) applyDefaults() {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 12
+	}
+	if c.TextScale == 0 {
+		c.TextScale = 1
+	}
+	if c.FirstID == 0 {
+		c.FirstID = 1
+	}
+}
+
+// Documents generates a document collection according to cfg.
+func Documents(cfg DocConfig) (*xmldoc.Collection, error) {
+	cfg.applyDefaults()
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("gen: DocConfig.Schema is required")
+	}
+	if err := cfg.Schema.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: %w", err)
+	}
+	if cfg.NumDocs <= 0 {
+		return nil, fmt.Errorf("gen: DocConfig.NumDocs must be positive, got %d", cfg.NumDocs)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	docs := make([]*xmldoc.Document, 0, cfg.NumDocs)
+	g := &docGen{schema: cfg.Schema, r: r, maxDepth: cfg.MaxDepth, textScale: cfg.TextScale}
+	for i := 0; i < cfg.NumDocs; i++ {
+		root := g.element(cfg.Schema.Root, 1)
+		docs = append(docs, xmldoc.NewDocument(cfg.FirstID+xmldoc.DocID(i), root))
+	}
+	return xmldoc.NewCollection(docs)
+}
+
+type docGen struct {
+	schema    *dtd.Schema
+	r         *rand.Rand
+	maxDepth  int
+	textScale float64
+}
+
+func (g *docGen) element(name string, depth int) *xmldoc.Node {
+	decl := g.schema.Elements[name]
+	n := &xmldoc.Node{Label: name}
+	if depth < g.maxDepth {
+		for _, p := range decl.Children {
+			if p.Prob < 1 && g.r.Float64() >= p.Prob {
+				continue
+			}
+			count := p.Min
+			if p.Max > p.Min {
+				count += g.r.Intn(p.Max - p.Min + 1)
+			}
+			for i := 0; i < count; i++ {
+				n.Children = append(n.Children, g.element(p.Name, depth+1))
+			}
+		}
+	}
+	if decl.TextProb > 0 && g.r.Float64() < decl.TextProb {
+		n.Text = g.text(int(float64(decl.TextLen) * g.textScale))
+	}
+	return n
+}
+
+// loremWords provides filler character data; content is irrelevant to the
+// index, only byte volume matters.
+var loremWords = strings.Fields(
+	"lorem ipsum dolor sit amet consectetur adipiscing elit sed do eiusmod " +
+		"tempor incididunt ut labore et dolore magna aliqua enim ad minim veniam " +
+		"quis nostrud exercitation ullamco laboris nisi aliquip ex ea commodo")
+
+func (g *docGen) text(meanLen int) string {
+	if meanLen <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.Grow(meanLen + 12)
+	for b.Len() < meanLen {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(loremWords[g.r.Intn(len(loremWords))])
+	}
+	return b.String()
+}

@@ -1,0 +1,316 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dtd"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+func TestDocumentsDeterministic(t *testing.T) {
+	cfg := DocConfig{Schema: dtd.NITF(), NumDocs: 5, Seed: 7}
+	a, err := Documents(cfg)
+	if err != nil {
+		t.Fatalf("Documents: %v", err)
+	}
+	b, err := Documents(cfg)
+	if err != nil {
+		t.Fatalf("Documents: %v", err)
+	}
+	if a.TotalSize() != b.TotalSize() {
+		t.Errorf("same seed produced different sizes: %d vs %d", a.TotalSize(), b.TotalSize())
+	}
+	for i := range a.Docs() {
+		if string(a.Docs()[i].Marshal()) != string(b.Docs()[i].Marshal()) {
+			t.Fatalf("doc %d differs between identical runs", i)
+		}
+	}
+	c, err := Documents(DocConfig{Schema: dtd.NITF(), NumDocs: 5, Seed: 8})
+	if err != nil {
+		t.Fatalf("Documents: %v", err)
+	}
+	if string(a.Docs()[0].Marshal()) == string(c.Docs()[0].Marshal()) {
+		t.Error("different seeds produced identical first documents")
+	}
+}
+
+func TestDocumentsShape(t *testing.T) {
+	for _, schema := range []*dtd.Schema{dtd.NITF(), dtd.NASA()} {
+		t.Run(schema.Name, func(t *testing.T) {
+			c, err := Documents(DocConfig{Schema: schema, NumDocs: 20, Seed: 1})
+			if err != nil {
+				t.Fatalf("Documents: %v", err)
+			}
+			if c.Len() != 20 {
+				t.Fatalf("Len() = %d, want 20", c.Len())
+			}
+			declared := make(map[string]bool)
+			for _, l := range schema.Labels() {
+				declared[l] = true
+			}
+			for _, d := range c.Docs() {
+				if d.Root.Label != schema.Root {
+					t.Fatalf("doc %d root = %q, want %q", d.ID, d.Root.Label, schema.Root)
+				}
+				for _, l := range d.Labels() {
+					if !declared[l] {
+						t.Fatalf("doc %d has undeclared label %q", d.ID, l)
+					}
+				}
+				if d.Size() < 100 {
+					t.Errorf("doc %d suspiciously small: %d bytes", d.ID, d.Size())
+				}
+			}
+		})
+	}
+}
+
+func TestDocumentsDepthCap(t *testing.T) {
+	c, err := Documents(DocConfig{Schema: dtd.NITF(), NumDocs: 30, MaxDepth: 6, Seed: 3})
+	if err != nil {
+		t.Fatalf("Documents: %v", err)
+	}
+	for _, d := range c.Docs() {
+		if depth := d.Root.Depth(); depth > 6 {
+			t.Fatalf("doc %d depth %d exceeds cap 6", d.ID, depth)
+		}
+	}
+}
+
+func TestDocumentsTextScale(t *testing.T) {
+	small, err := Documents(DocConfig{Schema: dtd.NITF(), NumDocs: 10, Seed: 1, TextScale: 0.5})
+	if err != nil {
+		t.Fatalf("Documents: %v", err)
+	}
+	large, err := Documents(DocConfig{Schema: dtd.NITF(), NumDocs: 10, Seed: 1, TextScale: 4})
+	if err != nil {
+		t.Fatalf("Documents: %v", err)
+	}
+	if large.TotalSize() <= small.TotalSize() {
+		t.Errorf("TextScale did not scale sizes: %d vs %d", large.TotalSize(), small.TotalSize())
+	}
+}
+
+func TestDocumentsErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give DocConfig
+	}{
+		{"nil schema", DocConfig{NumDocs: 1}},
+		{"zero docs", DocConfig{Schema: dtd.NITF()}},
+		{"negative docs", DocConfig{Schema: dtd.NITF(), NumDocs: -2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Documents(tt.give); err == nil {
+				t.Error("Documents succeeded, want error")
+			}
+		})
+	}
+}
+
+func testCollection(t *testing.T) *xmldoc.Collection {
+	t.Helper()
+	c, err := Documents(DocConfig{Schema: dtd.NITF(), NumDocs: 10, Seed: 42})
+	if err != nil {
+		t.Fatalf("Documents: %v", err)
+	}
+	return c
+}
+
+func TestQueriesNonEmptyResults(t *testing.T) {
+	c := testCollection(t)
+	qs, err := Queries(c, QueryConfig{NumQueries: 100, MaxDepth: 5, WildcardProb: 0.3, Seed: 9})
+	if err != nil {
+		t.Fatalf("Queries: %v", err)
+	}
+	if len(qs) != 100 {
+		t.Fatalf("got %d queries, want 100", len(qs))
+	}
+	for _, q := range qs {
+		if len(q.MatchingDocs(c)) == 0 {
+			t.Fatalf("query %s has empty result set", q)
+		}
+	}
+}
+
+func TestQueriesRespectDepth(t *testing.T) {
+	c := testCollection(t)
+	for _, depth := range []int{1, 2, 4, 8} {
+		qs, err := Queries(c, QueryConfig{NumQueries: 50, MaxDepth: depth, Seed: 1})
+		if err != nil {
+			t.Fatalf("Queries: %v", err)
+		}
+		for _, q := range qs {
+			if q.Depth() > depth {
+				t.Fatalf("query %s exceeds depth %d", q, depth)
+			}
+		}
+	}
+}
+
+func TestQueriesWildcardProb(t *testing.T) {
+	c := testCollection(t)
+	exact, err := Queries(c, QueryConfig{NumQueries: 200, MaxDepth: 5, WildcardProb: 0, Seed: 2})
+	if err != nil {
+		t.Fatalf("Queries: %v", err)
+	}
+	for _, q := range exact {
+		if q.HasWildcards() {
+			t.Fatalf("P=0 produced wildcard query %s", q)
+		}
+	}
+	wild, err := Queries(c, QueryConfig{NumQueries: 200, MaxDepth: 5, WildcardProb: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatalf("Queries: %v", err)
+	}
+	count := 0
+	for _, q := range wild {
+		if q.HasWildcards() {
+			count++
+		}
+	}
+	if count == 0 {
+		t.Error("P=0.5 produced no wildcard queries")
+	}
+}
+
+func TestQueriesErrors(t *testing.T) {
+	c := testCollection(t)
+	tests := []struct {
+		name string
+		give QueryConfig
+	}{
+		{"zero queries", QueryConfig{}},
+		{"bad prob", QueryConfig{NumQueries: 1, WildcardProb: 2}},
+		{"bad depth", QueryConfig{NumQueries: 1, MaxDepth: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Queries(c, tt.give); err == nil {
+				t.Error("Queries succeeded, want error")
+			}
+		})
+	}
+	empty, err := xmldoc.NewCollection(nil)
+	if err != nil {
+		t.Fatalf("NewCollection: %v", err)
+	}
+	if _, err := Queries(empty, QueryConfig{NumQueries: 1}); err == nil {
+		t.Error("Queries over empty collection succeeded, want error")
+	}
+}
+
+func TestRequestsUniformAndZipf(t *testing.T) {
+	pool := []xpath.Path{
+		xpath.MustParse("/a"),
+		xpath.MustParse("/b"),
+		xpath.MustParse("/c"),
+		xpath.MustParse("/d"),
+	}
+	uni, err := Requests(pool, WorkloadConfig{NumRequests: 400, Seed: 5})
+	if err != nil {
+		t.Fatalf("Requests: %v", err)
+	}
+	if len(uni) != 400 {
+		t.Fatalf("got %d requests, want 400", len(uni))
+	}
+	zipf, err := Requests(pool, WorkloadConfig{NumRequests: 400, ZipfS: 2.0, Seed: 5})
+	if err != nil {
+		t.Fatalf("Requests: %v", err)
+	}
+	count := func(reqs []xpath.Path, q xpath.Path) int {
+		n := 0
+		for _, r := range reqs {
+			if r.Equal(q) {
+				n++
+			}
+		}
+		return n
+	}
+	// Under Zipf the first pool entry must dominate.
+	if c0 := count(zipf, pool[0]); c0 < 200 {
+		t.Errorf("zipf head count = %d, want >= 200", c0)
+	}
+	// Under uniform it must not.
+	if c0 := count(uni, pool[0]); c0 > 200 {
+		t.Errorf("uniform head count = %d, want < 200", c0)
+	}
+}
+
+func TestRequestsErrors(t *testing.T) {
+	pool := []xpath.Path{xpath.MustParse("/a")}
+	if _, err := Requests(nil, WorkloadConfig{NumRequests: 1}); err == nil {
+		t.Error("empty pool succeeded")
+	}
+	if _, err := Requests(pool, WorkloadConfig{}); err == nil {
+		t.Error("zero requests succeeded")
+	}
+	if _, err := Requests(pool, WorkloadConfig{NumRequests: 1, ZipfS: 0.5}); err == nil {
+		t.Error("bad zipf succeeded")
+	}
+}
+
+// TestQuickQueriesAlwaysSatisfiable is the load-bearing workload invariant:
+// for any seed and wildcard probability, every generated query matches at
+// least one document.
+func TestQuickQueriesAlwaysSatisfiable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	c := testCollection(t)
+	f := func(seed int64, pRaw uint8) bool {
+		p := float64(pRaw%101) / 100
+		qs, err := Queries(c, QueryConfig{NumQueries: 10, MaxDepth: 6, WildcardProb: p, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, q := range qs {
+			if len(q.MatchingDocs(c)) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	a, err := PoissonArrivals(200, 100, 7)
+	if err != nil {
+		t.Fatalf("PoissonArrivals: %v", err)
+	}
+	if len(a) != 200 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("arrivals not monotone at %d", i)
+		}
+	}
+	// Mean gap within a loose band of the requested 100.
+	mean := float64(a[len(a)-1]) / float64(len(a))
+	if mean < 50 || mean > 200 {
+		t.Errorf("mean gap %.1f far from 100", mean)
+	}
+	// Determinism.
+	b, err := PoissonArrivals(200, 100, 7)
+	if err != nil {
+		t.Fatalf("PoissonArrivals: %v", err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	if _, err := PoissonArrivals(0, 100, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := PoissonArrivals(1, 0, 1); err == nil {
+		t.Error("meanGap=0 accepted")
+	}
+}

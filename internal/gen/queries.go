@@ -1,0 +1,187 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// QueryConfig controls query-pool generation, mirroring the paper's
+// parameters P (wildcard probability) and D_Q (maximum query depth).
+type QueryConfig struct {
+	// NumQueries is the pool size. Required (> 0).
+	NumQueries int
+	// MaxDepth is D_Q, the maximum number of location steps. Default 5.
+	MaxDepth int
+	// WildcardProb is P, the per-step probability that the step is relaxed
+	// into a wildcard: half of the relaxations become a `*` node test, the
+	// other half a `//` axis. Default 0 (exact paths).
+	WildcardProb float64
+	// DepthExact makes every query as deep as possible (min of MaxDepth
+	// and the source path's length) instead of drawing the depth uniformly
+	// from [1, MaxDepth]. Deep-only workloads make D_Q a true selectivity
+	// knob: raising it strictly increases average query selectivity, which
+	// is the regime the paper's Fig. 9(c)/11(c) D_Q sweeps describe. Under
+	// the default uniform draw, shallow queries stay in every mix and
+	// dominate the requested-document union.
+	DepthExact bool
+	// Seed seeds the deterministic random source.
+	Seed int64
+}
+
+func (c *QueryConfig) applyDefaults() {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 5
+	}
+}
+
+// Queries generates a pool of queries against the given collection. Each
+// query is derived from an existing label path of some document and then
+// relaxed, so every generated query has a non-empty result set — the paper
+// assumes "the result set for each request is not empty".
+func Queries(c *xmldoc.Collection, cfg QueryConfig) ([]xpath.Path, error) {
+	cfg.applyDefaults()
+	if cfg.NumQueries <= 0 {
+		return nil, fmt.Errorf("gen: QueryConfig.NumQueries must be positive, got %d", cfg.NumQueries)
+	}
+	if cfg.MaxDepth <= 0 {
+		return nil, fmt.Errorf("gen: QueryConfig.MaxDepth must be positive, got %d", cfg.MaxDepth)
+	}
+	if cfg.WildcardProb < 0 || cfg.WildcardProb > 1 {
+		return nil, fmt.Errorf("gen: QueryConfig.WildcardProb must be in [0,1], got %g", cfg.WildcardProb)
+	}
+	if c.Len() == 0 {
+		return nil, fmt.Errorf("gen: cannot generate queries over an empty collection")
+	}
+	// Collect the distinct label paths of the whole collection once; queries
+	// are random truncations of random paths.
+	paths := collectionPaths(c)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("gen: collection has no label paths")
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]xpath.Path, 0, cfg.NumQueries)
+	for len(out) < cfg.NumQueries {
+		base := paths[r.Intn(len(paths))]
+		// The depth roll is drawn unconditionally (common random numbers,
+		// as for the wildcard rolls below).
+		roll := r.Intn(min(len(base), cfg.MaxDepth))
+		depth := 1 + roll
+		if cfg.DepthExact {
+			depth = min(len(base), cfg.MaxDepth)
+		}
+		q := xpath.Path{Steps: make([]xpath.Step, depth)}
+		for i := 0; i < depth; i++ {
+			q.Steps[i] = xpath.Step{Axis: xpath.Child, Label: base[i]}
+			// Common random numbers: the roll and the relaxation kind are
+			// drawn unconditionally so that, for a fixed seed, sweeping P
+			// produces pointwise-relaxed query sets (a step relaxed at
+			// P = p1 stays relaxed, identically, at every P > p1). This
+			// makes index-size curves monotone in P, free of workload
+			// resampling noise.
+			roll := r.Float64()
+			star := r.Intn(2) == 0
+			if roll < cfg.WildcardProb {
+				if star {
+					q.Steps[i].Label = xpath.Wildcard
+				} else {
+					q.Steps[i].Axis = xpath.Descendant
+				}
+			}
+		}
+		// A truncated path always matches the document it came from only if
+		// the truncation itself is a full element path — which it is, since
+		// every prefix of a label path is a label path. Relaxation then only
+		// grows the match set, so q is guaranteed non-empty.
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// collectionPaths returns every distinct label path in the collection as a
+// label slice, in deterministic order.
+func collectionPaths(c *xmldoc.Collection) [][]string {
+	seen := make(map[string][]string)
+	order := make([]string, 0, 64)
+	for _, d := range c.Docs() {
+		for _, key := range d.UniquePaths() {
+			if _, ok := seen[key]; !ok {
+				seen[key] = xmldoc.SplitPathKey(key)
+				order = append(order, key)
+			}
+		}
+	}
+	out := make([][]string, len(order))
+	for i, key := range order {
+		out[i] = seen[key]
+	}
+	return out
+}
+
+// WorkloadConfig controls how client requests are drawn from a query pool.
+type WorkloadConfig struct {
+	// NumRequests is the number of requests to draw. Required (> 0).
+	NumRequests int
+	// ZipfS is the Zipf skew parameter (> 1) over pool ranks; popular
+	// queries are requested by many clients, as in a real broadcast
+	// audience. Zero selects the uniform distribution.
+	ZipfS float64
+	// Seed seeds the deterministic random source.
+	Seed int64
+}
+
+// Requests draws a request workload from the pool. Duplicate requests are
+// expected and meaningful (the paper's example has q2 == q6).
+func Requests(pool []xpath.Path, cfg WorkloadConfig) ([]xpath.Path, error) {
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("gen: empty query pool")
+	}
+	if cfg.NumRequests <= 0 {
+		return nil, fmt.Errorf("gen: WorkloadConfig.NumRequests must be positive, got %d", cfg.NumRequests)
+	}
+	if cfg.ZipfS != 0 && cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("gen: WorkloadConfig.ZipfS must be > 1 (or 0 for uniform), got %g", cfg.ZipfS)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	pick := func() int { return r.Intn(len(pool)) }
+	if cfg.ZipfS != 0 {
+		z := rand.NewZipf(r, cfg.ZipfS, 1, uint64(len(pool)-1))
+		pick = func() int { return int(z.Uint64()) }
+	}
+	out := make([]xpath.Path, cfg.NumRequests)
+	for i := range out {
+		out[i] = pool[pick()]
+	}
+	return out, nil
+}
+
+// PoissonArrivals draws n request arrival times (in broadcast bytes) with
+// exponentially distributed inter-arrival gaps of the given mean — the
+// classic open-system arrival process, as opposed to the evenly spaced
+// arrivals the experiment defaults use. Times are non-decreasing and start
+// at the first gap.
+func PoissonArrivals(n int, meanGap float64, seed int64) ([]int64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: PoissonArrivals needs n > 0, got %d", n)
+	}
+	if meanGap <= 0 {
+		return nil, fmt.Errorf("gen: PoissonArrivals needs meanGap > 0, got %g", meanGap)
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	t := 0.0
+	for i := range out {
+		t += r.ExpFloat64() * meanGap
+		out[i] = int64(t)
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

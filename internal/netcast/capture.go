@@ -1,0 +1,177 @@
+package netcast
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+	"repro/internal/xmldoc"
+)
+
+// captureMagic heads a capture file.
+const captureMagic = "XBCAST1\n"
+
+// Record subscribes to a broadcast address and copies numCycles complete
+// cycles (from cycle head to the last document frame) into w, producing a
+// capture file readable by ReadCapture. It returns the number of cycles
+// written. The context bounds the recording.
+func Record(ctx context.Context, broadcastAddr string, numCycles int, w io.Writer) (int, error) {
+	if numCycles <= 0 {
+		return 0, fmt.Errorf("netcast: numCycles must be positive, got %d", numCycles)
+	}
+	conn, err := net.DialTimeout("tcp", broadcastAddr, 5*time.Second)
+	if err != nil {
+		return 0, fmt.Errorf("netcast: record dial: %w", err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetReadDeadline(deadline)
+	}
+	if _, err := io.WriteString(w, captureMagic); err != nil {
+		return 0, err
+	}
+	var (
+		recorded int
+		inCycle  bool
+	)
+	for recorded < numCycles {
+		if err := ctx.Err(); err != nil {
+			return recorded, err
+		}
+		t, payload, err := readFrame(conn)
+		if err != nil {
+			return recorded, fmt.Errorf("netcast: record read: %w", err)
+		}
+		if t == FrameCycleHead {
+			if inCycle {
+				recorded++
+				if recorded == numCycles {
+					return recorded, nil
+				}
+			}
+			inCycle = true
+		}
+		if !inCycle {
+			continue // wait for a cycle boundary before recording
+		}
+		if err := writeFrame(w, t, payload); err != nil {
+			return recorded, err
+		}
+	}
+	return recorded, nil
+}
+
+// CycleRecord is one captured cycle.
+type CycleRecord struct {
+	// Number is the cycle sequence number from the head.
+	Number uint32
+	// TwoTier reports the broadcast mode.
+	TwoTier bool
+	// IndexSeg is the raw packed index segment.
+	IndexSeg []byte
+	// SecondTierSeg is the raw second-tier segment (two-tier mode only).
+	SecondTierSeg []byte
+	// Docs holds each document frame's payload: 2 ID bytes then XML.
+	Docs [][]byte
+
+	head *cycleHead
+}
+
+// DocID extracts the document ID of a captured document payload.
+func (r *CycleRecord) DocID(i int) xmldoc.DocID {
+	p := r.Docs[i]
+	return xmldoc.DocID(uint16(p[0]) | uint16(p[1])<<8)
+}
+
+// DecodeIndex reconstructs the cycle's air index from the captured bytes.
+func (r *CycleRecord) DecodeIndex(m core.SizeModel) (*core.Index, error) {
+	cat, err := wire.DecodeCatalog(r.head.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	tier := core.OneTier
+	if r.TwoTier {
+		tier = core.FirstTier
+	}
+	ix, _, err := wire.DecodeIndex(r.IndexSeg, m, tier, cat)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.ApplyRootLabels(ix, r.head.RootLabels); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// SecondTier decodes the captured offset list.
+func (r *CycleRecord) SecondTier(m core.SizeModel) ([]wire.SecondTierEntry, error) {
+	if r.SecondTierSeg == nil {
+		return nil, nil
+	}
+	return wire.DecodeSecondTier(r.SecondTierSeg, m)
+}
+
+// ReadCapture parses a capture file into complete cycle records. A trailing
+// partial cycle (recording cut mid-cycle) is dropped.
+func ReadCapture(r io.Reader) ([]CycleRecord, error) {
+	magic := make([]byte, len(captureMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("netcast: capture header: %w", err)
+	}
+	if string(magic) != captureMagic {
+		return nil, fmt.Errorf("netcast: not a capture file")
+	}
+	var (
+		records []CycleRecord
+		cur     *CycleRecord
+	)
+	for {
+		t, payload, err := readFrame(r)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil && errors.Is(err, io.ErrUnexpectedEOF) {
+			break // truncated trailing frame
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case FrameCycleHead:
+			if cur != nil {
+				records = append(records, *cur)
+			}
+			head, err := decodeCycleHead(payload)
+			if err != nil {
+				return nil, err
+			}
+			cur = &CycleRecord{Number: head.Number, TwoTier: head.TwoTier, head: head}
+		case FrameIndex:
+			if cur != nil {
+				cur.IndexSeg = payload
+			}
+		case FrameSecondTier:
+			if cur != nil {
+				cur.SecondTierSeg = payload
+			}
+		case FrameDoc:
+			if cur != nil {
+				if len(payload) < 2 {
+					return nil, fmt.Errorf("netcast: short doc frame in capture")
+				}
+				cur.Docs = append(cur.Docs, payload)
+			}
+		default:
+			return nil, fmt.Errorf("netcast: unexpected frame type %d in capture", t)
+		}
+	}
+	if cur != nil && cur.IndexSeg != nil {
+		records = append(records, *cur)
+	}
+	return records, nil
+}

@@ -1,0 +1,245 @@
+package netcast
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// ClientStats accounts one retrieval, mirroring the simulator's metrics on
+// the real byte stream.
+type ClientStats struct {
+	// TuningBytes counts bytes the client actually downloaded: index
+	// segments, second tiers and matching documents.
+	TuningBytes int64
+	// DozeBytes counts broadcast bytes the client slept through (frames it
+	// skipped without reading their payloads into the protocol).
+	DozeBytes int64
+	// Cycles is the number of cycle heads observed.
+	Cycles int
+}
+
+// Client is a mobile client: an uplink connection for submissions and a
+// downlink subscription to the broadcast stream.
+type Client struct {
+	model core.SizeModel
+	up    net.Conn
+	down  net.Conn
+	// coveredFrom is the first cycle number whose index covers the last
+	// submitted query (from the server's ack); earlier cycles' indexes are
+	// slept through during Retrieve.
+	coveredFrom uint32
+}
+
+// Dial connects to a server's uplink and broadcast addresses.
+func Dial(uplinkAddr, broadcastAddr string, model core.SizeModel) (*Client, error) {
+	if model == (core.SizeModel{}) {
+		model = core.DefaultSizeModel()
+	}
+	up, err := net.DialTimeout("tcp", uplinkAddr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("netcast: dial uplink: %w", err)
+	}
+	down, err := net.DialTimeout("tcp", broadcastAddr, 5*time.Second)
+	if err != nil {
+		up.Close()
+		return nil, fmt.Errorf("netcast: dial broadcast: %w", err)
+	}
+	return &Client{model: model, up: up, down: down}, nil
+}
+
+// Close releases both connections.
+func (c *Client) Close() {
+	c.up.Close()
+	c.down.Close()
+}
+
+// Submit sends one query over the uplink and waits for the server's ack.
+func (c *Client) Submit(q xpath.Path) error {
+	if err := writeFrame(c.up, FrameQuery, []byte(q.String())); err != nil {
+		return fmt.Errorf("netcast: submit: %w", err)
+	}
+	t, payload, err := readFrame(c.up)
+	if err != nil {
+		return fmt.Errorf("netcast: submit ack: %w", err)
+	}
+	if t != FrameAck {
+		return fmt.Errorf("netcast: unexpected ack frame type %d", t)
+	}
+	msg := string(payload)
+	if strings.HasPrefix(msg, "err:") {
+		return fmt.Errorf("netcast: server rejected query: %s", strings.TrimSpace(msg[4:]))
+	}
+	if rest, ok := strings.CutPrefix(msg, "ok:"); ok {
+		n, err := strconv.ParseUint(rest, 10, 32)
+		if err != nil {
+			return fmt.Errorf("netcast: malformed ack %q", msg)
+		}
+		c.coveredFrom = uint32(n)
+		return nil
+	}
+	return fmt.Errorf("netcast: malformed ack %q", msg)
+}
+
+// Retrieve follows the access protocol over the broadcast stream until every
+// result document of q has been received, returning the parsed documents in
+// ID order. The context bounds the wait.
+func (c *Client) Retrieve(ctx context.Context, q xpath.Path) ([]*xmldoc.Document, ClientStats, error) {
+	var (
+		stats     ClientStats
+		nav       = core.NewNavigator(q)
+		knowsDocs bool
+		remaining = make(map[xmldoc.DocID]struct{})
+		inCycle   bool // synchronised to a cycle head
+		twoTier   bool
+		head      *cycleHead
+		wantThis  map[xmldoc.DocID]struct{} // docs to catch this cycle
+		got       = make(map[xmldoc.DocID]*xmldoc.Document)
+	)
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = c.down.SetReadDeadline(deadline)
+		defer c.down.SetReadDeadline(time.Time{})
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		t, payload, err := readFrame(c.down)
+		if err != nil {
+			return nil, stats, fmt.Errorf("netcast: broadcast read: %w", err)
+		}
+		switch t {
+		case FrameCycleHead:
+			head, err = decodeCycleHead(payload)
+			if err != nil {
+				return nil, stats, err
+			}
+			inCycle = true
+			twoTier = head.TwoTier
+			wantThis = nil
+			stats.Cycles++
+		case FrameIndex:
+			if !inCycle {
+				stats.DozeBytes += int64(len(payload))
+				continue
+			}
+			if twoTier && knowsDocs {
+				// Improved protocol: the first tier was already read once.
+				stats.DozeBytes += int64(len(payload))
+				continue
+			}
+			if head.Number < c.coveredFrom {
+				// This cycle's index predates our submission and need not
+				// cover our query; doze until a covering cycle.
+				stats.DozeBytes += int64(len(payload))
+				continue
+			}
+			stats.TuningBytes += int64(len(payload))
+			docs, offs, err := c.decodeAndNavigate(payload, head, nav, twoTier)
+			if err != nil {
+				return nil, stats, err
+			}
+			if !knowsDocs {
+				for _, d := range docs {
+					if _, done := got[d]; !done {
+						remaining[d] = struct{}{}
+					}
+				}
+				knowsDocs = true
+			}
+			if !twoTier {
+				wantThis = make(map[xmldoc.DocID]struct{})
+				for d := range offs {
+					if _, need := remaining[d]; need {
+						wantThis[d] = struct{}{}
+					}
+				}
+			}
+		case FrameSecondTier:
+			if !inCycle || !knowsDocs {
+				stats.DozeBytes += int64(len(payload))
+				continue
+			}
+			stats.TuningBytes += int64(len(payload))
+			entries, err := wire.DecodeSecondTier(payload, c.model)
+			if err != nil {
+				return nil, stats, err
+			}
+			wantThis = make(map[xmldoc.DocID]struct{})
+			for _, e := range entries {
+				if _, need := remaining[e.Doc]; need {
+					wantThis[e.Doc] = struct{}{}
+				}
+			}
+		case FrameDoc:
+			if len(payload) < 2 {
+				return nil, stats, fmt.Errorf("netcast: short doc frame")
+			}
+			id := xmldoc.DocID(binary.LittleEndian.Uint16(payload))
+			if _, want := wantThis[id]; !want {
+				stats.DozeBytes += int64(len(payload))
+				continue
+			}
+			stats.TuningBytes += int64(len(payload) - 2)
+			root, err := xmldoc.Parse(bytes.NewReader(payload[2:]))
+			if err != nil {
+				return nil, stats, fmt.Errorf("netcast: doc %d: %w", id, err)
+			}
+			got[id] = xmldoc.NewDocument(id, root)
+			delete(remaining, id)
+			delete(wantThis, id)
+			if knowsDocs && len(remaining) == 0 {
+				return collect(got), stats, nil
+			}
+		default:
+			return nil, stats, fmt.Errorf("netcast: unexpected frame type %d", t)
+		}
+	}
+}
+
+// decodeAndNavigate decodes an index segment and runs the client's query
+// automaton over it, returning the result doc IDs and (one-tier) offsets.
+func (c *Client) decodeAndNavigate(seg []byte, head *cycleHead, nav *core.Navigator, twoTier bool) ([]xmldoc.DocID, wire.DocOffsets, error) {
+	cat, err := wire.DecodeCatalog(head.Catalog)
+	if err != nil {
+		return nil, nil, err
+	}
+	tier := core.OneTier
+	if twoTier {
+		tier = core.FirstTier
+	}
+	ix, offs, err := wire.DecodeIndex(seg, c.model, tier, cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := wire.ApplyRootLabels(ix, head.RootLabels); err != nil {
+		return nil, nil, err
+	}
+	res := nav.Lookup(ix)
+	return res.Docs, offs, nil
+}
+
+// collect returns the received documents sorted by ID.
+func collect(got map[xmldoc.DocID]*xmldoc.Document) []*xmldoc.Document {
+	ids := make([]int, 0, len(got))
+	for id := range got {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	out := make([]*xmldoc.Document, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, got[xmldoc.DocID(id)])
+	}
+	return out
+}

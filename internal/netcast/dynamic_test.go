@@ -1,0 +1,119 @@
+package netcast
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// TestLiveCollectionUpdate publishes a brand-new document to a running
+// server and checks a client can immediately query and retrieve it — the
+// "fresh story hits the newsroom" flow.
+func TestLiveCollectionUpdate(t *testing.T) {
+	srv, coll := startServer(t, broadcast.TwoTierMode)
+
+	fresh := xmldoc.NewDocument(5000, xmldoc.El("nitf",
+		xmldoc.El("head", xmldoc.El("breaking", xmldoc.El("alert")))))
+	if err := srv.AddDocument(fresh); err != nil {
+		t.Fatalf("AddDocument: %v", err)
+	}
+	if srv.NumDocs() != coll.Len()+1 {
+		t.Errorf("NumDocs = %d", srv.NumDocs())
+	}
+
+	cl, err := Dial(srv.UplinkAddr(), srv.BroadcastAddr(), core.SizeModel{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	q := xpath.MustParse("/nitf/head/breaking/alert")
+	if err := cl.Submit(q); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	docs, _, err := cl.Retrieve(ctx, q)
+	if err != nil {
+		t.Fatalf("Retrieve: %v", err)
+	}
+	if len(docs) != 1 || docs[0].ID != 5000 {
+		t.Fatalf("retrieved %v, want the fresh document", docs)
+	}
+	if docs[0].Root.Child("head").Child("breaking") == nil {
+		t.Error("fresh document content mangled")
+	}
+}
+
+// TestLiveRemovalRejectsQueries retires a document and checks queries only
+// it satisfied are rejected afterwards.
+func TestLiveRemovalRejectsQueries(t *testing.T) {
+	srv, _ := startServer(t, broadcast.TwoTierMode)
+	unique := xmldoc.NewDocument(6000, xmldoc.El("nitf",
+		xmldoc.El("head", xmldoc.El("onlyhere"))))
+	if err := srv.AddDocument(unique); err != nil {
+		t.Fatalf("AddDocument: %v", err)
+	}
+	cl, err := Dial(srv.UplinkAddr(), srv.BroadcastAddr(), core.SizeModel{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	q := xpath.MustParse("/nitf/head/onlyhere")
+	if err := cl.Submit(q); err != nil {
+		t.Fatalf("Submit before removal: %v", err)
+	}
+	if err := srv.RemoveDocument(6000); err != nil {
+		t.Fatalf("RemoveDocument: %v", err)
+	}
+	// The earlier pending request was satisfied-by-removal; the doc count
+	// is back and a fresh submission is rejected as unsatisfiable.
+	if err := cl.Submit(q); err == nil {
+		t.Error("query for a removed document accepted")
+	}
+	if err := srv.RemoveDocument(6000); err == nil {
+		t.Error("double removal succeeded")
+	}
+}
+
+// TestLiveUpdateConsistency hammers add/query/remove cycles and checks the
+// server's index always answers from the current collection.
+func TestLiveUpdateConsistency(t *testing.T) {
+	srv, _ := startServer(t, broadcast.TwoTierMode)
+	cl, err := Dial(srv.UplinkAddr(), srv.BroadcastAddr(), core.SizeModel{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	q := xpath.MustParse("/nitf/head/rotating")
+	var want []xmldoc.DocID
+	for i := 0; i < 5; i++ {
+		id := xmldoc.DocID(7000 + i)
+		doc := xmldoc.NewDocument(id, xmldoc.El("nitf", xmldoc.El("head", xmldoc.El("rotating"))))
+		if err := srv.AddDocument(doc); err != nil {
+			t.Fatalf("AddDocument %d: %v", id, err)
+		}
+		want = append(want, id)
+	}
+	if err := cl.Submit(q); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	docs, _, err := cl.Retrieve(ctx, q)
+	if err != nil {
+		t.Fatalf("Retrieve: %v", err)
+	}
+	got := make([]xmldoc.DocID, len(docs))
+	for i, d := range docs {
+		got[i] = d.ID
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("retrieved %v, want %v", got, want)
+	}
+}

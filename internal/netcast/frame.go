@@ -1,0 +1,149 @@
+// Package netcast runs the paper's system (Fig. 1) over real sockets: a
+// broadcast server with a TCP uplink for XPath requests and a TCP downlink
+// that streams broadcast cycles — cycle head, air index (in the wire
+// format), second-tier offset list and documents — to every subscriber.
+// Clients implement the §3.4 access protocols against the decoded byte
+// stream, so the whole pipeline (index build → prune → pack → encode →
+// decode → navigate → retrieve) is exercised end to end on the wire.
+//
+// Framing is length-prefixed: 1 type byte, 4 length bytes (little endian),
+// then the payload.
+package netcast
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// FrameType tags downlink and uplink frames.
+type FrameType byte
+
+const (
+	// FrameQuery is an uplink request: payload is the XPath expression.
+	FrameQuery FrameType = iota + 1
+	// FrameAck acknowledges an uplink request: payload is "ok" or an error
+	// message prefixed with "err:".
+	FrameAck
+	// FrameCycleHead starts a cycle: payload is the encoded cycleHead.
+	FrameCycleHead
+	// FrameIndex carries the packed index segment.
+	FrameIndex
+	// FrameSecondTier carries the second-tier offset list (two-tier mode).
+	FrameSecondTier
+	// FrameDoc carries one document: 2 ID bytes then the XML.
+	FrameDoc
+)
+
+// maxFrame bounds payload sizes defensively (16 MiB).
+const maxFrame = 16 << 20
+
+// writeFrame writes one frame.
+func writeFrame(w io.Writer, t FrameType, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("netcast: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = byte(t)
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (FrameType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("netcast: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return FrameType(hdr[0]), payload, nil
+}
+
+// cycleHead is the decoded head segment of one cycle.
+type cycleHead struct {
+	Number     uint32
+	TwoTier    bool
+	NumDocs    uint16
+	Catalog    []byte   // encoded wire.Catalog
+	RootLabels []string // labels of index roots, in root order
+}
+
+// encode serialises the head.
+func (h *cycleHead) encode() ([]byte, error) {
+	if len(h.RootLabels) > 0xFF {
+		return nil, fmt.Errorf("netcast: %d root labels exceed limit", len(h.RootLabels))
+	}
+	out := make([]byte, 0, 16+len(h.Catalog))
+	var num [4]byte
+	binary.LittleEndian.PutUint32(num[:], h.Number)
+	out = append(out, num[:]...)
+	if h.TwoTier {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	var nd [2]byte
+	binary.LittleEndian.PutUint16(nd[:], h.NumDocs)
+	out = append(out, nd[:]...)
+	out = append(out, byte(len(h.RootLabels)))
+	for _, l := range h.RootLabels {
+		if len(l) > 0xFF {
+			return nil, fmt.Errorf("netcast: root label %q too long", l)
+		}
+		out = append(out, byte(len(l)))
+		out = append(out, l...)
+	}
+	var cl [4]byte
+	binary.LittleEndian.PutUint32(cl[:], uint32(len(h.Catalog)))
+	out = append(out, cl[:]...)
+	out = append(out, h.Catalog...)
+	return out, nil
+}
+
+// decodeCycleHead is the inverse of encode.
+func decodeCycleHead(data []byte) (*cycleHead, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("netcast: cycle head truncated")
+	}
+	h := &cycleHead{
+		Number:  binary.LittleEndian.Uint32(data),
+		TwoTier: data[4] == 1,
+		NumDocs: binary.LittleEndian.Uint16(data[5:]),
+	}
+	pos := 7
+	nRoots := int(data[pos])
+	pos++
+	for i := 0; i < nRoots; i++ {
+		if pos >= len(data) {
+			return nil, fmt.Errorf("netcast: cycle head truncated at root %d", i)
+		}
+		l := int(data[pos])
+		pos++
+		if pos+l > len(data) {
+			return nil, fmt.Errorf("netcast: root label %d truncated", i)
+		}
+		h.RootLabels = append(h.RootLabels, string(data[pos:pos+l]))
+		pos += l
+	}
+	if pos+4 > len(data) {
+		return nil, fmt.Errorf("netcast: cycle head catalog length truncated")
+	}
+	cl := int(binary.LittleEndian.Uint32(data[pos:]))
+	pos += 4
+	if pos+cl > len(data) {
+		return nil, fmt.Errorf("netcast: cycle head catalog truncated")
+	}
+	h.Catalog = data[pos : pos+cl]
+	return h, nil
+}

@@ -1,0 +1,33 @@
+package netcast
+
+import "testing"
+
+// FuzzDecodeCycleHead must never panic, and what it accepts must re-encode
+// and decode to the same head.
+func FuzzDecodeCycleHead(f *testing.F) {
+	good, err := (&cycleHead{Number: 3, TwoTier: true, NumDocs: 2, Catalog: []byte{9}, RootLabels: []string{"a"}}).encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 1, 2, 0, 1, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := decodeCycleHead(data)
+		if err != nil {
+			return
+		}
+		back, err := h.encode()
+		if err != nil {
+			t.Fatalf("re-encode of accepted head failed: %v", err)
+		}
+		again, err := decodeCycleHead(back)
+		if err != nil {
+			t.Fatalf("round trip decode failed: %v", err)
+		}
+		if again.Number != h.Number || again.TwoTier != h.TwoTier ||
+			again.NumDocs != h.NumDocs || len(again.RootLabels) != len(h.RootLabels) {
+			t.Fatal("cycle head round trip unstable")
+		}
+	})
+}

@@ -1,0 +1,235 @@
+package netcast
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/gen"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+func testCollection(t *testing.T) *xmldoc.Collection {
+	t.Helper()
+	c, err := gen.Documents(gen.DocConfig{Schema: dtd.NITF(), NumDocs: 10, Seed: 77})
+	if err != nil {
+		t.Fatalf("Documents: %v", err)
+	}
+	return c
+}
+
+func startServer(t *testing.T, mode broadcast.Mode) (*Server, *xmldoc.Collection) {
+	t.Helper()
+	coll := testCollection(t)
+	srv, err := StartServer(ServerConfig{
+		Collection:    coll,
+		Mode:          mode,
+		CycleCapacity: 3 * coll.TotalSize() / coll.Len(),
+		CycleInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	t.Cleanup(srv.Shutdown)
+	return srv, coll
+}
+
+func TestEndToEndRetrieve(t *testing.T) {
+	for _, mode := range []broadcast.Mode{broadcast.OneTierMode, broadcast.TwoTierMode} {
+		t.Run(mode.String(), func(t *testing.T) {
+			srv, coll := startServer(t, mode)
+			cl, err := Dial(srv.UplinkAddr(), srv.BroadcastAddr(), core.SizeModel{})
+			if err != nil {
+				t.Fatalf("Dial: %v", err)
+			}
+			defer cl.Close()
+
+			q := xpath.MustParse("/nitf/body/body.content/block")
+			want := q.MatchingDocs(coll)
+			if len(want) == 0 {
+				t.Fatal("test query matches nothing")
+			}
+			if err := cl.Submit(q); err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer cancel()
+			docs, stats, err := cl.Retrieve(ctx, q)
+			if err != nil {
+				t.Fatalf("Retrieve: %v", err)
+			}
+			gotIDs := make([]xmldoc.DocID, len(docs))
+			for i, d := range docs {
+				gotIDs[i] = d.ID
+			}
+			if !reflect.DeepEqual(gotIDs, want) {
+				t.Errorf("retrieved %v, want %v", gotIDs, want)
+			}
+			// The retrieved documents decode to real trees.
+			for _, d := range docs {
+				if d.Root == nil || d.Root.Label != "nitf" {
+					t.Errorf("doc %d has bad root", d.ID)
+				}
+			}
+			if stats.TuningBytes <= 0 || stats.Cycles == 0 {
+				t.Errorf("stats = %+v", stats)
+			}
+		})
+	}
+}
+
+func TestTwoClientsShareBroadcast(t *testing.T) {
+	srv, coll := startServer(t, broadcast.TwoTierMode)
+	q1 := xpath.MustParse("/nitf/head/title")
+	q2 := xpath.MustParse("/nitf//p")
+
+	type outcome struct {
+		ids  []xmldoc.DocID
+		err  error
+		doze int64
+	}
+	runClient := func(q xpath.Path, ch chan<- outcome) {
+		cl, err := Dial(srv.UplinkAddr(), srv.BroadcastAddr(), core.SizeModel{})
+		if err != nil {
+			ch <- outcome{err: err}
+			return
+		}
+		defer cl.Close()
+		if err := cl.Submit(q); err != nil {
+			ch <- outcome{err: err}
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		docs, stats, err := cl.Retrieve(ctx, q)
+		if err != nil {
+			ch <- outcome{err: err}
+			return
+		}
+		ids := make([]xmldoc.DocID, len(docs))
+		for i, d := range docs {
+			ids[i] = d.ID
+		}
+		ch <- outcome{ids: ids, doze: stats.DozeBytes}
+	}
+	ch1 := make(chan outcome, 1)
+	ch2 := make(chan outcome, 1)
+	go runClient(q1, ch1)
+	go runClient(q2, ch2)
+	o1, o2 := <-ch1, <-ch2
+	if o1.err != nil || o2.err != nil {
+		t.Fatalf("client errors: %v / %v", o1.err, o2.err)
+	}
+	if !reflect.DeepEqual(o1.ids, q1.MatchingDocs(coll)) {
+		t.Errorf("client 1 ids = %v, want %v", o1.ids, q1.MatchingDocs(coll))
+	}
+	if !reflect.DeepEqual(o2.ids, q2.MatchingDocs(coll)) {
+		t.Errorf("client 2 ids = %v, want %v", o2.ids, q2.MatchingDocs(coll))
+	}
+}
+
+func TestSubmitRejectsBadQueries(t *testing.T) {
+	srv, _ := startServer(t, broadcast.TwoTierMode)
+	cl, err := Dial(srv.UplinkAddr(), srv.BroadcastAddr(), core.SizeModel{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	if err := cl.Submit(xpath.MustParse("/definitely/absent")); err == nil {
+		t.Error("empty-result query accepted")
+	}
+	var junk xpath.Path
+	junk.Steps = []xpath.Step{{Axis: xpath.Child, Label: "has space"}}
+	if err := cl.Submit(junk); err == nil {
+		t.Error("malformed query accepted")
+	}
+	// The connection still works after rejections.
+	if err := cl.Submit(xpath.MustParse("/nitf")); err != nil {
+		t.Errorf("valid submit after rejections: %v", err)
+	}
+}
+
+func TestServerShutdownIdempotentAndClean(t *testing.T) {
+	coll := testCollection(t)
+	srv, err := StartServer(ServerConfig{Collection: coll, CycleCapacity: 50_000})
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	cl, err := Dial(srv.UplinkAddr(), srv.BroadcastAddr(), core.SizeModel{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	srv.Shutdown()
+	srv.Shutdown() // must not panic or hang
+	if _, err := Dial(srv.UplinkAddr(), srv.BroadcastAddr(), core.SizeModel{}); err == nil {
+		t.Error("dial succeeded after shutdown")
+	}
+}
+
+func TestStartServerValidation(t *testing.T) {
+	coll := testCollection(t)
+	if _, err := StartServer(ServerConfig{CycleCapacity: 1}); err == nil {
+		t.Error("nil collection accepted")
+	}
+	if _, err := StartServer(ServerConfig{Collection: coll}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestServerProgress(t *testing.T) {
+	srv, _ := startServer(t, broadcast.TwoTierMode)
+	cl, err := Dial(srv.UplinkAddr(), srv.BroadcastAddr(), core.SizeModel{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	if err := cl.Submit(xpath.MustParse("/nitf")); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for srv.Pending() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never drained the request")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.Cycles() == 0 {
+		t.Error("no cycles broadcast")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	h := &cycleHead{Number: 42, TwoTier: true, NumDocs: 7, Catalog: []byte{1, 2, 3}, RootLabels: []string{"nitf", "x"}}
+	data, err := h.encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := decodeCycleHead(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.Number != 42 || !back.TwoTier || back.NumDocs != 7 ||
+		!reflect.DeepEqual(back.RootLabels, h.RootLabels) ||
+		!reflect.DeepEqual(back.Catalog, h.Catalog) {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestDecodeCycleHeadErrors(t *testing.T) {
+	tests := [][]byte{
+		nil,
+		{1, 2, 3},
+		{1, 0, 0, 0, 1, 0, 0, 2, 5}, // truncated root label
+	}
+	for i, data := range tests {
+		if _, err := decodeCycleHead(data); err == nil {
+			t.Errorf("case %d decoded", i)
+		}
+	}
+}

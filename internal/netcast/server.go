@@ -1,0 +1,469 @@
+package netcast
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/wire"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+	"repro/internal/yfilter"
+)
+
+// ServerConfig parameterises a broadcast server.
+type ServerConfig struct {
+	// Collection is the document set. Required.
+	Collection *xmldoc.Collection
+	// Model fixes on-air widths. Zero selects the default.
+	Model core.SizeModel
+	// Mode selects one-tier or two-tier broadcast. Zero selects two-tier.
+	Mode broadcast.Mode
+	// Scheduler plans cycles. Nil selects schedule.LeeLo.
+	Scheduler schedule.Scheduler
+	// CycleCapacity is the per-cycle document budget in bytes. Required.
+	CycleCapacity int
+	// CycleInterval paces cycles in wall-clock time; the server also emits
+	// a cycle as soon as requests are pending. Default 50 ms.
+	CycleInterval time.Duration
+	// UplinkAddr and BroadcastAddr are TCP listen addresses; use ":0" (or
+	// "127.0.0.1:0") to pick free ports.
+	UplinkAddr, BroadcastAddr string
+}
+
+// Server is a running broadcast station. Create with StartServer, stop with
+// Shutdown.
+type Server struct {
+	cfg ServerConfig
+
+	// bmu serialises every use of builder: cycle assembly and dynamic
+	// collection updates.
+	bmu     sync.Mutex
+	builder *broadcast.Builder
+
+	upLn, bcLn net.Listener
+
+	mu      sync.Mutex
+	subs    map[net.Conn]struct{}
+	uplinks map[net.Conn]struct{}
+	pending []*srvRequest
+	nextID  int64
+	cycles  int64
+
+	// answers caches query result sets; invalidated on collection updates.
+	answers map[string][]xmldoc.DocID
+
+	stop chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// srvRequest is one uplink request's server-side state.
+type srvRequest struct {
+	id        int64
+	query     xpath.Path
+	arrival   int64
+	remaining map[xmldoc.DocID]struct{}
+}
+
+// StartServer binds the uplink and broadcast listeners and starts the cycle
+// loop.
+func StartServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Collection == nil || cfg.Collection.Len() == 0 {
+		return nil, fmt.Errorf("netcast: ServerConfig.Collection is required")
+	}
+	if cfg.CycleCapacity <= 0 {
+		return nil, fmt.Errorf("netcast: ServerConfig.CycleCapacity must be positive")
+	}
+	if cfg.Model == (core.SizeModel{}) {
+		cfg.Model = core.DefaultSizeModel()
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = broadcast.TwoTierMode
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = schedule.LeeLo{}
+	}
+	if cfg.CycleInterval == 0 {
+		cfg.CycleInterval = 50 * time.Millisecond
+	}
+	if cfg.UplinkAddr == "" {
+		cfg.UplinkAddr = "127.0.0.1:0"
+	}
+	if cfg.BroadcastAddr == "" {
+		cfg.BroadcastAddr = "127.0.0.1:0"
+	}
+	builder, err := broadcast.NewBuilder(cfg.Collection, cfg.Model, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	upLn, err := net.Listen("tcp", cfg.UplinkAddr)
+	if err != nil {
+		return nil, fmt.Errorf("netcast: uplink listen: %w", err)
+	}
+	bcLn, err := net.Listen("tcp", cfg.BroadcastAddr)
+	if err != nil {
+		upLn.Close()
+		return nil, fmt.Errorf("netcast: broadcast listen: %w", err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		builder: builder,
+		upLn:    upLn,
+		bcLn:    bcLn,
+		subs:    make(map[net.Conn]struct{}),
+		uplinks: make(map[net.Conn]struct{}),
+		answers: make(map[string][]xmldoc.DocID),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	s.wg.Add(3)
+	go s.acceptUplink()
+	go s.acceptSubscribers()
+	go s.cycleLoop()
+	go func() {
+		s.wg.Wait()
+		close(s.done)
+	}()
+	return s, nil
+}
+
+// UplinkAddr is the bound uplink address.
+func (s *Server) UplinkAddr() string { return s.upLn.Addr().String() }
+
+// BroadcastAddr is the bound broadcast address.
+func (s *Server) BroadcastAddr() string { return s.bcLn.Addr().String() }
+
+// Cycles reports how many cycles have been broadcast.
+func (s *Server) Cycles() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cycles
+}
+
+// Pending reports the number of outstanding requests.
+func (s *Server) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Shutdown stops the cycle loop, closes the listeners and every connection,
+// and waits for all server goroutines to exit.
+func (s *Server) Shutdown() {
+	select {
+	case <-s.stop:
+		// Already stopping.
+	default:
+		close(s.stop)
+	}
+	s.upLn.Close()
+	s.bcLn.Close()
+	s.mu.Lock()
+	for c := range s.subs {
+		c.Close()
+	}
+	for c := range s.uplinks {
+		c.Close()
+	}
+	s.mu.Unlock()
+	<-s.done
+}
+
+// acceptUplink serves request submissions.
+func (s *Server) acceptUplink() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.upLn.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serveUplink(conn)
+	}
+}
+
+// serveUplink handles one uplink connection: QUERY frames in, ACK frames
+// out.
+func (s *Server) serveUplink(conn net.Conn) {
+	defer s.wg.Done()
+	s.mu.Lock()
+	s.uplinks[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.uplinks, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		t, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if t != FrameQuery {
+			_ = writeFrame(conn, FrameAck, []byte("err: unexpected frame"))
+			return
+		}
+		covered, err := s.submit(string(payload))
+		ack := fmt.Sprintf("ok:%d", covered)
+		if err != nil {
+			ack = "err: " + err.Error()
+		}
+		if err := writeFrame(conn, FrameAck, []byte(ack)); err != nil {
+			return
+		}
+	}
+}
+
+// submit registers one query, resolving its result set server-side, and
+// returns the number of the first broadcast cycle whose index is guaranteed
+// to cover it.
+func (s *Server) submit(expr string) (int64, error) {
+	q, err := xpath.Parse(strings.TrimSpace(expr))
+	if err != nil {
+		return 0, err
+	}
+	key := q.String()
+	s.mu.Lock()
+	docs, cached := s.answers[key]
+	s.mu.Unlock()
+	if !cached {
+		s.bmu.Lock()
+		coll, err := s.builder.Collection()
+		s.bmu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		docs = yfilter.New([]xpath.Path{q}).Filter(coll)[0]
+		s.mu.Lock()
+		s.answers[key] = docs
+		s.mu.Unlock()
+	}
+	if len(docs) == 0 {
+		return 0, errors.New("query has an empty result set")
+	}
+	rem := make(map[xmldoc.DocID]struct{}, len(docs))
+	for _, d := range docs {
+		rem[d] = struct{}{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	s.pending = append(s.pending, &srvRequest{id: s.nextID, query: q, arrival: s.cycles, remaining: rem})
+	// The next snapshot (cycle number s.cycles) will include this request.
+	return s.cycles, nil
+}
+
+// acceptSubscribers registers broadcast listeners.
+func (s *Server) acceptSubscribers() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.bcLn.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.subs[conn] = struct{}{}
+		s.mu.Unlock()
+	}
+}
+
+// cycleLoop emits one broadcast cycle per interval whenever requests are
+// pending.
+func (s *Server) cycleLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.CycleInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			if err := s.broadcastCycle(); err != nil {
+				// Cycle assembly failures are fatal design errors; surface
+				// by stopping the loop (subscribers observe EOF).
+				return
+			}
+		}
+	}
+}
+
+// broadcastCycle plans, encodes and fans out one cycle.
+func (s *Server) broadcastCycle() error {
+	s.mu.Lock()
+	if len(s.pending) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	snapshot := append([]*srvRequest(nil), s.pending...)
+	reqs := make([]schedule.Request, 0, len(snapshot))
+	var queries []xpath.Path
+	seen := make(map[string]struct{})
+	for _, r := range snapshot {
+		rem := make([]xmldoc.DocID, 0, len(r.remaining))
+		for d := range r.remaining {
+			rem = append(rem, d)
+		}
+		sortDocIDs(rem)
+		reqs = append(reqs, schedule.Request{ID: r.id, Arrival: r.arrival, Docs: rem})
+		if _, ok := seen[r.query.String()]; !ok {
+			seen[r.query.String()] = struct{}{}
+			queries = append(queries, r.query)
+		}
+	}
+	// The cycle number is claimed under the same lock that snapshots the
+	// pending set, so a submission observing cycles == k is guaranteed to
+	// be covered by the snapshot of cycle k.
+	num := s.cycles
+	s.cycles++
+	s.mu.Unlock()
+
+	s.bmu.Lock()
+	size := func(d xmldoc.DocID) int { return s.builder.DocByID(d).Size() }
+	plan := s.cfg.Scheduler.PlanCycle(reqs, size, s.cfg.CycleCapacity, num)
+	cy, err := s.builder.BuildCycle(num, 0, queries, plan)
+	if err != nil {
+		s.bmu.Unlock()
+		return err
+	}
+	indexSeg, stSeg, err := s.builder.Encode(cy)
+	if err != nil {
+		s.bmu.Unlock()
+		return err
+	}
+	docPayloads := make([][]byte, 0, len(cy.Docs))
+	for _, p := range cy.Docs {
+		doc := s.builder.DocByID(p.ID)
+		payload := make([]byte, 2, 2+doc.Size())
+		payload[0] = byte(p.ID)
+		payload[1] = byte(p.ID >> 8)
+		payload = append(payload, doc.Marshal()...)
+		docPayloads = append(docPayloads, payload)
+	}
+	s.bmu.Unlock()
+	catBytes, err := cy.Catalog.Encode()
+	if err != nil {
+		return err
+	}
+	head := &cycleHead{
+		Number:     uint32(num),
+		TwoTier:    s.cfg.Mode == broadcast.TwoTierMode,
+		NumDocs:    uint16(len(cy.Docs)),
+		Catalog:    catBytes,
+		RootLabels: wire.RootLabels(cy.Index),
+	}
+	headBytes, err := head.encode()
+	if err != nil {
+		return err
+	}
+
+	s.fanOut(FrameCycleHead, headBytes)
+	s.fanOut(FrameIndex, indexSeg)
+	if stSeg != nil {
+		s.fanOut(FrameSecondTier, stSeg)
+	}
+	for _, payload := range docPayloads {
+		s.fanOut(FrameDoc, payload)
+	}
+
+	// Mark deliveries on the snapshotted requests only (requests submitted
+	// mid-cycle did not have their documents announced in this index) and
+	// retire completed ones.
+	s.mu.Lock()
+	inSnapshot := make(map[int64]struct{}, len(snapshot))
+	for _, r := range snapshot {
+		inSnapshot[r.id] = struct{}{}
+	}
+	var live []*srvRequest
+	for _, r := range s.pending {
+		if _, ok := inSnapshot[r.id]; ok {
+			for _, d := range plan {
+				delete(r.remaining, d)
+			}
+		}
+		if len(r.remaining) > 0 {
+			live = append(live, r)
+		}
+	}
+	s.pending = live
+	s.mu.Unlock()
+	return nil
+}
+
+// fanOut writes one frame to every subscriber, dropping connections that
+// stall or fail.
+func (s *Server) fanOut(t FrameType, payload []byte) {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.subs))
+	for c := range s.subs {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		_ = c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		if err := writeFrame(c, t, payload); err != nil {
+			s.mu.Lock()
+			delete(s.subs, c)
+			s.mu.Unlock()
+			c.Close()
+		}
+	}
+}
+
+func sortDocIDs(ids []xmldoc.DocID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// AddDocument admits a new document to the live collection; it becomes
+// visible to queries and schedulable from the next cycle.
+func (s *Server) AddDocument(d *xmldoc.Document) error {
+	s.bmu.Lock()
+	err := s.builder.AddDocument(d)
+	s.bmu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.answers = make(map[string][]xmldoc.DocID)
+	s.mu.Unlock()
+	return nil
+}
+
+// RemoveDocument retires a document from the live collection. Pending
+// requests lose the document from their remaining sets; requests thereby
+// satisfied are retired.
+func (s *Server) RemoveDocument(id xmldoc.DocID) error {
+	s.bmu.Lock()
+	err := s.builder.RemoveDocument(id)
+	s.bmu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	var live []*srvRequest
+	for _, r := range s.pending {
+		delete(r.remaining, id)
+		if len(r.remaining) > 0 {
+			live = append(live, r)
+		}
+	}
+	s.pending = live
+	s.answers = make(map[string][]xmldoc.DocID)
+	s.mu.Unlock()
+	return nil
+}
+
+// NumDocs reports the current collection size.
+func (s *Server) NumDocs() int {
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	return s.builder.NumDocs()
+}

@@ -1,0 +1,38 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/xmldoc"
+)
+
+func benchPending(n int) ([]Request, func(xmldoc.DocID) int) {
+	r := rand.New(rand.NewSource(1))
+	sizes := make(map[xmldoc.DocID]int, 100)
+	for i := 1; i <= 100; i++ {
+		sizes[xmldoc.DocID(i)] = 5000 + r.Intn(15000)
+	}
+	pending := make([]Request, n)
+	for i := range pending {
+		docs := make([]xmldoc.DocID, 1+r.Intn(20))
+		for j := range docs {
+			docs[j] = xmldoc.DocID(1 + r.Intn(100))
+		}
+		pending[i] = Request{ID: int64(i), Arrival: int64(i * 10), Docs: docs}
+	}
+	return pending, func(d xmldoc.DocID) int { return sizes[d] }
+}
+
+func benchScheduler(b *testing.B, s Scheduler) {
+	pending, size := benchPending(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.PlanCycle(pending, size, 100_000, int64(i))
+	}
+}
+
+func BenchmarkLeeLo(b *testing.B) { benchScheduler(b, LeeLo{}) }
+func BenchmarkFCFS(b *testing.B)  { benchScheduler(b, FCFS{}) }
+func BenchmarkMRF(b *testing.B)   { benchScheduler(b, MRF{}) }
+func BenchmarkRxW(b *testing.B)   { benchScheduler(b, RxW{}) }

@@ -1,0 +1,68 @@
+package sim
+
+import "fmt"
+
+// EnergyModel converts the byte-denominated metrics into joules, using the
+// classic air-indexing energy accounting (Imielinski et al., TKDE 1997): the
+// receiver burns ActiveWatts while downloading (tuning time) and DozeWatts
+// while sleeping through the rest of the access window.
+type EnergyModel struct {
+	// BandwidthBps is the broadcast channel rate in bits per second.
+	BandwidthBps float64
+	// ActiveWatts is the radio's power draw in active (receiving) mode.
+	ActiveWatts float64
+	// DozeWatts is the power draw in doze mode.
+	DozeWatts float64
+}
+
+// DefaultEnergyModel returns figures typical of the era's wireless LAN
+// hardware: 2 Mbit/s channel, 250 mW active, 50 µW doze.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		BandwidthBps: 2_000_000,
+		ActiveWatts:  0.25,
+		DozeWatts:    0.00005,
+	}
+}
+
+// Validate reports whether the model is usable.
+func (m EnergyModel) Validate() error {
+	if m.BandwidthBps <= 0 || m.ActiveWatts <= 0 || m.DozeWatts < 0 {
+		return fmt.Errorf("sim: invalid energy model %+v", m)
+	}
+	return nil
+}
+
+// seconds converts a byte count on the broadcast channel to seconds.
+func (m EnergyModel) seconds(bytes float64) float64 {
+	return bytes * 8 / m.BandwidthBps
+}
+
+// ClientEnergyJoules is the energy one client spent: active during its
+// tuning time (index plus documents), dozing for the remainder of its access
+// window.
+func (m EnergyModel) ClientEnergyJoules(c ClientStats) float64 {
+	tuning := float64(c.IndexTuningBytes + c.DocTuningBytes)
+	access := float64(c.AccessBytes)
+	doze := access - tuning
+	if doze < 0 {
+		doze = 0
+	}
+	return m.seconds(tuning)*m.ActiveWatts + m.seconds(doze)*m.DozeWatts
+}
+
+// MeanEnergyJoules is the average per-client energy of a run under the
+// model.
+func (r *Result) MeanEnergyJoules(m EnergyModel) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if len(r.Clients) == 0 {
+		return 0, nil
+	}
+	total := 0.0
+	for _, c := range r.Clients {
+		total += m.ClientEnergyJoules(c)
+	}
+	return total / float64(len(r.Clients)), nil
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/broadcast"
+)
+
+func TestLossZeroMatchesBaseline(t *testing.T) {
+	c, reqs := workload(t, 12, 10, 41)
+	base, err := Run(Config{Collection: c, Mode: broadcast.TwoTierMode, CycleCapacity: capacityFor(c), Requests: reqs})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	zero, err := Run(Config{Collection: c, Mode: broadcast.TwoTierMode, CycleCapacity: capacityFor(c), Requests: reqs, LossProb: 0, LossSeed: 9})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if base.MeanAccessBytes() != zero.MeanAccessBytes() || base.MeanIndexTuningBytes() != zero.MeanIndexTuningBytes() {
+		t.Error("LossProb=0 changed the run")
+	}
+}
+
+func TestLossCompletesAndCostsMore(t *testing.T) {
+	c, reqs := workload(t, 12, 10, 43)
+	for _, mode := range []broadcast.Mode{broadcast.OneTierMode, broadcast.TwoTierMode} {
+		t.Run(mode.String(), func(t *testing.T) {
+			clean, err := Run(Config{Collection: c, Mode: mode, CycleCapacity: capacityFor(c), Requests: reqs})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			lossy, err := Run(Config{Collection: c, Mode: mode, CycleCapacity: capacityFor(c), Requests: reqs, LossProb: 0.4, LossSeed: 7})
+			if err != nil {
+				t.Fatalf("Run(lossy): %v", err)
+			}
+			// Every client still completes with the full, correct answer.
+			for i, cl := range lossy.Clients {
+				if len(cl.Docs) == 0 {
+					t.Errorf("client %d has no docs", i)
+				}
+				if cl.Completed < cl.Arrival {
+					t.Errorf("client %d never completed", i)
+				}
+			}
+			// Losing 40% of receptions must cost strictly more access time
+			// and at least as much document tuning (retransmissions).
+			if lossy.MeanAccessBytes() <= clean.MeanAccessBytes() {
+				t.Errorf("lossy access %.0f not above clean %.0f", lossy.MeanAccessBytes(), clean.MeanAccessBytes())
+			}
+			if lossy.MeanDocTuningBytes() < clean.MeanDocTuningBytes() {
+				t.Errorf("lossy doc tuning %.0f below clean %.0f", lossy.MeanDocTuningBytes(), clean.MeanDocTuningBytes())
+			}
+		})
+	}
+}
+
+func TestLossDeterministic(t *testing.T) {
+	c, reqs := workload(t, 10, 8, 47)
+	run := func() *Result {
+		res, err := Run(Config{Collection: c, Mode: broadcast.TwoTierMode, CycleCapacity: capacityFor(c), Requests: reqs, LossProb: 0.3, LossSeed: 5})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.MeanAccessBytes() != b.MeanAccessBytes() || a.NumCycles() != b.NumCycles() {
+		t.Error("lossy run not deterministic for fixed seed")
+	}
+}
+
+func TestLossConfigValidation(t *testing.T) {
+	c, reqs := workload(t, 5, 2, 53)
+	for _, p := range []float64{-0.1, 1.0, 1.5} {
+		if _, err := Run(Config{Collection: c, Mode: broadcast.TwoTierMode, CycleCapacity: 1000, Requests: reqs, LossProb: p}); err == nil {
+			t.Errorf("LossProb=%v accepted", p)
+		}
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	m := DefaultEnergyModel()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// A client active for 1 Mbit (0.5 s at 2 Mbit/s) and dozing another
+	// 0.5 s: 0.5×0.25 + 0.5×0.00005 J.
+	cl := ClientStats{IndexTuningBytes: 125_000, DocTuningBytes: 0, AccessBytes: 250_000}
+	got := m.ClientEnergyJoules(cl)
+	want := 0.5*0.25 + 0.5*0.00005
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("ClientEnergyJoules = %v, want %v", got, want)
+	}
+	// Tuning above access clamps doze at zero rather than going negative.
+	over := ClientStats{IndexTuningBytes: 1000, DocTuningBytes: 1000, AccessBytes: 500}
+	if m.ClientEnergyJoules(over) <= 0 {
+		t.Error("clamped energy not positive")
+	}
+}
+
+func TestMeanEnergyJoules(t *testing.T) {
+	c, reqs := workload(t, 12, 10, 59)
+	one, err := Run(Config{Collection: c, Mode: broadcast.OneTierMode, CycleCapacity: capacityFor(c), Requests: reqs})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	two, err := Run(Config{Collection: c, Mode: broadcast.TwoTierMode, CycleCapacity: capacityFor(c), Requests: reqs})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	m := DefaultEnergyModel()
+	e1, err := one.MeanEnergyJoules(m)
+	if err != nil {
+		t.Fatalf("MeanEnergyJoules: %v", err)
+	}
+	e2, err := two.MeanEnergyJoules(m)
+	if err != nil {
+		t.Fatalf("MeanEnergyJoules: %v", err)
+	}
+	if e1 <= 0 || e2 <= 0 {
+		t.Fatal("energies not positive")
+	}
+	// The two-tier protocol saves energy: same documents, less index tuning.
+	if e2 >= e1 {
+		t.Errorf("two-tier energy %.6f not below one-tier %.6f", e2, e1)
+	}
+	// Error and empty paths.
+	if _, err := one.MeanEnergyJoules(EnergyModel{}); err == nil {
+		t.Error("invalid energy model accepted")
+	}
+	var empty Result
+	if e, err := empty.MeanEnergyJoules(m); err != nil || e != 0 {
+		t.Errorf("empty result energy = %v, %v", e, err)
+	}
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/broadcast"
+	"repro/internal/dtd"
+	"repro/internal/gen"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// TestMixedRootCollection runs the full system over a collection whose
+// documents have two different root labels (NITF news plus NASA records), so
+// the merged DataGuide is a genuine forest. Every layer — merge, CI, prune,
+// pack, lookup, scheduling, both protocols — must handle multiple roots.
+func TestMixedRootCollection(t *testing.T) {
+	nitf, err := gen.Documents(gen.DocConfig{Schema: dtd.NITF(), NumDocs: 6, Seed: 5})
+	if err != nil {
+		t.Fatalf("Documents: %v", err)
+	}
+	nasa, err := gen.Documents(gen.DocConfig{Schema: dtd.NASA(), NumDocs: 6, Seed: 6, FirstID: 100})
+	if err != nil {
+		t.Fatalf("Documents: %v", err)
+	}
+	all := append(append([]*xmldoc.Document(nil), nitf.Docs()...), nasa.Docs()...)
+	coll, err := xmldoc.NewCollection(all)
+	if err != nil {
+		t.Fatalf("NewCollection: %v", err)
+	}
+
+	queries := []xpath.Path{
+		xpath.MustParse("/nitf/head/title"),
+		xpath.MustParse("/dataset/title"),
+		xpath.MustParse("//keyword"), // spans both root kinds
+	}
+	reqs := make([]ClientRequest, len(queries))
+	for i, q := range queries {
+		reqs[i] = ClientRequest{Query: q, Arrival: int64(i) * 100}
+	}
+	for _, mode := range []broadcast.Mode{broadcast.OneTierMode, broadcast.TwoTierMode} {
+		t.Run(mode.String(), func(t *testing.T) {
+			res, err := Run(Config{
+				Collection:    coll,
+				Mode:          mode,
+				CycleCapacity: coll.TotalSize() / 4,
+				Requests:      reqs,
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for i, cl := range res.Clients {
+				want := queries[i].MatchingDocs(coll)
+				if !reflect.DeepEqual(cl.Docs, want) {
+					t.Errorf("query %s: docs = %v, want %v", queries[i], cl.Docs, want)
+				}
+			}
+			// The cross-root query must have results from both families.
+			cross := res.Clients[2].Docs
+			var hasNITF, hasNASA bool
+			for _, d := range cross {
+				if d < 100 {
+					hasNITF = true
+				} else {
+					hasNASA = true
+				}
+			}
+			if !hasNITF || !hasNASA {
+				t.Errorf("//keyword results %v do not span both roots", cross)
+			}
+		})
+	}
+}
+
+func TestPercentileMetrics(t *testing.T) {
+	c, reqs := workload(t, 12, 15, 61)
+	res, err := Run(Config{Collection: c, Mode: broadcast.TwoTierMode, CycleCapacity: capacityFor(c), Requests: reqs})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	p50 := res.AccessBytesPercentile(50)
+	p99 := res.AccessBytesPercentile(99)
+	if p50 <= 0 || p99 < p50 {
+		t.Errorf("access percentiles p50=%v p99=%v", p50, p99)
+	}
+	t50 := res.IndexTuningBytesPercentile(50)
+	t99 := res.IndexTuningBytesPercentile(99)
+	if t50 <= 0 || t99 < t50 {
+		t.Errorf("tuning percentiles p50=%v p99=%v", t50, t99)
+	}
+	var empty Result
+	if empty.AccessBytesPercentile(50) != 0 {
+		t.Error("empty percentile not zero")
+	}
+}

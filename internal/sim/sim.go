@@ -1,0 +1,380 @@
+// Package sim is the discrete-event simulator of the on-demand broadcast
+// system (§4): a server that accumulates XPath requests, schedules result
+// documents into fixed-capacity cycles and broadcasts an air index ahead of
+// them; and clients that follow the one-tier or two-tier access protocol,
+// accounting tuning time and access time in bytes at constant bandwidth,
+// exactly as the paper measures them.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+	"repro/internal/yfilter"
+)
+
+// ClientRequest is one query submitted by a mobile client.
+type ClientRequest struct {
+	// Query is the client's XPath request.
+	Query xpath.Path
+	// Arrival is the byte-time the request reaches the server uplink.
+	Arrival int64
+}
+
+// Config parameterises one simulation run.
+type Config struct {
+	// Collection is the server's document set. Required.
+	Collection *xmldoc.Collection
+	// Model fixes on-air field widths. Zero value selects the default.
+	Model core.SizeModel
+	// Mode selects one-tier or two-tier broadcast. Required.
+	Mode broadcast.Mode
+	// Scheduler plans cycle content. Nil selects schedule.LeeLo.
+	Scheduler schedule.Scheduler
+	// CycleCapacity is the document-byte budget per cycle (the paper's
+	// ~100 KB average cycle length). Required (> 0).
+	CycleCapacity int
+	// Requests is the client workload. Required (non-empty).
+	Requests []ClientRequest
+	// WholeTierRead makes clients download whole index tiers instead of
+	// only the packets their navigation touches; this reproduces the
+	// analytic model of Eq. 1 (TT = L_I + n·L_O). Default false
+	// (packet-granular accounting).
+	WholeTierRead bool
+	// LossProb injects wireless reception failures: each document download
+	// and each index read independently fails with this probability. A
+	// failed document stays in the client's remaining set (the server's
+	// pending view follows, so it is rescheduled); a failed first-tier read
+	// is retried next cycle. Zero disables loss. Must be in [0, 1).
+	LossProb float64
+	// LossSeed seeds the loss process deterministically.
+	LossSeed int64
+	// MaxCycles aborts runaway simulations. Default 100000.
+	MaxCycles int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Model == (core.SizeModel{}) {
+		c.Model = core.DefaultSizeModel()
+	}
+	if c.Scheduler == nil {
+		c.Scheduler = schedule.LeeLo{}
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 100000
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Collection == nil || c.Collection.Len() == 0 {
+		return fmt.Errorf("sim: Config.Collection is required")
+	}
+	if c.Mode != broadcast.OneTierMode && c.Mode != broadcast.TwoTierMode {
+		return fmt.Errorf("sim: Config.Mode is required")
+	}
+	if c.CycleCapacity <= 0 {
+		return fmt.Errorf("sim: Config.CycleCapacity must be positive, got %d", c.CycleCapacity)
+	}
+	if len(c.Requests) == 0 {
+		return fmt.Errorf("sim: Config.Requests is required")
+	}
+	if c.LossProb < 0 || c.LossProb >= 1 {
+		return fmt.Errorf("sim: Config.LossProb must be in [0, 1), got %g", c.LossProb)
+	}
+	return c.Model.Validate()
+}
+
+// ClientStats records one client's outcome.
+type ClientStats struct {
+	// Query is the client's request.
+	Query xpath.Path
+	// Arrival and Completed are absolute byte-times; Completed is when the
+	// last result document finished downloading.
+	Arrival, Completed int64
+	// AccessBytes is Completed − Arrival (the paper's access time).
+	AccessBytes int64
+	// IndexTuningBytes is the tuning time spent on index lookup: first-tier
+	// navigation plus per-cycle second-tier reads under two-tier, or
+	// per-cycle index navigation under one-tier.
+	IndexTuningBytes int64
+	// DocTuningBytes is the tuning time spent downloading result documents
+	// (independent of the indexing method, per §4.1).
+	DocTuningBytes int64
+	// CyclesListened is n in Eq. 1: the cycles the client attended.
+	CyclesListened int
+	// Docs is the query's result set.
+	Docs []xmldoc.DocID
+}
+
+// CycleStats records one broadcast cycle's layout.
+type CycleStats struct {
+	Number          int64
+	Start           int64
+	HeadBytes       int
+	IndexBytes      int
+	SecondTierBytes int
+	DocBytes        int
+	NumDocs         int
+	IndexNodes      int
+	Pending         int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Clients holds per-client statistics in request order.
+	Clients []ClientStats
+	// Cycles holds per-cycle statistics.
+	Cycles []CycleStats
+	// Mode echoes the configuration.
+	Mode broadcast.Mode
+}
+
+// client is the in-flight state of one request.
+type client struct {
+	id        int64
+	req       ClientRequest
+	nav       *core.Navigator
+	docs      []xmldoc.DocID // full result set, known after first index read
+	remaining map[xmldoc.DocID]struct{}
+	knowsDocs bool // two-tier: first-tier already read
+	stats     ClientStats
+	done      bool
+}
+
+// Run executes the simulation until every request completes.
+func Run(cfg Config) (*Result, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	builder, err := broadcast.NewBuilder(cfg.Collection, cfg.Model, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve every distinct query's answer once, server-side, via the
+	// shared NFA filter.
+	answers, err := resolveAnswers(cfg.Collection, cfg.Requests)
+	if err != nil {
+		return nil, err
+	}
+
+	// Clients sorted by arrival; original order retained for reporting.
+	clients := make([]*client, len(cfg.Requests))
+	for i, r := range cfg.Requests {
+		docs := answers[r.Query.String()]
+		rem := make(map[xmldoc.DocID]struct{}, len(docs))
+		for _, d := range docs {
+			rem[d] = struct{}{}
+		}
+		clients[i] = &client{
+			id:        int64(i),
+			req:       r,
+			nav:       core.NewNavigator(r.Query),
+			docs:      docs,
+			remaining: rem,
+			stats:     ClientStats{Query: r.Query, Arrival: r.Arrival, Docs: docs},
+		}
+	}
+	byArrival := append([]*client(nil), clients...)
+	sort.SliceStable(byArrival, func(i, j int) bool { return byArrival[i].req.Arrival < byArrival[j].req.Arrival })
+
+	res := &Result{Mode: cfg.Mode}
+	var loss *lossProcess
+	if cfg.LossProb > 0 {
+		loss = &lossProcess{p: cfg.LossProb, rng: rand.New(rand.NewSource(cfg.LossSeed))}
+	}
+	var (
+		now       int64
+		admitted  int // prefix of byArrival already active
+		active    []*client
+		cycleNum  int64
+		completed int
+	)
+	for completed < len(clients) {
+		if cycleNum >= int64(cfg.MaxCycles) {
+			return nil, fmt.Errorf("sim: exceeded MaxCycles=%d with %d clients outstanding", cfg.MaxCycles, len(clients)-completed)
+		}
+		// Admit arrivals; if idle, jump to the next arrival.
+		if len(active) == 0 && admitted < len(byArrival) {
+			if t := byArrival[admitted].req.Arrival; t > now {
+				now = t
+			}
+		}
+		for admitted < len(byArrival) && byArrival[admitted].req.Arrival <= now {
+			active = append(active, byArrival[admitted])
+			admitted++
+		}
+		if len(active) == 0 {
+			return nil, fmt.Errorf("sim: no active clients but %d incomplete", len(clients)-completed)
+		}
+
+		// Server: build pending view and plan the cycle.
+		pendingReqs := make([]schedule.Request, 0, len(active))
+		var pendingQueries []xpath.Path
+		seenQ := make(map[string]struct{})
+		for _, cl := range active {
+			rem := make([]xmldoc.DocID, 0, len(cl.remaining))
+			for d := range cl.remaining {
+				rem = append(rem, d)
+			}
+			sort.Slice(rem, func(i, j int) bool { return rem[i] < rem[j] })
+			pendingReqs = append(pendingReqs, schedule.Request{ID: cl.id, Arrival: cl.req.Arrival, Docs: rem})
+			key := cl.req.Query.String()
+			if _, ok := seenQ[key]; !ok {
+				seenQ[key] = struct{}{}
+				pendingQueries = append(pendingQueries, cl.req.Query)
+			}
+		}
+		size := func(d xmldoc.DocID) int { return cfg.Collection.ByID(d).Size() }
+		plan := cfg.Scheduler.PlanCycle(pendingReqs, size, cfg.CycleCapacity, now)
+		if len(plan) == 0 {
+			return nil, fmt.Errorf("sim: scheduler %q planned an empty cycle with %d pending", cfg.Scheduler.Name(), len(pendingReqs))
+		}
+		cy, err := builder.BuildCycle(cycleNum, now, pendingQueries, plan)
+		if err != nil {
+			return nil, err
+		}
+		res.Cycles = append(res.Cycles, CycleStats{
+			Number:          cy.Number,
+			Start:           cy.Start,
+			HeadBytes:       cy.HeadBytes,
+			IndexBytes:      cy.IndexBytes,
+			SecondTierBytes: cy.SecondTierBytes,
+			DocBytes:        cy.DocBytes,
+			NumDocs:         len(cy.Docs),
+			IndexNodes:      cy.Index.NumNodes(),
+			Pending:         len(pendingReqs),
+		})
+
+		// Clients: attend the cycle.
+		stillActive := active[:0]
+		for _, cl := range active {
+			attendCycle(cl, cy, cfg, loss)
+			if cl.done {
+				completed++
+			} else {
+				stillActive = append(stillActive, cl)
+			}
+		}
+		active = append([]*client(nil), stillActive...)
+
+		now = cy.End()
+		cycleNum++
+	}
+
+	for _, cl := range clients {
+		res.Clients = append(res.Clients, cl.stats)
+	}
+	return res, nil
+}
+
+// lossProcess draws independent reception failures.
+type lossProcess struct {
+	p   float64
+	rng *rand.Rand
+}
+
+// fail reports whether one reception attempt is lost. A nil process never
+// fails.
+func (l *lossProcess) fail() bool {
+	return l != nil && l.rng.Float64() < l.p
+}
+
+// attendCycle plays one client's protocol over one cycle. Lost receptions
+// still cost tuning bytes (the radio was awake) but deliver nothing: a lost
+// first-tier read is retried next cycle, a lost per-cycle index read skips
+// this cycle's documents, and a lost document stays in the remaining set and
+// is rescheduled by the server.
+func attendCycle(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossProcess) {
+	cl.stats.CyclesListened++
+	indexOK := true
+	switch cfg.Mode {
+	case broadcast.TwoTierMode:
+		// First-tier index search: once, on the client's first cycle
+		// (§3.4 improved access protocol).
+		if !cl.knowsDocs {
+			cl.stats.IndexTuningBytes += int64(indexReadBytes(cl, cy, cfg))
+			if loss.fail() {
+				indexOK = false
+			} else {
+				cl.knowsDocs = true
+			}
+		}
+		// Second-tier index search: every cycle.
+		cl.stats.IndexTuningBytes += int64(cy.SecondTierBytes)
+		if loss.fail() {
+			indexOK = false
+		}
+	case broadcast.OneTierMode:
+		// The embedded offsets change every cycle, so the index must be
+		// re-navigated every cycle.
+		cl.stats.IndexTuningBytes += int64(indexReadBytes(cl, cy, cfg))
+		if loss.fail() {
+			indexOK = false
+		}
+	}
+
+	// Document retrieval: download scheduled result documents. Without a
+	// successful index read this cycle the client has no offsets and must
+	// doze until the next cycle.
+	if indexOK {
+		for _, p := range cy.Docs {
+			if _, need := cl.remaining[p.ID]; !need {
+				continue
+			}
+			cl.stats.DocTuningBytes += int64(p.Size)
+			if loss.fail() {
+				continue // stays remaining; the server reschedules it
+			}
+			delete(cl.remaining, p.ID)
+			if end := cy.DocStart() + int64(p.Offset+p.Size); end > cl.stats.Completed {
+				cl.stats.Completed = end
+			}
+		}
+	}
+	if len(cl.remaining) == 0 {
+		cl.done = true
+		cl.stats.AccessBytes = cl.stats.Completed - cl.stats.Arrival
+	}
+}
+
+// indexReadBytes is the cost of one index navigation: whole tier under
+// WholeTierRead, otherwise the distinct packets the lookup touches.
+func indexReadBytes(cl *client, cy *broadcast.Cycle, cfg Config) int {
+	if cfg.WholeTierRead {
+		return cy.IndexBytes
+	}
+	lr := cl.nav.Lookup(cy.Index)
+	return cy.Packing.BytesFor(lr.Visited)
+}
+
+// resolveAnswers evaluates every distinct query once over the collection.
+func resolveAnswers(c *xmldoc.Collection, reqs []ClientRequest) (map[string][]xmldoc.DocID, error) {
+	var unique []xpath.Path
+	index := make(map[string]int)
+	for _, r := range reqs {
+		key := r.Query.String()
+		if _, ok := index[key]; !ok {
+			index[key] = len(unique)
+			unique = append(unique, r.Query)
+		}
+	}
+	f := yfilter.New(unique)
+	perQuery := f.Filter(c)
+	out := make(map[string][]xmldoc.DocID, len(unique))
+	for key, qi := range index {
+		if len(perQuery[qi]) == 0 {
+			return nil, fmt.Errorf("sim: query %s has an empty result set; the paper assumes satisfiable requests", key)
+		}
+		out[key] = perQuery[qi]
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// RenderCSV emits the table as RFC-4180-ish CSV: a header row of column
+// names followed by the data rows. Cells containing commas, quotes or
+// newlines are quoted. The title is not emitted (CSV is for machines).
+func (t *Table) RenderCSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Columns)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, cell := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(cell, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(cell)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// tableJSON is the stable JSON shape of a table.
+type tableJSON struct {
+	Title   string              `json:"title"`
+	Columns []string            `json:"columns"`
+	Rows    []map[string]string `json:"rows"`
+}
+
+// MarshalJSON encodes the table with one object per row, keyed by column
+// name, so downstream plotting scripts can index cells by header.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	out := tableJSON{Title: t.Title, Columns: t.Columns, Rows: make([]map[string]string, 0, len(t.Rows))}
+	for _, row := range t.Rows {
+		m := make(map[string]string, len(row))
+		for i, cell := range row {
+			key := fmt.Sprintf("col%d", i)
+			if i < len(t.Columns) {
+				key = t.Columns[i]
+			}
+			m[key] = cell
+		}
+		out.Rows = append(out.Rows, m)
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,164 @@
+// Package stats provides the small numeric and table-rendering helpers the
+// experiment harness uses to print paper-style result tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Min returns the minimum, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank, or 0 for
+// an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Stddev returns the population standard deviation, or 0 for fewer than two
+// samples.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Table is a titled text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// values with three significant decimals.
+func FormatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	if math.Abs(v) >= 100 {
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// Render draws the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) && len(cell) < widths[i] {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if total > 2 {
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteByte('\n')
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

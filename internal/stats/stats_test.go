@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Mean(xs) != 2.8 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty aggregates should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{50, 5},
+		{90, 9},
+		{100, 10},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Stddev = %v, want 2", got)
+	}
+	if Stddev([]float64{1}) != 0 {
+		t.Error("single-sample stddev should be 0")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		give float64
+		want string
+	}{
+		{3, "3"},
+		{3.14159, "3.142"},
+		{12345.6, "12345.6"},
+		{-2, "-2"},
+	}
+	for _, tt := range tests {
+		if got := FormatFloat(tt.give); got != tt.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{Title: "demo", Columns: []string{"x", "value"}}
+	tbl.AddRow(1, 3.14159)
+	tbl.AddRow("wide-cell", 2)
+	out := tbl.Render()
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows → 5? title+header+rule+2 = 5
+		if len(lines) != 5 {
+			t.Fatalf("got %d lines:\n%s", len(lines), out)
+		}
+	}
+	if !strings.Contains(out, "wide-cell") || !strings.Contains(out, "3.142") {
+		t.Errorf("render missing cells:\n%s", out)
+	}
+	// Header columns aligned: "x" padded to width of "wide-cell".
+	for _, l := range lines {
+		if strings.HasPrefix(l, "x") && !strings.HasPrefix(l, "x        ") {
+			t.Errorf("header not padded: %q", l)
+		}
+	}
+}
+
+// TestQuickPercentileBounds: any percentile lies within [Min, Max].
+func TestQuickPercentileBounds(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pct := math.Mod(math.Abs(p), 100)
+		v := Percentile(xs, pct)
+		return v >= Min(xs) && v <= Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tbl := &Table{Title: "ignored", Columns: []string{"a", "b"}}
+	tbl.AddRow("x,y", 2)
+	tbl.AddRow(`quo"te`, 3.5)
+	got := tbl.RenderCSV()
+	want := "a,b\n\"x,y\",2\n\"quo\"\"te\",3.500\n"
+	if got != want {
+		t.Errorf("RenderCSV = %q, want %q", got, want)
+	}
+}
+
+func TestMarshalJSON(t *testing.T) {
+	tbl := &Table{Title: "t", Columns: []string{"k"}}
+	tbl.AddRow("v")
+	tbl.Rows = append(tbl.Rows, []string{"a", "extra"}) // more cells than columns
+	data, err := tbl.MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	s := string(data)
+	for _, want := range []string{`"title":"t"`, `"k":"v"`, `"col1":"extra"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/gen"
+	"repro/internal/xmldoc"
+)
+
+func benchIndex(b *testing.B) (*core.Index, *Catalog) {
+	b.Helper()
+	c, err := gen.Documents(gen.DocConfig{Schema: dtd.NITF(), NumDocs: 50, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := core.BuildCI(c, core.DefaultSizeModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix, BuildCatalog(ix)
+}
+
+func BenchmarkEncodeIndex(b *testing.B) {
+	ix, cat := benchIndex(b)
+	p := ix.Pack(core.FirstTier)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeIndex(ix, p, cat, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeIndex(b *testing.B) {
+	ix, cat := benchIndex(b)
+	p := ix.Pack(core.FirstTier)
+	data, err := EncodeIndex(ix, p, cat, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeIndex(data, ix.Model, core.FirstTier, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSecondTierRoundTrip(b *testing.B) {
+	m := core.DefaultSizeModel()
+	entries := make([]SecondTierEntry, 20)
+	for i := range entries {
+		entries[i] = SecondTierEntry{Doc: xmldoc.DocID(i + 1), Offset: uint64(i) * 11000}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := EncodeSecondTier(entries, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeSecondTier(data, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

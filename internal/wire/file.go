@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// Index files persist a packed air index together with everything a reader
+// needs to decode it: the size model, the tier, the label catalog and the
+// root labels. Layout (all integers little endian):
+//
+//	magic "XIDX1\n"
+//	6 × uint16  size model (flag, entryLabel, pointer, docID, packet) + tier
+//	uint8       root label count, then length-prefixed root labels
+//	uint32      catalog length, catalog bytes
+//	uint32      stream length, stream bytes
+const indexFileMagic = "XIDX1\n"
+
+// WriteIndexFile persists an index (packed under p) to w as a standalone,
+// self-describing file. One-tier document offsets are not persisted —
+// offsets are meaningful only within a live cycle — so files always use the
+// NotInCycle sentinel.
+func WriteIndexFile(w io.Writer, ix *core.Index, p *core.Packing) error {
+	cat := BuildCatalog(ix)
+	stream, err := EncodeIndex(ix, p, cat, nil)
+	if err != nil {
+		return err
+	}
+	catBytes, err := cat.Encode()
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, indexFileMagic); err != nil {
+		return err
+	}
+	m := ix.Model
+	for _, v := range []int{m.FlagBytes, m.EntryLabelBytes, m.PointerBytes, m.DocIDBytes, m.PacketBytes, int(p.Tier)} {
+		if v < 0 || v > 0xFFFF {
+			return fmt.Errorf("wire: model field %d out of range", v)
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint16(v)); err != nil {
+			return err
+		}
+	}
+	roots := RootLabels(ix)
+	if len(roots) > 0xFF {
+		return fmt.Errorf("wire: %d roots exceed file format limit", len(roots))
+	}
+	if _, err := w.Write([]byte{byte(len(roots))}); err != nil {
+		return err
+	}
+	for _, l := range roots {
+		if len(l) > 0xFF {
+			return fmt.Errorf("wire: root label %q too long", l)
+		}
+		if _, err := w.Write(append([]byte{byte(len(l))}, l...)); err != nil {
+			return err
+		}
+	}
+	for _, seg := range [][]byte{catBytes, stream} {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(seg))); err != nil {
+			return err
+		}
+		if _, err := w.Write(seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadIndexFile parses a file written by WriteIndexFile.
+func ReadIndexFile(r io.Reader) (*core.Index, core.Tier, error) {
+	magic := make([]byte, len(indexFileMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, 0, fmt.Errorf("wire: index file header: %w", err)
+	}
+	if string(magic) != indexFileMagic {
+		return nil, 0, fmt.Errorf("wire: not an index file")
+	}
+	var fields [6]uint16
+	for i := range fields {
+		if err := binary.Read(r, binary.LittleEndian, &fields[i]); err != nil {
+			return nil, 0, fmt.Errorf("wire: index file model: %w", err)
+		}
+	}
+	m := core.SizeModel{
+		FlagBytes:       int(fields[0]),
+		EntryLabelBytes: int(fields[1]),
+		PointerBytes:    int(fields[2]),
+		DocIDBytes:      int(fields[3]),
+		PacketBytes:     int(fields[4]),
+	}
+	tier := core.Tier(fields[5])
+	if err := m.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if tier != core.OneTier && tier != core.FirstTier {
+		return nil, 0, fmt.Errorf("wire: index file has invalid tier %d", tier)
+	}
+	var nRoots [1]byte
+	if _, err := io.ReadFull(r, nRoots[:]); err != nil {
+		return nil, 0, fmt.Errorf("wire: index file roots: %w", err)
+	}
+	roots := make([]string, 0, nRoots[0])
+	for i := 0; i < int(nRoots[0]); i++ {
+		var l [1]byte
+		if _, err := io.ReadFull(r, l[:]); err != nil {
+			return nil, 0, fmt.Errorf("wire: index file root %d: %w", i, err)
+		}
+		buf := make([]byte, l[0])
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, 0, fmt.Errorf("wire: index file root %d: %w", i, err)
+		}
+		roots = append(roots, string(buf))
+	}
+	readSeg := func(what string) ([]byte, error) {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("wire: index file %s length: %w", what, err)
+		}
+		if n > maxIndexFileSegment {
+			return nil, fmt.Errorf("wire: index file %s of %d bytes exceeds limit", what, n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("wire: index file %s: %w", what, err)
+		}
+		return buf, nil
+	}
+	catBytes, err := readSeg("catalog")
+	if err != nil {
+		return nil, 0, err
+	}
+	stream, err := readSeg("stream")
+	if err != nil {
+		return nil, 0, err
+	}
+	cat, err := DecodeCatalog(catBytes)
+	if err != nil {
+		return nil, 0, err
+	}
+	ix, _, err := DecodeIndex(stream, m, tier, cat)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := ApplyRootLabels(ix, roots); err != nil {
+		return nil, 0, err
+	}
+	return ix, tier, nil
+}
+
+// maxIndexFileSegment bounds segment sizes defensively (64 MiB).
+const maxIndexFileSegment = 64 << 20

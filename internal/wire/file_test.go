@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestIndexFileRoundTrip(t *testing.T) {
+	ix := paperCI(t)
+	for _, tier := range []core.Tier{core.OneTier, core.FirstTier} {
+		t.Run(tier.String(), func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteIndexFile(&buf, ix, ix.Pack(tier)); err != nil {
+				t.Fatalf("WriteIndexFile: %v", err)
+			}
+			back, gotTier, err := ReadIndexFile(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("ReadIndexFile: %v", err)
+			}
+			if gotTier != tier {
+				t.Errorf("tier = %v, want %v", gotTier, tier)
+			}
+			if !indexesEqual(ix, back) {
+				t.Error("round-tripped index differs")
+			}
+			if back.Model != ix.Model {
+				t.Errorf("model = %+v, want %+v", back.Model, ix.Model)
+			}
+		})
+	}
+}
+
+func TestReadIndexFileErrors(t *testing.T) {
+	ix := paperCI(t)
+	var buf bytes.Buffer
+	if err := WriteIndexFile(&buf, ix, ix.Pack(core.FirstTier)); err != nil {
+		t.Fatalf("WriteIndexFile: %v", err)
+	}
+	good := buf.Bytes()
+
+	tests := []struct {
+		name string
+		give []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("NOTANIDX too short really")},
+		{"truncated model", good[:8]},
+		{"truncated stream", good[:len(good)-5]},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, _, err := ReadIndexFile(bytes.NewReader(tt.give)); err == nil {
+				t.Error("bad file parsed")
+			}
+		})
+	}
+	t.Run("corrupt tier", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[len(indexFileMagic)+10] = 99 // tier field low byte
+		if _, _, err := ReadIndexFile(bytes.NewReader(bad)); err == nil {
+			t.Error("invalid tier parsed")
+		}
+	})
+	t.Run("reader of strings works", func(t *testing.T) {
+		if _, _, err := ReadIndexFile(strings.NewReader(string(good))); err != nil {
+			t.Errorf("string reader failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,22 @@
+package wire
+
+import (
+	"repro/internal/xmldoc"
+)
+
+// paperDocsForFuzz rebuilds the running-example collection without a
+// *testing.T, for fuzz seeding.
+func paperDocsForFuzz() *xmldoc.Collection {
+	docs := []*xmldoc.Document{
+		xmldoc.NewDocument(1, xmldoc.El("a", xmldoc.El("b", xmldoc.El("a"), xmldoc.El("c")))),
+		xmldoc.NewDocument(2, xmldoc.El("a",
+			xmldoc.El("b", xmldoc.El("a"), xmldoc.El("c")),
+			xmldoc.El("c", xmldoc.El("b")))),
+		xmldoc.NewDocument(3, xmldoc.El("a", xmldoc.El("b"), xmldoc.El("c"))),
+	}
+	c, err := xmldoc.NewCollection(docs)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,260 @@
+package xmldoc
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sampleDoc() *Document {
+	// Mirrors document d1 of the paper's running example (Fig. 2):
+	// a root with b children, b containing a and c.
+	root := El("a",
+		El("b", El("a"), El("c")),
+		El("b", El("a")),
+	)
+	return NewDocument(1, root)
+}
+
+func TestNodeBasics(t *testing.T) {
+	d := sampleDoc()
+	if got := d.Root.NumNodes(); got != 6 {
+		t.Errorf("NumNodes() = %d, want 6", got)
+	}
+	if got := d.Root.Depth(); got != 3 {
+		t.Errorf("Depth() = %d, want 3", got)
+	}
+	if got := d.Root.Child("b"); got == nil || got.Label != "b" {
+		t.Errorf("Child(b) = %v, want first b child", got)
+	}
+	if got := d.Root.Child("zzz"); got != nil {
+		t.Errorf("Child(zzz) = %v, want nil", got)
+	}
+}
+
+func TestUniquePaths(t *testing.T) {
+	d := sampleDoc()
+	want := []string{"/a", "/a/b", "/a/b/a", "/a/b/c"}
+	if got := d.UniquePaths(); !reflect.DeepEqual(got, want) {
+		t.Errorf("UniquePaths() = %v, want %v", got, want)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	d := sampleDoc()
+	want := []string{"a", "b", "c"}
+	if got := d.Labels(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Labels() = %v, want %v", got, want)
+	}
+}
+
+func TestPathKeyRoundTrip(t *testing.T) {
+	tests := []struct {
+		path []string
+		key  string
+	}{
+		{nil, "/"},
+		{[]string{"a"}, "/a"},
+		{[]string{"a", "b", "c"}, "/a/b/c"},
+	}
+	for _, tt := range tests {
+		if got := PathKey(tt.path); got != tt.key {
+			t.Errorf("PathKey(%v) = %q, want %q", tt.path, got, tt.key)
+		}
+		back := SplitPathKey(tt.key)
+		if len(back) != len(tt.path) {
+			t.Errorf("SplitPathKey(%q) = %v, want %v", tt.key, back, tt.path)
+			continue
+		}
+		for i := range back {
+			if back[i] != tt.path[i] {
+				t.Errorf("SplitPathKey(%q)[%d] = %q, want %q", tt.key, i, back[i], tt.path[i])
+			}
+		}
+	}
+}
+
+func TestMarshalParse(t *testing.T) {
+	tests := []struct {
+		name string
+		give *Node
+		want string
+	}{
+		{
+			name: "empty leaf",
+			give: El("a"),
+			want: "<a/>",
+		},
+		{
+			name: "text leaf",
+			give: TextEl("a", "hi <there>"),
+			want: "<a>hi &lt;there&gt;</a>",
+		},
+		{
+			name: "nested",
+			give: El("a", El("b", El("c")), TextEl("d", "x")),
+			want: "<a><b><c/></b><d>x</d></a>",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := NewDocument(1, tt.give)
+			got := string(d.Marshal())
+			if got != tt.want {
+				t.Fatalf("Marshal() = %q, want %q", got, tt.want)
+			}
+			back, err := ParseString(got)
+			if err != nil {
+				t.Fatalf("ParseString(%q): %v", got, err)
+			}
+			if !sameShape(tt.give, back) {
+				t.Errorf("parse(marshal(doc)) has different shape: %v vs %v", tt.give, back)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{"empty", ""},
+		{"unclosed", "<a><b></b>"},
+		{"two roots", "<a/><b/>"},
+		{"garbage", "<a><"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseString(tt.give); err == nil {
+				t.Errorf("ParseString(%q) succeeded, want error", tt.give)
+			}
+		})
+	}
+}
+
+func TestParseDiscardsAttributesAndComments(t *testing.T) {
+	n, err := ParseString(`<a x="1"><!-- hi --><b y="2">t</b></a>`)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if n.Label != "a" || len(n.Children) != 1 || n.Children[0].Label != "b" {
+		t.Fatalf("unexpected tree: %+v", n)
+	}
+	if n.Children[0].Text != "t" {
+		t.Errorf("text = %q, want %q", n.Children[0].Text, "t")
+	}
+}
+
+func TestDocumentSizeMatchesMarshal(t *testing.T) {
+	d := sampleDoc()
+	if d.Size() != len(d.Marshal()) {
+		t.Errorf("Size() = %d, want %d", d.Size(), len(d.Marshal()))
+	}
+	// Cached value stays stable.
+	if d.Size() != len(d.Marshal()) {
+		t.Errorf("second Size() differs")
+	}
+}
+
+func TestCollection(t *testing.T) {
+	a := NewDocument(1, El("a"))
+	b := NewDocument(2, El("b"))
+	c, err := NewCollection([]*Document{a, b})
+	if err != nil {
+		t.Fatalf("NewCollection: %v", err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", c.Len())
+	}
+	if c.ByID(2) != b {
+		t.Errorf("ByID(2) != b")
+	}
+	if c.ByID(99) != nil {
+		t.Errorf("ByID(99) != nil")
+	}
+	if got := c.TotalSize(); got != a.Size()+b.Size() {
+		t.Errorf("TotalSize() = %d, want %d", got, a.Size()+b.Size())
+	}
+	if got := c.IDs(); !reflect.DeepEqual(got, []DocID{1, 2}) {
+		t.Errorf("IDs() = %v", got)
+	}
+}
+
+func TestCollectionDuplicateID(t *testing.T) {
+	a := NewDocument(1, El("a"))
+	b := NewDocument(1, El("b"))
+	if _, err := NewCollection([]*Document{a, b}); err == nil {
+		t.Fatal("NewCollection with duplicate IDs succeeded, want error")
+	}
+}
+
+// randomTree builds a random element tree for property tests.
+func randomTree(r *rand.Rand, depth int) *Node {
+	labels := []string{"a", "b", "c", "d", "e"}
+	n := &Node{Label: labels[r.Intn(len(labels))]}
+	if r.Intn(3) == 0 {
+		n.Text = "txt"
+	}
+	if depth > 0 {
+		kids := r.Intn(4)
+		for i := 0; i < kids; i++ {
+			n.Children = append(n.Children, randomTree(r, depth-1))
+		}
+	}
+	return n
+}
+
+func sameShape(a, b *Node) bool {
+	if a.Label != b.Label || a.Text != b.Text || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !sameShape(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickMarshalParseRoundTrip checks parse(marshal(t)) == t for random
+// trees.
+func TestQuickMarshalParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := randomTree(r, 4)
+		d := NewDocument(1, tree)
+		back, err := ParseString(string(d.Marshal()))
+		if err != nil {
+			return false
+		}
+		return sameShape(tree, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickUniquePathsAreWalkPaths checks that UniquePaths is exactly the
+// deduplicated, sorted set of WalkPaths keys.
+func TestQuickUniquePathsAreWalkPaths(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := NewDocument(1, randomTree(r, 4))
+		set := make(map[string]struct{})
+		d.WalkPaths(func(path []string, _ *Node) {
+			set[PathKey(path)] = struct{}{}
+		})
+		want := make([]string, 0, len(set))
+		for k := range set {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		return reflect.DeepEqual(d.UniquePaths(), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,28 @@
+package xmldoc
+
+import "testing"
+
+// FuzzParse checks the XML reader never panics and that anything it accepts
+// survives a marshal/parse round trip with identical shape.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"<a/>", "<a><b>t</b></a>", "<a", "", "<a x='1'><!-- c --><b/></a>",
+		"<a>&lt;</a>", "<a><b></a></b>", "<a/><b/>",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		root, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		d := NewDocument(1, root)
+		back, err := ParseString(string(d.Marshal()))
+		if err != nil {
+			t.Fatalf("remarshal of accepted input failed: %v", err)
+		}
+		if !sameShape(root, back) {
+			t.Fatal("marshal/parse round trip changed the tree")
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package xmldoc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadDir builds a collection from every .xml file in a directory
+// (non-recursively). Files are ordered by name and assigned document IDs
+// 1..n, so a directory is a reproducible collection. Files that fail to
+// parse are reported, not skipped: a broadcast server must not silently
+// drop content.
+func LoadDir(dir string) (*Collection, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("xmldoc: load %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(strings.ToLower(e.Name()), ".xml") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("xmldoc: no .xml files in %s", dir)
+	}
+	sort.Strings(names)
+	if len(names) > int(^DocID(0)) {
+		return nil, fmt.Errorf("xmldoc: %d documents exceed the DocID space", len(names))
+	}
+	docs := make([]*Document, 0, len(names))
+	for i, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("xmldoc: load %s: %w", name, err)
+		}
+		root, err := Parse(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("xmldoc: load %s: %w", name, err)
+		}
+		docs = append(docs, NewDocument(DocID(i+1), root))
+	}
+	return NewCollection(docs)
+}

@@ -1,0 +1,62 @@
+package xmldoc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "b.xml", "<b><x/></b>")
+	writeFile(t, dir, "a.xml", "<a/>")
+	writeFile(t, dir, "notes.txt", "ignore me")
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	// Name-sorted: a.xml gets ID 1.
+	if c.ByID(1).Root.Label != "a" || c.ByID(2).Root.Label != "b" {
+		t.Errorf("documents out of order: %s, %s", c.ByID(1).Root.Label, c.ByID(2).Root.Label)
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir("/does/not/exist"); err == nil {
+		t.Error("missing dir loaded")
+	}
+	empty := t.TempDir()
+	if _, err := LoadDir(empty); err == nil {
+		t.Error("empty dir loaded")
+	}
+	bad := t.TempDir()
+	writeFile(t, bad, "broken.xml", "<a><b>")
+	if _, err := LoadDir(bad); err == nil {
+		t.Error("malformed XML silently accepted")
+	}
+}
+
+func TestLoadDirCaseInsensitiveSuffix(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "UP.XML", "<up/>")
+	c, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if c.Len() != 1 || c.ByID(1).Root.Label != "up" {
+		t.Errorf("uppercase suffix not loaded")
+	}
+}

@@ -1,0 +1,30 @@
+package xpath
+
+import "testing"
+
+// FuzzParse checks that the parser never panics and that accepted inputs
+// round-trip through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"/a", "/a/b/c", "/a//c", "/a/c/*", "//x", "/", "//", "a/b", "/a//", "/body.content/doc-id",
+		"/*/*/*", "/a///b", "/-x", "/a b",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		p, err := Parse(expr)
+		if err != nil {
+			return
+		}
+		back, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", p.String(), expr, err)
+		}
+		if !back.Equal(p) {
+			t.Fatalf("round trip changed %q -> %q", p.String(), back.String())
+		}
+		// Matching must be total (no panics) on arbitrary label paths.
+		p.MatchLabels([]string{"a", "b"})
+		p.MatchLabels(nil)
+	})
+}

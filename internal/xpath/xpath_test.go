@@ -1,0 +1,240 @@
+package xpath
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmldoc"
+)
+
+func TestParseValid(t *testing.T) {
+	tests := []struct {
+		give string
+		want Path
+	}{
+		{"/a", Path{Steps: []Step{{Child, "a"}}}},
+		{"/a/b", Path{Steps: []Step{{Child, "a"}, {Child, "b"}}}},
+		{"/a//c", Path{Steps: []Step{{Child, "a"}, {Descendant, "c"}}}},
+		{"/a/c/*", Path{Steps: []Step{{Child, "a"}, {Child, "c"}, {Child, "*"}}}},
+		{"//b", Path{Steps: []Step{{Descendant, "b"}}}},
+		{"/body.content/doc-id/du_key", Path{Steps: []Step{
+			{Child, "body.content"}, {Child, "doc-id"}, {Child, "du_key"},
+		}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			got, err := Parse(tt.give)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if !got.Equal(tt.want) {
+				t.Errorf("Parse(%q) = %v, want %v", tt.give, got, tt.want)
+			}
+			if got.String() != tt.give {
+				t.Errorf("String() = %q, want %q", got.String(), tt.give)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []string{
+		"",
+		"a/b",    // relative
+		"/",      // empty step
+		"/a//",   // trailing empty step
+		"/a b",   // space in label
+		"/a/&",   // invalid char
+		"/-a",    // leading dash
+		"/a///b", // triple slash
+	}
+	for _, give := range tests {
+		t.Run(give, func(t *testing.T) {
+			if _, err := Parse(give); err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", give)
+			}
+		})
+	}
+}
+
+func TestMatchLabels(t *testing.T) {
+	tests := []struct {
+		expr   string
+		labels []string
+		want   bool
+	}{
+		{"/a/b", []string{"a", "b"}, true},
+		{"/a/b", []string{"a", "b", "c"}, false}, // must match full path
+		{"/a/b", []string{"a"}, false},
+		{"/a/*", []string{"a", "x"}, true},
+		{"/a/*", []string{"a"}, false},
+		{"/a//c", []string{"a", "c"}, true},
+		{"/a//c", []string{"a", "b", "c"}, true},
+		{"/a//c", []string{"a", "b", "b", "c"}, true},
+		{"/a//c", []string{"a", "c", "b"}, false},
+		{"//c", []string{"a", "b", "c"}, true},
+		{"//c", []string{"c"}, true},
+		{"//c", []string{"a", "b"}, false},
+		{"/a//*/b", []string{"a", "x", "b"}, true},
+		{"/a//*/b", []string{"a", "b"}, false},
+		{"/a//b//c", []string{"a", "x", "b", "y", "c"}, true},
+		{"/a//b//c", []string{"a", "c", "b"}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.expr+"~"+strings.Join(tt.labels, "."), func(t *testing.T) {
+			p := MustParse(tt.expr)
+			if got := p.MatchLabels(tt.labels); got != tt.want {
+				t.Errorf("MatchLabels(%v) = %v, want %v", tt.labels, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestZeroPathMatchesNothing(t *testing.T) {
+	var p Path
+	if p.MatchLabels([]string{"a"}) {
+		t.Error("zero path matched a label path")
+	}
+	d := xmldoc.NewDocument(1, xmldoc.El("a"))
+	if p.MatchesDocument(d) {
+		t.Error("zero path matched a document")
+	}
+}
+
+// paperCollection reproduces the five-document running example of the paper
+// (Fig. 2) closely enough to check its query/answer table.
+func paperCollection(t *testing.T) *xmldoc.Collection {
+	t.Helper()
+	docs := []*xmldoc.Document{
+		// d1: /a/b/a, /a/b/c
+		xmldoc.NewDocument(1, xmldoc.El("a", xmldoc.El("b", xmldoc.El("a"), xmldoc.El("c")))),
+		// d2: /a/b/a, /a/b/c (via //c), /a/c/b
+		xmldoc.NewDocument(2, xmldoc.El("a",
+			xmldoc.El("b", xmldoc.El("a"), xmldoc.El("c")),
+			xmldoc.El("c", xmldoc.El("b")))),
+		// d3: /a/b, /a/c leaf
+		xmldoc.NewDocument(3, xmldoc.El("a", xmldoc.El("b"), xmldoc.El("c"))),
+		// d4: /a/c/a
+		xmldoc.NewDocument(4, xmldoc.El("a", xmldoc.El("c", xmldoc.El("a")))),
+		// d5: /a/b, /a/c/a
+		xmldoc.NewDocument(5, xmldoc.El("a", xmldoc.El("b"), xmldoc.El("c", xmldoc.El("a")))),
+	}
+	c, err := xmldoc.NewCollection(docs)
+	if err != nil {
+		t.Fatalf("NewCollection: %v", err)
+	}
+	return c
+}
+
+func TestMatchingDocsPaperExample(t *testing.T) {
+	c := paperCollection(t)
+	tests := []struct {
+		expr string
+		want []xmldoc.DocID
+	}{
+		{"/a/b/a", []xmldoc.DocID{1, 2}},
+		{"/a/c/a", []xmldoc.DocID{4, 5}},
+		{"/a//c", []xmldoc.DocID{1, 2, 3, 4, 5}},
+		{"/a/b", []xmldoc.DocID{1, 2, 3, 5}},
+		{"/a/c/*", []xmldoc.DocID{2, 4, 5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.expr, func(t *testing.T) {
+			got := MustParse(tt.expr).MatchingDocs(c)
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("MatchingDocs(%s) = %v, want %v", tt.expr, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestQuickParseStringRoundTrip: String(Parse(x)) == x is checked above for
+// fixed inputs; here we check Parse(String(p)) == p for random paths.
+func TestQuickParseStringRoundTrip(t *testing.T) {
+	labels := []string{"a", "b", "c", "head", "body.content", "*"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		var p Path
+		for i := 0; i < n; i++ {
+			axis := Child
+			if r.Intn(3) == 0 {
+				axis = Descendant
+			}
+			p.Steps = append(p.Steps, Step{Axis: axis, Label: labels[r.Intn(len(labels))]})
+		}
+		back, err := Parse(p.String())
+		return err == nil && back.Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWildcardRelaxation: replacing a step label by * or a child axis
+// by // can only grow the match set.
+func TestQuickWildcardRelaxation(t *testing.T) {
+	labels := []string{"a", "b", "c"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Random label path of length <= 6.
+		path := make([]string, 1+r.Intn(6))
+		for i := range path {
+			path[i] = labels[r.Intn(len(labels))]
+		}
+		// Random query of the same length as a prefix of path.
+		var p Path
+		for i := range path {
+			p.Steps = append(p.Steps, Step{Axis: Child, Label: path[i]})
+		}
+		if !p.MatchLabels(path) {
+			return false
+		}
+		// Relax a random step.
+		q := Path{Steps: append([]Step(nil), p.Steps...)}
+		i := r.Intn(len(q.Steps))
+		if r.Intn(2) == 0 {
+			q.Steps[i].Label = Wildcard
+		} else {
+			q.Steps[i].Axis = Descendant
+		}
+		return q.MatchLabels(path)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasWildcardsAndDepth(t *testing.T) {
+	tests := []struct {
+		expr      string
+		wildcards bool
+		depth     int
+	}{
+		{"/a/b", false, 2},
+		{"/a//b", true, 2},
+		{"/a/*", true, 2},
+		{"/a/b/c", false, 3},
+	}
+	for _, tt := range tests {
+		p := MustParse(tt.expr)
+		if p.HasWildcards() != tt.wildcards {
+			t.Errorf("%s: HasWildcards() = %v, want %v", tt.expr, p.HasWildcards(), tt.wildcards)
+		}
+		if p.Depth() != tt.depth {
+			t.Errorf("%s: Depth() = %d, want %d", tt.expr, p.Depth(), tt.depth)
+		}
+	}
+}
+
+func TestAxisString(t *testing.T) {
+	if Child.String() != "/" || Descendant.String() != "//" {
+		t.Error("axis strings wrong")
+	}
+	if got := Axis(99).String(); got != "Axis(99)" {
+		t.Errorf("unknown axis = %q", got)
+	}
+}

@@ -1,0 +1,56 @@
+package yfilter
+
+import (
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/gen"
+)
+
+func BenchmarkNew(b *testing.B) {
+	c, err := gen.Documents(gen.DocConfig{Schema: dtd.NITF(), NumDocs: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := gen.Queries(c, gen.QueryConfig{NumQueries: 200, MaxDepth: 6, WildcardProb: 0.2, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(queries)
+	}
+}
+
+func BenchmarkFilterCollection(b *testing.B) {
+	c, err := gen.Documents(gen.DocConfig{Schema: dtd.NITF(), NumDocs: 20, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := gen.Queries(c, gen.QueryConfig{NumQueries: 100, MaxDepth: 6, WildcardProb: 0.2, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := New(queries)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Filter(c)
+	}
+}
+
+func BenchmarkStepMemoised(b *testing.B) {
+	c, err := gen.Documents(gen.DocConfig{Schema: dtd.NITF(), NumDocs: 5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := gen.Queries(c, gen.QueryConfig{NumQueries: 50, MaxDepth: 6, WildcardProb: 0.3, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := New(queries)
+	s := f.Step(f.Start(), "nitf")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Step(s, "body")
+	}
+}

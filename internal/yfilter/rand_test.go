@@ -1,0 +1,8 @@
+package yfilter
+
+import "math/rand"
+
+// newRand is a tiny helper shared by the property tests in this package.
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

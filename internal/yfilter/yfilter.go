@@ -1,0 +1,269 @@
+// Package yfilter implements an NFA-based multi-query filter for the simple
+// XPath fragment, in the style of YFilter (Diao et al., TODS 2003): all
+// pending queries are compiled into one shared-prefix automaton, which is
+// then run over document structure to produce each query's matched-document
+// list. The paper uses YFilter server-side for exactly this step.
+//
+// The automaton exposes a stepping API (Start/Step/Accepting) so that the
+// same machine drives three consumers: document filtering here, CI-node
+// matching for index pruning in package core, and client-side index
+// navigation in the simulator.
+package yfilter
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/dataguide"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// state is one NFA state.
+type state struct {
+	// byLabel are label-consuming transitions.
+	byLabel map[string]int
+	// star is the wildcard-consuming transition target, or -1.
+	star int
+	// desc is the ε-reachable descendant state (for `//` steps), or -1.
+	// A descendant state loops on any label.
+	desc int
+	// selfLoop marks a descendant state, which stays active on any label.
+	selfLoop bool
+	// accept lists indices of queries accepting in this state.
+	accept []int
+}
+
+// Filter is a compiled query set. It is immutable after New and safe for
+// concurrent readers.
+type Filter struct {
+	states  []state
+	queries []xpath.Path
+
+	// dfa memoises subset-construction steps: key is the encoded state set
+	// plus the consumed label. It is lazily filled; access is not
+	// synchronised, so concurrent users must not share one Filter for
+	// stepping. (The simulator builds one Filter per broadcast server.)
+	dfa map[string]StateSet
+}
+
+// New compiles a query set into a shared NFA.
+func New(queries []xpath.Path) *Filter {
+	f := &Filter{
+		queries: append([]xpath.Path(nil), queries...),
+		dfa:     make(map[string]StateSet),
+	}
+	f.states = append(f.states, newState()) // state 0: initial
+	for qi, q := range queries {
+		cur := 0
+		for _, step := range q.Steps {
+			if step.Axis == xpath.Descendant {
+				cur = f.descState(cur)
+			}
+			cur = f.consume(cur, step.Label)
+		}
+		f.states[cur].accept = append(f.states[cur].accept, qi)
+	}
+	return f
+}
+
+func newState() state {
+	return state{byLabel: make(map[string]int), star: -1, desc: -1}
+}
+
+// descState returns (creating if needed) the ε-descendant state of s.
+func (f *Filter) descState(s int) int {
+	if f.states[s].desc >= 0 {
+		return f.states[s].desc
+	}
+	id := len(f.states)
+	ns := newState()
+	ns.selfLoop = true
+	f.states = append(f.states, ns)
+	f.states[s].desc = id
+	return id
+}
+
+// consume returns (creating if needed) the transition target of s on label.
+func (f *Filter) consume(s int, label string) int {
+	if label == xpath.Wildcard {
+		if f.states[s].star >= 0 {
+			return f.states[s].star
+		}
+		id := len(f.states)
+		f.states = append(f.states, newState())
+		f.states[s].star = id
+		return id
+	}
+	if t, ok := f.states[s].byLabel[label]; ok {
+		return t
+	}
+	id := len(f.states)
+	f.states = append(f.states, newState())
+	f.states[s].byLabel[label] = id
+	return id
+}
+
+// NumQueries reports the number of compiled queries.
+func (f *Filter) NumQueries() int { return len(f.queries) }
+
+// NumStates reports the number of NFA states (a size diagnostic).
+func (f *Filter) NumStates() int { return len(f.states) }
+
+// Queries returns the compiled queries in index order. Callers must not
+// mutate the result.
+func (f *Filter) Queries() []xpath.Path { return f.queries }
+
+// StateSet is a sorted, deduplicated set of active NFA states. The zero
+// value is the empty set, which no Step can leave.
+type StateSet struct {
+	ids []int32
+}
+
+// Empty reports whether no state is active; once empty, a run can be
+// abandoned.
+func (s StateSet) Empty() bool { return len(s.ids) == 0 }
+
+func (s StateSet) key() string {
+	var b strings.Builder
+	b.Grow(len(s.ids) * 3)
+	for _, id := range s.ids {
+		b.WriteByte(byte(id))
+		b.WriteByte(byte(id >> 8))
+		b.WriteByte(byte(id >> 16))
+	}
+	return b.String()
+}
+
+// Start returns the initial state set: the ε-closure of state 0.
+func (f *Filter) Start() StateSet {
+	return f.closure([]int32{0})
+}
+
+// closure adds ε-reachable descendant states and returns the normalised set.
+func (f *Filter) closure(ids []int32) StateSet {
+	seen := make(map[int32]struct{}, len(ids)*2)
+	work := append([]int32(nil), ids...)
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		if _, ok := seen[id]; ok {
+			continue
+		}
+		seen[id] = struct{}{}
+		if d := f.states[id].desc; d >= 0 {
+			work = append(work, int32(d))
+		}
+	}
+	out := make([]int32, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return StateSet{ids: out}
+}
+
+// Step consumes one element label and returns the next state set. Results
+// are memoised (lazy DFA), so repeated structure — ubiquitous when scanning
+// DataGuides — costs one map hit per (set, label) pair.
+func (f *Filter) Step(s StateSet, label string) StateSet {
+	if s.Empty() {
+		return s
+	}
+	key := s.key() + "\x00" + label
+	if next, ok := f.dfa[key]; ok {
+		return next
+	}
+	var next []int32
+	for _, id := range s.ids {
+		st := &f.states[id]
+		if t, ok := st.byLabel[label]; ok {
+			next = append(next, int32(t))
+		}
+		if st.star >= 0 {
+			next = append(next, int32(st.star))
+		}
+		if st.selfLoop {
+			next = append(next, id)
+		}
+	}
+	result := f.closure(next)
+	f.dfa[key] = result
+	return result
+}
+
+// Accepting returns the indices of queries accepting in the state set,
+// sorted and deduplicated. A nil result means no query matches here.
+func (f *Filter) Accepting(s StateSet) []int {
+	var out []int
+	seen := make(map[int]struct{})
+	for _, id := range s.ids {
+		for _, qi := range f.states[id].accept {
+			if _, ok := seen[qi]; !ok {
+				seen[qi] = struct{}{}
+				out = append(out, qi)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MatchDocument returns the indices of queries matched by the document.
+func (f *Filter) MatchDocument(d *xmldoc.Document) []int {
+	g := dataguide.Build(d)
+	matched := make(map[int]struct{})
+	f.walkGuide(g, f.Start(), func(_ *dataguide.Guide, accepted []int) {
+		for _, qi := range accepted {
+			matched[qi] = struct{}{}
+		}
+	})
+	out := make([]int, 0, len(matched))
+	for qi := range matched {
+		out = append(out, qi)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Filter evaluates all queries over the collection. The result has one
+// sorted DocID slice per query, in query index order.
+func (f *Filter) Filter(c *xmldoc.Collection) [][]xmldoc.DocID {
+	results := make([][]xmldoc.DocID, len(f.queries))
+	for _, d := range c.Docs() {
+		for _, qi := range f.MatchDocument(d) {
+			results[qi] = append(results[qi], d.ID)
+		}
+	}
+	return results
+}
+
+// MatchGuideNodes runs the automaton over a merged DataGuide and invokes
+// visit for every node where at least one query accepts, passing the
+// accepting query indices. This is the "check each node in CI against the
+// query DFA" step of the paper's pruning procedure.
+func (f *Filter) MatchGuideNodes(forest *dataguide.Forest, visit func(node *dataguide.Guide, queries []int)) {
+	for _, root := range forest.Roots {
+		f.walkGuide(root, f.Start(), func(n *dataguide.Guide, accepted []int) {
+			if len(accepted) > 0 {
+				visit(n, accepted)
+			}
+		})
+	}
+}
+
+// walkGuide advances the automaton down a guide trie, invoking visit at
+// every node with the queries accepting there (possibly none).
+func (f *Filter) walkGuide(g *dataguide.Guide, s StateSet, visit func(node *dataguide.Guide, accepted []int)) {
+	if g == nil || s.Empty() {
+		return
+	}
+	next := f.Step(s, g.Label)
+	if next.Empty() {
+		return
+	}
+	visit(g, f.Accepting(next))
+	for _, c := range g.Children {
+		f.walkGuide(c, next, visit)
+	}
+}

@@ -1,0 +1,50 @@
+package repro
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/netcast"
+)
+
+// Networked broadcast (package netcast): the paper's Fig. 1 system over real
+// TCP sockets — an uplink for query submission and a broadcast downlink
+// streaming cycle frames in the wire format.
+type (
+	// BroadcastServer is a running broadcast station.
+	BroadcastServer = netcast.Server
+	// BroadcastServerConfig parameterises StartBroadcastServer.
+	BroadcastServerConfig = netcast.ServerConfig
+	// BroadcastClient is a mobile client over TCP.
+	BroadcastClient = netcast.Client
+	// BroadcastClientStats accounts one networked retrieval.
+	BroadcastClientStats = netcast.ClientStats
+)
+
+// StartBroadcastServer binds the uplink and broadcast listeners and starts
+// the cycle loop. Stop with (*BroadcastServer).Shutdown.
+func StartBroadcastServer(cfg BroadcastServerConfig) (*BroadcastServer, error) {
+	return netcast.StartServer(cfg)
+}
+
+// DialBroadcast connects a client to a server's uplink and broadcast
+// addresses. A zero SizeModel selects the default widths (which must match
+// the server's).
+func DialBroadcast(uplinkAddr, broadcastAddr string, model SizeModel) (*BroadcastClient, error) {
+	return netcast.Dial(uplinkAddr, broadcastAddr, model)
+}
+
+// CycleRecord is one captured broadcast cycle.
+type CycleRecord = netcast.CycleRecord
+
+// RecordBroadcast subscribes to a broadcast address and writes numCycles
+// complete cycles into w as a capture file.
+func RecordBroadcast(ctx context.Context, broadcastAddr string, numCycles int, w io.Writer) (int, error) {
+	return netcast.Record(ctx, broadcastAddr, numCycles, w)
+}
+
+// ReadBroadcastCapture parses a capture file into cycle records whose index
+// and offset segments can be decoded and inspected.
+func ReadBroadcastCapture(r io.Reader) ([]CycleRecord, error) {
+	return netcast.ReadCapture(r)
+}

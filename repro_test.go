@@ -1,0 +1,198 @@
+package repro_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	coll, err := repro.GenerateDocuments(repro.NITFSchema, 20, 1)
+	if err != nil {
+		t.Fatalf("GenerateDocuments: %v", err)
+	}
+	if coll.Len() != 20 {
+		t.Fatalf("Len = %d", coll.Len())
+	}
+	idx, err := repro.BuildIndex(coll)
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	queries, err := repro.GenerateQueries(coll, 10, 5, 0.2, 2)
+	if err != nil {
+		t.Fatalf("GenerateQueries: %v", err)
+	}
+	// Index lookups agree with the server-side filter.
+	answers := repro.FilterDocuments(coll, queries)
+	for i, q := range queries {
+		if got := idx.Lookup(q).Docs; !reflect.DeepEqual(got, answers[i]) {
+			t.Errorf("query %s: lookup %v, filter %v", q, got, answers[i])
+		}
+	}
+	// Prune and check transparency.
+	pci, st, err := idx.Prune(queries)
+	if err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	if st.NodesAfter > st.NodesBefore {
+		t.Errorf("pruning grew the index: %+v", st)
+	}
+	for i, q := range queries {
+		if got := pci.Lookup(q).Docs; !reflect.DeepEqual(got, answers[i]) {
+			t.Errorf("query %s over PCI: %v, want %v", q, got, answers[i])
+		}
+	}
+	// Two-tier layout is smaller.
+	if pci.Size(repro.FirstTier) >= pci.Size(repro.OneTier) {
+		t.Error("first tier not smaller than one tier")
+	}
+}
+
+func TestPublicAPISimulation(t *testing.T) {
+	coll, err := repro.GenerateDocuments(repro.NASASchema, 12, 3)
+	if err != nil {
+		t.Fatalf("GenerateDocuments: %v", err)
+	}
+	queries, err := repro.GenerateQueries(coll, 8, 4, 0.1, 4)
+	if err != nil {
+		t.Fatalf("GenerateQueries: %v", err)
+	}
+	reqs := make([]repro.ClientRequest, len(queries))
+	for i, q := range queries {
+		reqs[i] = repro.ClientRequest{Query: q, Arrival: int64(i) * 100}
+	}
+	sched, err := repro.NewScheduler("leelo")
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	res, err := repro.Simulate(repro.SimulationConfig{
+		Collection:    coll,
+		Mode:          repro.TwoTierMode,
+		Scheduler:     sched,
+		CycleCapacity: 3 * coll.TotalSize() / coll.Len(),
+		Requests:      reqs,
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if len(res.Clients) != len(reqs) || res.NumCycles() == 0 {
+		t.Fatalf("result incomplete: %d clients, %d cycles", len(res.Clients), res.NumCycles())
+	}
+	if res.MeanIndexTuningBytes() <= 0 || res.MeanAccessBytes() <= 0 {
+		t.Error("aggregates not positive")
+	}
+}
+
+func TestPublicAPIParsers(t *testing.T) {
+	q, err := repro.ParseQuery("/a//b/*")
+	if err != nil {
+		t.Fatalf("ParseQuery: %v", err)
+	}
+	if q.String() != "/a//b/*" {
+		t.Errorf("String = %q", q.String())
+	}
+	if _, err := repro.ParseQuery("not a path"); err == nil {
+		t.Error("bad query parsed")
+	}
+	d, err := repro.ParseDocument(7, strings.NewReader("<a><b>x</b></a>"))
+	if err != nil {
+		t.Fatalf("ParseDocument: %v", err)
+	}
+	if d.ID != 7 || d.Root.Label != "a" {
+		t.Errorf("document = %+v", d)
+	}
+	if _, err := repro.ParseDocument(1, strings.NewReader("<a>")); err == nil {
+		t.Error("bad document parsed")
+	}
+	c, err := repro.NewCollection([]*repro.Document{d})
+	if err != nil || c.Len() != 1 {
+		t.Errorf("NewCollection: %v", err)
+	}
+}
+
+func TestPublicAPIGeneratorsErrors(t *testing.T) {
+	if _, err := repro.GenerateDocuments("bogus", 1, 1); err == nil {
+		t.Error("bogus schema accepted")
+	}
+	if _, err := repro.NewScheduler("bogus"); err == nil {
+		t.Error("bogus scheduler accepted")
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	if len(repro.Experiments()) < 10 {
+		t.Errorf("only %d experiments", len(repro.Experiments()))
+	}
+	cfg := repro.DefaultExperimentConfig()
+	cfg.NumDocs = 10
+	cfg.NQ = 15
+	cfg.CycleCapacity = 50_000
+	tbl, err := repro.RunExperiment("setup", cfg)
+	if err != nil {
+		t.Fatalf("RunExperiment: %v", err)
+	}
+	if !strings.Contains(tbl.Render(), "N_Q") {
+		t.Error("setup table missing N_Q")
+	}
+	if _, err := repro.RunExperiment("nope", cfg); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	var buf bytes.Buffer
+	if err := repro.RunAllExperiments(&buf, cfg); err != nil {
+		t.Fatalf("RunAllExperiments: %v", err)
+	}
+	if !strings.Contains(buf.String(), "## claims") {
+		t.Error("RunAllExperiments output missing claims")
+	}
+}
+
+func TestDefaultSizeModel(t *testing.T) {
+	m := repro.DefaultSizeModel()
+	if m.PacketBytes != 128 || m.DocIDBytes != 2 || m.PointerBytes != 4 {
+		t.Errorf("unexpected default model: %+v", m)
+	}
+}
+
+func TestFacadeCoverageHelpers(t *testing.T) {
+	if len(repro.SchedulerNames()) != 4 {
+		t.Errorf("SchedulerNames = %v", repro.SchedulerNames())
+	}
+	coll, err := repro.GenerateDocuments(repro.NITFSchema, 3, 1)
+	if err != nil {
+		t.Fatalf("GenerateDocuments: %v", err)
+	}
+	m := repro.DefaultSizeModel()
+	m.PacketBytes = 64
+	ix, err := repro.BuildIndexWithModel(coll, m)
+	if err != nil {
+		t.Fatalf("BuildIndexWithModel: %v", err)
+	}
+	if ix.Model.PacketBytes != 64 {
+		t.Errorf("model not applied: %+v", ix.Model)
+	}
+	if _, err := repro.BuildIndexWithModel(coll, repro.SizeModel{}); err == nil {
+		t.Error("zero model accepted")
+	}
+}
+
+func TestFacadeLoadCollection(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "one.xml"), []byte("<a><b/></a>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	coll, err := repro.LoadCollection(dir)
+	if err != nil {
+		t.Fatalf("LoadCollection: %v", err)
+	}
+	if coll.Len() != 1 {
+		t.Errorf("Len = %d", coll.Len())
+	}
+	if _, err := repro.LoadCollection("/does/not/exist"); err == nil {
+		t.Error("missing dir loaded")
+	}
+}

@@ -1,0 +1,51 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestStressLargeWorkload runs the system well above the paper's scale —
+// 500 documents (~5.6 MB) and 2000 concurrent requests — as a bounded
+// soak test of the whole pipeline. Skipped in -short mode.
+func TestStressLargeWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	coll, err := repro.GenerateDocuments(repro.NITFSchema, 500, 11)
+	if err != nil {
+		t.Fatalf("GenerateDocuments: %v", err)
+	}
+	queries, err := repro.GenerateQueries(coll, 200, 6, 0.15, 12)
+	if err != nil {
+		t.Fatalf("GenerateQueries: %v", err)
+	}
+	reqs, err := repro.GenerateWorkload(queries, 2000, 1.3, 50, 13)
+	if err != nil {
+		t.Fatalf("GenerateWorkload: %v", err)
+	}
+	res, err := repro.Simulate(repro.SimulationConfig{
+		Collection:    coll,
+		Mode:          repro.TwoTierMode,
+		CycleCapacity: 200_000,
+		Requests:      reqs,
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if len(res.Clients) != 2000 {
+		t.Fatalf("%d clients finished", len(res.Clients))
+	}
+	for i, cl := range res.Clients {
+		if cl.Completed < cl.Arrival || len(cl.Docs) == 0 {
+			t.Fatalf("client %d incomplete: %+v", i, cl)
+		}
+	}
+	if res.MeanIndexTuningBytes() <= 0 {
+		t.Error("no tuning recorded")
+	}
+	t.Logf("stress: %d cycles, mean cycle %.0f B, tuning %.0f B, access %.0f B, %0.1f cycles/query",
+		res.NumCycles(), res.MeanCycleBytes(), res.MeanIndexTuningBytes(),
+		res.MeanAccessBytes(), res.MeanCyclesListened())
+}
