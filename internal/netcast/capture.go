@@ -13,8 +13,13 @@ import (
 	"repro/internal/xmldoc"
 )
 
-// captureMagic heads a capture file.
-const captureMagic = "XBCAST1\n"
+// captureMagic heads a capture file. Version 2 captures hold checksummed v2
+// frames; version 1 captures (legacy magic, plain 5-byte frame headers)
+// still parse.
+const (
+	captureMagic   = "XBCAST2\n"
+	captureMagicV1 = "XBCAST1\n"
+)
 
 // Record subscribes to a broadcast address and copies numCycles complete
 // cycles (from cycle head to the last document frame) into w, producing a
@@ -117,13 +122,20 @@ func (r *CycleRecord) SecondTier(m core.SizeModel) ([]wire.SecondTierEntry, erro
 }
 
 // ReadCapture parses a capture file into complete cycle records. A trailing
-// partial cycle (recording cut mid-cycle) is dropped.
+// partial cycle (recording cut mid-cycle) is dropped; a corrupt frame in
+// the middle of a capture is an error, never a panic. Both v2 (checksummed)
+// and legacy v1 captures are accepted.
 func ReadCapture(r io.Reader) ([]CycleRecord, error) {
 	magic := make([]byte, len(captureMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
 		return nil, fmt.Errorf("netcast: capture header: %w", err)
 	}
-	if string(magic) != captureMagic {
+	read := readFrame
+	switch string(magic) {
+	case captureMagic:
+	case captureMagicV1:
+		read = readFrameV1
+	default:
 		return nil, fmt.Errorf("netcast: not a capture file")
 	}
 	var (
@@ -131,7 +143,7 @@ func ReadCapture(r io.Reader) ([]CycleRecord, error) {
 		cur     *CycleRecord
 	)
 	for {
-		t, payload, err := readFrame(r)
+		t, payload, err := read(r)
 		if errors.Is(err, io.EOF) {
 			break
 		}

@@ -1,0 +1,186 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestFaulterDeterministic: the same seed and stream must produce identical
+// output regardless of chunking.
+func TestFaulterDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, FlipProb: 0.01, DropProb: 0.005}
+	stream := make([]byte, 10000)
+	for i := range stream {
+		stream[i] = byte(i * 31)
+	}
+	run := func(chunkSizes []int) []byte {
+		f := newFaulter(cfg, 7, &counters{})
+		var out []byte
+		rest := append([]byte(nil), stream...)
+		i := 0
+		for len(rest) > 0 {
+			n := chunkSizes[i%len(chunkSizes)]
+			if n > len(rest) {
+				n = len(rest)
+			}
+			i++
+			chunk := append([]byte(nil), rest[:n]...)
+			rest = rest[n:]
+			o, _ := f.process(chunk)
+			out = append(out, o...)
+		}
+		return out
+	}
+	a := run([]int{10000})
+	b := run([]int{1})
+	c := run([]int{7, 512, 3})
+	if !bytes.Equal(a, b) || !bytes.Equal(a, c) {
+		t.Fatal("fault pattern depends on chunking")
+	}
+	if bytes.Equal(a, stream) {
+		t.Fatal("no faults injected at these rates over 10 kB")
+	}
+}
+
+// TestFaulterSeedsDiffer: different seeds (or connection numbers) must fault
+// different positions.
+func TestFaulterSeedsDiffer(t *testing.T) {
+	stream := make([]byte, 10000)
+	p := func(seed, conn int64) []byte {
+		f := newFaulter(Config{Seed: seed, FlipProb: 0.01}, conn, &counters{})
+		out, _ := f.process(append([]byte(nil), stream...))
+		return out
+	}
+	if bytes.Equal(p(1, 0), p(2, 0)) {
+		t.Error("seeds 1 and 2 faulted identically")
+	}
+	if bytes.Equal(p(1, 0), p(1, 1)) {
+		t.Error("connections 0 and 1 faulted identically")
+	}
+}
+
+// TestFaulterRates: injected fault counts land near the configured
+// per-byte probabilities.
+func TestFaulterRates(t *testing.T) {
+	ctr := &counters{}
+	f := newFaulter(Config{Seed: 3, FlipProb: 0.01, DropProb: 0.01}, 0, ctr)
+	n := 200000
+	out, _ := f.process(make([]byte, n))
+	st := ctr.snapshot()
+	wantLo, wantHi := int64(float64(n)*0.005), int64(float64(n)*0.02)
+	if st.BitFlips < wantLo || st.BitFlips > wantHi {
+		t.Errorf("flips = %d, want within [%d,%d]", st.BitFlips, wantLo, wantHi)
+	}
+	if st.Drops < wantLo || st.Drops > wantHi {
+		t.Errorf("drops = %d, want within [%d,%d]", st.Drops, wantLo, wantHi)
+	}
+	if len(out) != n-int(st.Drops) {
+		t.Errorf("output %d bytes, want %d", len(out), n-int(st.Drops))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{FlipProb: 0.5}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{FlipProb: 1.5}).Validate(); err == nil {
+		t.Error("FlipProb 1.5 accepted")
+	}
+	if err := (Config{MaxDelay: -time.Second}).Validate(); err == nil {
+		t.Error("negative delay accepted")
+	}
+}
+
+// TestProxyForwardsAndKills: a clean proxy is transparent; KillAll drops
+// live links but new connections still work.
+func TestProxyForwardsAndKills(t *testing.T) {
+	// Echo server.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+
+	p, err := NewProxy(ln.Addr().String(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("hello through the proxy")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatalf("echo read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q, want %q", got, msg)
+	}
+
+	if n := p.KillAll(); n != 1 {
+		t.Errorf("KillAll killed %d links, want 1", n)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(got); err == nil {
+		t.Error("read succeeded on a killed link")
+	}
+
+	// The proxy still accepts fresh connections after KillAll.
+	conn2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("redial after KillAll: %v", err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	conn2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn2, got); err != nil {
+		t.Fatalf("echo after reconnect: %v", err)
+	}
+	if st := p.Stats(); st.Conns != 2 || st.Kills < 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestWrappedConnKill: KillProb eventually severs a wrapped connection.
+func TestWrappedConnKill(t *testing.T) {
+	server, client := net.Pipe()
+	defer server.Close()
+	wrapped := WrapConn(client, Config{Seed: 9, KillProb: 0.01}, 0)
+	go func() {
+		buf := make([]byte, 1024)
+		for i := 0; i < 100; i++ {
+			if _, err := server.Write(buf); err != nil {
+				return
+			}
+		}
+	}()
+	buf := make([]byte, 1024)
+	for i := 0; i < 100; i++ {
+		if _, err := wrapped.Read(buf); err != nil {
+			return // killed, as expected
+		}
+	}
+	t.Fatal("connection survived 100 kB at KillProb 1%")
+}

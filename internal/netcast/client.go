@@ -1,10 +1,12 @@
 package netcast
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/binary"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sort"
 	"strconv"
@@ -24,18 +26,52 @@ type ClientStats struct {
 	// segments, second tiers and matching documents.
 	TuningBytes int64
 	// DozeBytes counts broadcast bytes the client slept through (frames it
-	// skipped without reading their payloads into the protocol).
+	// skipped without reading their payloads into the protocol), plus bytes
+	// discarded while rescanning for a frame boundary after corruption.
 	DozeBytes int64
 	// Cycles is the number of cycle heads observed.
 	Cycles int
+	// Resyncs counts mid-stream recoveries: a corrupt, truncated or
+	// undecodable frame made the client drop its cycle state and rescan the
+	// byte stream for the next cycle head.
+	Resyncs int
+	// Reconnects counts broadcast connections re-established after the
+	// downlink dropped mid-retrieval.
+	Reconnects int
 }
 
+// Reconnect backoff bounds: the delay starts at reconnectBaseDelay, doubles
+// per failed dial up to reconnectMaxDelay, and each wait adds up to 50%
+// random jitter so a fleet of clients dropped together doesn't redial in
+// lockstep.
+const (
+	reconnectBaseDelay = 25 * time.Millisecond
+	reconnectMaxDelay  = 2 * time.Second
+)
+
+// downlinkBufSize sizes the broadcast-side read buffer (also the window the
+// resync scanner works within).
+const downlinkBufSize = 64 << 10
+
+// defaultAckTimeout bounds Submit's wait for the server's ack.
+const defaultAckTimeout = 10 * time.Second
+
 // Client is a mobile client: an uplink connection for submissions and a
-// downlink subscription to the broadcast stream.
+// downlink subscription to the broadcast stream. A Client is not safe for
+// concurrent use.
 type Client struct {
 	model core.SizeModel
 	up    net.Conn
 	down  net.Conn
+	br    *bufio.Reader // buffered downlink; recreated on reconnect
+
+	upAddr, downAddr string // redial targets for recovery
+
+	// AckTimeout bounds how long Submit waits for the server's ack before
+	// failing instead of hanging on a stalled server. Zero disables the
+	// deadline. Dial sets it to 10 s.
+	AckTimeout time.Duration
+
 	// coveredFrom is the first cycle number whose index covers the last
 	// submitted query (from the server's ack); earlier cycles' indexes are
 	// slept through during Retrieve.
@@ -56,7 +92,15 @@ func Dial(uplinkAddr, broadcastAddr string, model core.SizeModel) (*Client, erro
 		up.Close()
 		return nil, fmt.Errorf("netcast: dial broadcast: %w", err)
 	}
-	return &Client{model: model, up: up, down: down}, nil
+	return &Client{
+		model:      model,
+		up:         up,
+		down:       down,
+		br:         bufio.NewReaderSize(down, downlinkBufSize),
+		upAddr:     uplinkAddr,
+		downAddr:   broadcastAddr,
+		AckTimeout: defaultAckTimeout,
+	}, nil
 }
 
 // Close releases both connections.
@@ -65,10 +109,15 @@ func (c *Client) Close() {
 	c.down.Close()
 }
 
-// Submit sends one query over the uplink and waits for the server's ack.
+// Submit sends one query over the uplink and waits for the server's ack,
+// for at most AckTimeout.
 func (c *Client) Submit(q xpath.Path) error {
 	if err := writeFrame(c.up, FrameQuery, []byte(q.String())); err != nil {
 		return fmt.Errorf("netcast: submit: %w", err)
+	}
+	if c.AckTimeout > 0 {
+		_ = c.up.SetReadDeadline(time.Now().Add(c.AckTimeout))
+		defer c.up.SetReadDeadline(time.Time{})
 	}
 	t, payload, err := readFrame(c.up)
 	if err != nil {
@@ -95,6 +144,15 @@ func (c *Client) Submit(q xpath.Path) error {
 // Retrieve follows the access protocol over the broadcast stream until every
 // result document of q has been received, returning the parsed documents in
 // ID order. The context bounds the wait.
+//
+// Retrieve survives an unreliable downlink. A corrupt, truncated or
+// undecodable frame drops the current cycle's state and rescans the byte
+// stream for the next cycle head (the protocol is self-describing; the next
+// index re-covers the query). A failed read redials the broadcast address
+// with capped exponential backoff plus jitter. Both recoveries preserve the
+// documents already received, and both resubmit q over the uplink so the
+// server rebroadcasts anything the client may have missed (the server
+// retires a request once its documents have been *sent*, not received).
 func (c *Client) Retrieve(ctx context.Context, q xpath.Path) ([]*xmldoc.Document, ClientStats, error) {
 	var (
 		stats     ClientStats
@@ -107,24 +165,124 @@ func (c *Client) Retrieve(ctx context.Context, q xpath.Path) ([]*xmldoc.Document
 		wantThis  map[xmldoc.DocID]struct{} // docs to catch this cycle
 		got       = make(map[xmldoc.DocID]*xmldoc.Document)
 	)
-	if deadline, ok := ctx.Deadline(); ok {
-		_ = c.down.SetReadDeadline(deadline)
-		defer c.down.SetReadDeadline(time.Time{})
+	applyDeadline := func() {
+		if deadline, ok := ctx.Deadline(); ok {
+			_ = c.down.SetReadDeadline(deadline)
+		}
 	}
+	applyDeadline()
+	defer func() { _ = c.down.SetReadDeadline(time.Time{}) }()
+
+	// dropCycle forgets mid-cycle state after corruption or disconnect; the
+	// received-document state (got/remaining) is kept.
+	dropCycle := func() {
+		inCycle = false
+		twoTier = false
+		head = nil
+		wantThis = nil
+	}
+
+	// resync recovers from in-stream corruption: count it, drop cycle
+	// state, re-register the query, and rescan for the next cycle head.
+	// Returns an I/O error if the scan hits one (caller then reconnects).
+	resync := func() error {
+		stats.Resyncs++
+		dropCycle()
+		c.resubmit(q)
+		for {
+			payload, skipped, err := resyncFrame(c.br, FrameCycleHead)
+			stats.DozeBytes += skipped
+			if err != nil {
+				return err
+			}
+			h, derr := decodeCycleHead(payload)
+			if derr != nil {
+				// Checksum-valid but undecodable (shouldn't happen with an
+				// honest server); keep scanning.
+				stats.DozeBytes += int64(len(payload))
+				continue
+			}
+			head = h
+			inCycle = true
+			twoTier = h.TwoTier
+			stats.Cycles++
+			return nil
+		}
+	}
+
+	// reconnect redials the broadcast address with capped exponential
+	// backoff and jitter, then re-registers the query.
+	reconnect := func() error {
+		dropCycle()
+		c.down.Close()
+		delay := reconnectBaseDelay
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			conn, err := net.DialTimeout("tcp", c.downAddr, 5*time.Second)
+			if err == nil {
+				c.down = conn
+				c.br = bufio.NewReaderSize(conn, downlinkBufSize)
+				applyDeadline()
+				stats.Reconnects++
+				c.resubmit(q)
+				return nil
+			}
+			jittered := delay + time.Duration(rand.Int64N(int64(delay)/2+1))
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(jittered):
+			}
+			if delay *= 2; delay > reconnectMaxDelay {
+				delay = reconnectMaxDelay
+			}
+		}
+	}
+
+	// recoverStream routes a failure to the right recovery: resync within
+	// the stream for detected corruption, reconnect for connection loss.
+	recoverStream := func(err error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if isCorrupt(err) {
+			err = resync()
+			if err == nil {
+				return nil
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		if err := reconnect(); err != nil {
+			return fmt.Errorf("netcast: broadcast reconnect: %w", err)
+		}
+		return nil
+	}
+
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, stats, err
 		}
-		t, payload, err := readFrame(c.down)
+		t, payload, err := readFrame(c.br)
 		if err != nil {
-			return nil, stats, fmt.Errorf("netcast: broadcast read: %w", err)
+			if err := recoverStream(err); err != nil {
+				return nil, stats, err
+			}
+			continue
 		}
 		switch t {
 		case FrameCycleHead:
-			head, err = decodeCycleHead(payload)
-			if err != nil {
-				return nil, stats, err
+			h, derr := decodeCycleHead(payload)
+			if derr != nil {
+				if err := recoverStream(errFrameCorrupt); err != nil {
+					return nil, stats, err
+				}
+				continue
 			}
+			head = h
 			inCycle = true
 			twoTier = head.TwoTier
 			wantThis = nil
@@ -146,9 +304,12 @@ func (c *Client) Retrieve(ctx context.Context, q xpath.Path) ([]*xmldoc.Document
 				continue
 			}
 			stats.TuningBytes += int64(len(payload))
-			docs, offs, err := c.decodeAndNavigate(payload, head, nav, twoTier)
-			if err != nil {
-				return nil, stats, err
+			docs, offs, derr := c.decodeAndNavigate(payload, head, nav, twoTier)
+			if derr != nil {
+				if err := recoverStream(errFrameCorrupt); err != nil {
+					return nil, stats, err
+				}
+				continue
 			}
 			if !knowsDocs {
 				for _, d := range docs {
@@ -172,9 +333,12 @@ func (c *Client) Retrieve(ctx context.Context, q xpath.Path) ([]*xmldoc.Document
 				continue
 			}
 			stats.TuningBytes += int64(len(payload))
-			entries, err := wire.DecodeSecondTier(payload, c.model)
-			if err != nil {
-				return nil, stats, err
+			entries, derr := wire.DecodeSecondTier(payload, c.model)
+			if derr != nil {
+				if err := recoverStream(errFrameCorrupt); err != nil {
+					return nil, stats, err
+				}
+				continue
 			}
 			wantThis = make(map[xmldoc.DocID]struct{})
 			for _, e := range entries {
@@ -184,7 +348,10 @@ func (c *Client) Retrieve(ctx context.Context, q xpath.Path) ([]*xmldoc.Document
 			}
 		case FrameDoc:
 			if len(payload) < 2 {
-				return nil, stats, fmt.Errorf("netcast: short doc frame")
+				if err := recoverStream(errFrameCorrupt); err != nil {
+					return nil, stats, err
+				}
+				continue
 			}
 			id := xmldoc.DocID(binary.LittleEndian.Uint16(payload))
 			if _, want := wantThis[id]; !want {
@@ -192,20 +359,53 @@ func (c *Client) Retrieve(ctx context.Context, q xpath.Path) ([]*xmldoc.Document
 				continue
 			}
 			stats.TuningBytes += int64(len(payload) - 2)
-			root, err := xmldoc.Parse(bytes.NewReader(payload[2:]))
-			if err != nil {
-				return nil, stats, fmt.Errorf("netcast: doc %d: %w", id, err)
+			root, derr := xmldoc.Parse(bytes.NewReader(payload[2:]))
+			if derr != nil {
+				if err := recoverStream(errFrameCorrupt); err != nil {
+					return nil, stats, err
+				}
+				continue
 			}
 			got[id] = xmldoc.NewDocument(id, root)
 			delete(remaining, id)
 			delete(wantThis, id)
-			if knowsDocs && len(remaining) == 0 {
-				return collect(got), stats, nil
-			}
 		default:
-			return nil, stats, fmt.Errorf("netcast: unexpected frame type %d", t)
+			// A checksum-valid frame of unknown type means version skew or a
+			// scan that locked onto the wrong boundary; resynchronise.
+			if err := recoverStream(errFrameCorrupt); err != nil {
+				return nil, stats, err
+			}
+			continue
+		}
+		// The retrieval is complete as soon as the remaining set drains —
+		// including right after index decode when the query's result set was
+		// already fully received, so a zero-remaining client returns
+		// immediately instead of spinning until the context deadline.
+		if knowsDocs && len(remaining) == 0 {
+			return collect(got), stats, nil
 		}
 	}
+}
+
+// resubmit re-registers q after a resync or reconnect: the server retires a
+// request once its documents have been broadcast, so anything this client
+// missed is only rebroadcast if the query is pending again. Best effort —
+// if the uplink died with the downlink it is redialed once; a still-failing
+// uplink is left for the next recovery to retry.
+func (c *Client) resubmit(q xpath.Path) {
+	if c.up == nil {
+		return // listen-only client (e.g. capture replay); nothing to re-register
+	}
+	if c.Submit(q) == nil {
+		return
+	}
+	conn, err := net.DialTimeout("tcp", c.upAddr, 5*time.Second)
+	if err != nil {
+		return
+	}
+	c.up.Close()
+	c.up = conn
+	_ = c.Submit(q)
 }
 
 // decodeAndNavigate decodes an index segment and runs the client's query

@@ -6,13 +6,20 @@
 // stream, so the whole pipeline (index build → prune → pack → encode →
 // decode → navigate → retrieve) is exercised end to end on the wire.
 //
-// Framing is length-prefixed: 1 type byte, 4 length bytes (little endian),
-// then the payload.
+// Framing (protocol version 2) is length-prefixed and checksummed: 2 sync
+// bytes, 1 type byte, 4 length bytes (little endian), the payload, then a
+// CRC32C trailer over the type, length and payload. The sync bytes let a
+// client that lost framing (corruption, truncation, mid-stream join after
+// lost bytes) rescan the byte stream for the next frame boundary; the
+// checksum turns silent mis-decodes into detected, recoverable corruption.
 package netcast
 
 import (
+	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -33,28 +40,100 @@ const (
 	FrameSecondTier
 	// FrameDoc carries one document: 2 ID bytes then the XML.
 	FrameDoc
+
+	frameTypeMax = FrameDoc
+)
+
+// Frame sync bytes: every v2 frame starts with this pair so receivers can
+// re-acquire frame boundaries after losing sync.
+const (
+	frameSync0 = 0xB5
+	frameSync1 = 0xCA
+)
+
+// frameHdrLen is sync(2) + type(1) + length(4); frameCRCLen trails the
+// payload.
+const (
+	frameHdrLen = 7
+	frameCRCLen = 4
 )
 
 // maxFrame bounds payload sizes defensively (16 MiB).
 const maxFrame = 16 << 20
 
-// writeFrame writes one frame.
+// castagnoli is the CRC32C table shared by all frame writers and readers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errFrameCorrupt marks a frame rejected for bad sync bytes, an insane
+// length, or a checksum mismatch — as opposed to connection-level I/O
+// errors. Corruption is recoverable by rescanning the stream; I/O errors
+// require a reconnect.
+var errFrameCorrupt = errors.New("netcast: corrupt frame")
+
+// isCorrupt reports whether err is a detected-corruption error rather than
+// a connection failure.
+func isCorrupt(err error) bool { return errors.Is(err, errFrameCorrupt) }
+
+// frameCRC computes the trailer checksum over the type/length header bytes
+// and the payload.
+func frameCRC(hdr []byte, payload []byte) uint32 {
+	crc := crc32.Update(0, castagnoli, hdr)
+	return crc32.Update(crc, castagnoli, payload)
+}
+
+// writeFrame writes one v2 frame.
 func writeFrame(w io.Writer, t FrameType, payload []byte) error {
 	if len(payload) > maxFrame {
 		return fmt.Errorf("netcast: frame of %d bytes exceeds limit", len(payload))
 	}
-	var hdr [5]byte
-	hdr[0] = byte(t)
-	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	var hdr [frameHdrLen]byte
+	hdr[0] = frameSync0
+	hdr[1] = frameSync1
+	hdr[2] = byte(t)
+	binary.LittleEndian.PutUint32(hdr[3:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := w.Write(payload)
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var trailer [frameCRCLen]byte
+	binary.LittleEndian.PutUint32(trailer[:], frameCRC(hdr[2:], payload))
+	_, err := w.Write(trailer[:])
 	return err
 }
 
-// readFrame reads one frame.
+// readFrame reads one v2 frame, verifying sync bytes and checksum. Corrupt
+// frames return an error satisfying isCorrupt; I/O failures pass through
+// unwrapped so callers can distinguish resync from reconnect.
 func readFrame(r io.Reader) (FrameType, []byte, error) {
+	var hdr [frameHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0] != frameSync0 || hdr[1] != frameSync1 {
+		return 0, nil, fmt.Errorf("%w: bad sync bytes %#02x %#02x", errFrameCorrupt, hdr[0], hdr[1])
+	}
+	n := binary.LittleEndian.Uint32(hdr[3:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: frame of %d bytes exceeds limit", errFrameCorrupt, n)
+	}
+	body := make([]byte, n+frameCRCLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	payload := body[:n]
+	got := binary.LittleEndian.Uint32(body[n:])
+	if want := frameCRC(hdr[2:], payload); got != want {
+		return 0, nil, fmt.Errorf("%w: checksum %#08x, want %#08x", errFrameCorrupt, got, want)
+	}
+	return FrameType(hdr[2]), payload, nil
+}
+
+// readFrameV1 reads one legacy (protocol version 1) frame: 1 type byte,
+// 4 length bytes, payload — no sync bytes, no checksum. Kept so old capture
+// files still parse.
+func readFrameV1(r io.Reader) (FrameType, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
@@ -68,6 +147,59 @@ func readFrame(r io.Reader) (FrameType, []byte, error) {
 		return 0, nil, err
 	}
 	return FrameType(hdr[0]), payload, nil
+}
+
+// resyncFrame scans a desynchronised byte stream for the next well-formed
+// frame of type want, returning its payload and the number of bytes
+// consumed before the accepted frame (scanned garbage plus any candidate
+// frames that failed their checksum). I/O errors propagate; the scan itself
+// never gives up — the broadcast is endless, so the caller's context or
+// read deadline bounds it.
+func resyncFrame(br *bufio.Reader, want FrameType) (payload []byte, skipped int64, err error) {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return nil, skipped, err
+		}
+		skipped++
+		if b != frameSync0 {
+			continue
+		}
+		// Candidate boundary: peek the rest of the header without consuming,
+		// so a false positive advances by only one byte.
+		hdr, err := br.Peek(frameHdrLen - 1)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, skipped, io.ErrUnexpectedEOF
+			}
+			return nil, skipped, err
+		}
+		t := FrameType(hdr[1])
+		n := binary.LittleEndian.Uint32(hdr[2:6])
+		if hdr[0] != frameSync1 || t != want || n > maxFrame {
+			continue
+		}
+		// Header looks right: commit to reading the candidate frame.
+		if _, err := br.Discard(frameHdrLen - 1); err != nil {
+			return nil, skipped, err
+		}
+		skipped += frameHdrLen - 1
+		body := make([]byte, n+frameCRCLen)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, skipped, err
+		}
+		var full [5]byte
+		full[0] = byte(t)
+		binary.LittleEndian.PutUint32(full[1:], n)
+		if binary.LittleEndian.Uint32(body[n:]) != frameCRC(full[:], body[:n]) {
+			// False sync inside other data, or the candidate itself is
+			// corrupt; keep scanning after the consumed bytes.
+			skipped += int64(len(body))
+			continue
+		}
+		// The accepted frame's own header bytes are not skipped garbage.
+		return body[:n], skipped - frameHdrLen, nil
+	}
 }
 
 // cycleHead is the decoded head segment of one cycle.

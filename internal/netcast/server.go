@@ -1,6 +1,7 @@
 package netcast
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -36,7 +37,19 @@ type ServerConfig struct {
 	// UplinkAddr and BroadcastAddr are TCP listen addresses; use ":0" (or
 	// "127.0.0.1:0") to pick free ports.
 	UplinkAddr, BroadcastAddr string
+	// UplinkIdleTimeout drops uplink connections with no traffic for this
+	// long, so dead clients cannot pin server goroutines. Default 60 s;
+	// negative disables the deadline.
+	UplinkIdleTimeout time.Duration
+	// SubscriberQueue is the per-subscriber outgoing frame buffer. A
+	// subscriber whose queue overflows (stalled beyond what the buffer and
+	// write deadline absorb) is dropped; clients reconnect and resync.
+	// Default 256 frames.
+	SubscriberQueue int
 }
+
+// subWriteTimeout bounds each frame write to one subscriber.
+const subWriteTimeout = 2 * time.Second
 
 // Server is a running broadcast station. Create with StartServer, stop with
 // Shutdown.
@@ -51,7 +64,7 @@ type Server struct {
 	upLn, bcLn net.Listener
 
 	mu      sync.Mutex
-	subs    map[net.Conn]struct{}
+	subs    map[*subscriber]struct{}
 	uplinks map[net.Conn]struct{}
 	pending []*srvRequest
 	nextID  int64
@@ -60,9 +73,32 @@ type Server struct {
 	// answers caches query result sets; invalidated on collection updates.
 	answers map[string][]xmldoc.DocID
 
-	stop chan struct{}
-	done chan struct{}
-	wg   sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	loopDone chan struct{} // closed when cycleLoop returns (in-flight cycle flushed)
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// subscriber is one broadcast listener: frames are queued to a buffered
+// channel and written by a dedicated goroutine, so one stalled connection
+// cannot delay the cycle loop or the other subscribers.
+type subscriber struct {
+	conn     net.Conn
+	ch       chan outFrame
+	quitOnce sync.Once
+}
+
+// outFrame is one queued downlink frame.
+type outFrame struct {
+	t       FrameType
+	payload []byte
+}
+
+// finish closes the subscriber's queue exactly once; its writer goroutine
+// drains and flushes what remains, then closes the connection.
+func (sub *subscriber) finish() {
+	sub.quitOnce.Do(func() { close(sub.ch) })
 }
 
 // srvRequest is one uplink request's server-side state.
@@ -100,6 +136,12 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	if cfg.BroadcastAddr == "" {
 		cfg.BroadcastAddr = "127.0.0.1:0"
 	}
+	if cfg.UplinkIdleTimeout == 0 {
+		cfg.UplinkIdleTimeout = 60 * time.Second
+	}
+	if cfg.SubscriberQueue <= 0 {
+		cfg.SubscriberQueue = 256
+	}
 	builder, err := broadcast.NewBuilder(cfg.Collection, cfg.Model, cfg.Mode)
 	if err != nil {
 		return nil, err
@@ -114,15 +156,16 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("netcast: broadcast listen: %w", err)
 	}
 	s := &Server{
-		cfg:     cfg,
-		builder: builder,
-		upLn:    upLn,
-		bcLn:    bcLn,
-		subs:    make(map[net.Conn]struct{}),
-		uplinks: make(map[net.Conn]struct{}),
-		answers: make(map[string][]xmldoc.DocID),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		cfg:      cfg,
+		builder:  builder,
+		upLn:     upLn,
+		bcLn:     bcLn,
+		subs:     make(map[*subscriber]struct{}),
+		uplinks:  make(map[net.Conn]struct{}),
+		answers:  make(map[string][]xmldoc.DocID),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	s.wg.Add(3)
 	go s.acceptUplink()
@@ -155,25 +198,36 @@ func (s *Server) Pending() int {
 	return len(s.pending)
 }
 
-// Shutdown stops the cycle loop, closes the listeners and every connection,
-// and waits for all server goroutines to exit.
+// Shutdown stops the server gracefully: the cycle loop finishes and flushes
+// the in-flight cycle to every subscriber queue, subscriber writers drain
+// their queues, then the listeners and every connection close. Safe to call
+// more than once and from multiple goroutines; every call waits for the
+// full teardown.
 func (s *Server) Shutdown() {
-	select {
-	case <-s.stop:
-		// Already stopping.
-	default:
+	s.stopOnce.Do(func() {
 		close(s.stop)
-	}
-	s.upLn.Close()
-	s.bcLn.Close()
-	s.mu.Lock()
-	for c := range s.subs {
-		c.Close()
-	}
-	for c := range s.uplinks {
-		c.Close()
-	}
-	s.mu.Unlock()
+		// Let an in-flight broadcastCycle finish enqueueing its frames
+		// before the subscriber queues are closed.
+		<-s.loopDone
+		s.upLn.Close()
+		s.bcLn.Close()
+		s.mu.Lock()
+		subs := make([]*subscriber, 0, len(s.subs))
+		for sub := range s.subs {
+			subs = append(subs, sub)
+		}
+		uplinks := make([]net.Conn, 0, len(s.uplinks))
+		for c := range s.uplinks {
+			uplinks = append(uplinks, c)
+		}
+		s.mu.Unlock()
+		for _, sub := range subs {
+			sub.finish()
+		}
+		for _, c := range uplinks {
+			c.Close()
+		}
+	})
 	<-s.done
 }
 
@@ -191,7 +245,7 @@ func (s *Server) acceptUplink() {
 }
 
 // serveUplink handles one uplink connection: QUERY frames in, ACK frames
-// out.
+// out. An idle deadline reaps dead clients.
 func (s *Server) serveUplink(conn net.Conn) {
 	defer s.wg.Done()
 	s.mu.Lock()
@@ -204,8 +258,14 @@ func (s *Server) serveUplink(conn net.Conn) {
 		conn.Close()
 	}()
 	for {
+		if s.cfg.UplinkIdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.UplinkIdleTimeout))
+		}
 		t, payload, err := readFrame(conn)
 		if err != nil {
+			// Corrupt frame, idle timeout or disconnect: the uplink is a
+			// lockstep request/ack protocol, so drop the connection and let
+			// the client redial rather than guess at framing.
 			return
 		}
 		if t != FrameQuery {
@@ -217,9 +277,11 @@ func (s *Server) serveUplink(conn net.Conn) {
 		if err != nil {
 			ack = "err: " + err.Error()
 		}
+		_ = conn.SetWriteDeadline(time.Now().Add(subWriteTimeout))
 		if err := writeFrame(conn, FrameAck, []byte(ack)); err != nil {
 			return
 		}
+		_ = conn.SetWriteDeadline(time.Time{})
 	}
 }
 
@@ -262,7 +324,8 @@ func (s *Server) submit(expr string) (int64, error) {
 	return s.cycles, nil
 }
 
-// acceptSubscribers registers broadcast listeners.
+// acceptSubscribers registers broadcast listeners, each with its own
+// buffered writer goroutine.
 func (s *Server) acceptSubscribers() {
 	defer s.wg.Done()
 	for {
@@ -270,16 +333,47 @@ func (s *Server) acceptSubscribers() {
 		if err != nil {
 			return
 		}
+		sub := &subscriber{conn: conn, ch: make(chan outFrame, s.cfg.SubscriberQueue)}
 		s.mu.Lock()
-		s.subs[conn] = struct{}{}
+		s.subs[sub] = struct{}{}
 		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveSubscriber(sub)
 	}
+}
+
+// serveSubscriber drains one subscriber's frame queue onto its connection.
+// It exits when the queue is closed (drop or shutdown) or a write fails,
+// flushing whatever was buffered.
+func (s *Server) serveSubscriber(sub *subscriber) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.subs, sub)
+		s.mu.Unlock()
+		sub.conn.Close()
+	}()
+	bw := bufio.NewWriterSize(sub.conn, 64<<10)
+	for f := range sub.ch {
+		_ = sub.conn.SetWriteDeadline(time.Now().Add(subWriteTimeout))
+		if err := writeFrame(bw, f.t, f.payload); err != nil {
+			return
+		}
+		if len(sub.ch) == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+	_ = sub.conn.SetWriteDeadline(time.Now().Add(subWriteTimeout))
+	_ = bw.Flush()
 }
 
 // cycleLoop emits one broadcast cycle per interval whenever requests are
 // pending.
 func (s *Server) cycleLoop() {
 	defer s.wg.Done()
+	defer close(s.loopDone)
 	ticker := time.NewTicker(s.cfg.CycleInterval)
 	defer ticker.Stop()
 	for {
@@ -398,22 +492,27 @@ func (s *Server) broadcastCycle() error {
 	return nil
 }
 
-// fanOut writes one frame to every subscriber, dropping connections that
-// stall or fail.
+// fanOut enqueues one frame to every subscriber's writer. A subscriber
+// whose queue is full has stalled past what its buffer and write deadline
+// absorb; it is dropped so the broadcast never blocks on one receiver.
 func (s *Server) fanOut(t FrameType, payload []byte) {
 	s.mu.Lock()
-	conns := make([]net.Conn, 0, len(s.subs))
-	for c := range s.subs {
-		conns = append(conns, c)
+	subs := make([]*subscriber, 0, len(s.subs))
+	for sub := range s.subs {
+		subs = append(subs, sub)
 	}
 	s.mu.Unlock()
-	for _, c := range conns {
-		_ = c.SetWriteDeadline(time.Now().Add(2 * time.Second))
-		if err := writeFrame(c, t, payload); err != nil {
+	for _, sub := range subs {
+		select {
+		case sub.ch <- outFrame{t: t, payload: payload}:
+		default:
 			s.mu.Lock()
-			delete(s.subs, c)
+			delete(s.subs, sub)
 			s.mu.Unlock()
-			c.Close()
+			sub.finish()
+			// Unblock a writer stuck mid-write; its deferred cleanup
+			// tolerates the double Close.
+			sub.conn.Close()
 		}
 	}
 }

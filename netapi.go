@@ -9,15 +9,21 @@ import (
 
 // Networked broadcast (package netcast): the paper's Fig. 1 system over real
 // TCP sockets — an uplink for query submission and a broadcast downlink
-// streaming cycle frames in the wire format.
+// streaming cycle frames in the wire format. Every frame carries a CRC32C
+// trailer; clients survive corruption by rescanning for the next cycle head
+// and survive connection loss by redialling with capped backoff, so a lossy
+// channel costs extra cycles, never wrong results.
 type (
 	// BroadcastServer is a running broadcast station.
 	BroadcastServer = netcast.Server
-	// BroadcastServerConfig parameterises StartBroadcastServer.
+	// BroadcastServerConfig parameterises StartBroadcastServer, including
+	// the uplink idle timeout and per-subscriber send queue depth.
 	BroadcastServerConfig = netcast.ServerConfig
-	// BroadcastClient is a mobile client over TCP.
+	// BroadcastClient is a mobile client over TCP. Its AckTimeout bounds
+	// the wait for submission acks.
 	BroadcastClient = netcast.Client
-	// BroadcastClientStats accounts one networked retrieval.
+	// BroadcastClientStats accounts one networked retrieval, including the
+	// Resyncs and Reconnects spent recovering from channel faults.
 	BroadcastClientStats = netcast.ClientStats
 )
 
@@ -44,7 +50,8 @@ func RecordBroadcast(ctx context.Context, broadcastAddr string, numCycles int, w
 }
 
 // ReadBroadcastCapture parses a capture file into cycle records whose index
-// and offset segments can be decoded and inspected.
+// and offset segments can be decoded and inspected. Both current (XBCAST2,
+// checksummed frames) and legacy (XBCAST1) captures are accepted.
 func ReadBroadcastCapture(r io.Reader) ([]CycleRecord, error) {
 	return netcast.ReadCapture(r)
 }
