@@ -135,3 +135,15 @@ func RunExperiment(id string, cfg ExperimentConfig) (*ResultTable, error) {
 // RunAllExperiments executes every experiment and writes the rendered
 // tables to w.
 func RunAllExperiments(w io.Writer, cfg ExperimentConfig) error { return exp.RunAll(w, cfg) }
+
+// EngineBenchResult reports the assembly engine's concurrency profile:
+// serial-vs-parallel timings for document matching and DataGuide merging,
+// plus the per-stage telemetry of a full simulation.
+type EngineBenchResult = exp.EngineBenchResult
+
+// RunEngineBenchmark measures the engine's concurrent stages on the
+// configured workload (cmd/bcast-exp -bench-engine writes the result as
+// BENCH_engine.json).
+func RunEngineBenchmark(cfg ExperimentConfig) (*EngineBenchResult, error) {
+	return exp.RunEngineBench(cfg)
+}

@@ -31,19 +31,21 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bcast-exp", flag.ContinueOnError)
 	var (
-		list    = fs.Bool("list", false, "list available experiments and exit")
-		expID   = fs.String("exp", "", "experiment ID to run (see -list)")
-		all     = fs.Bool("all", false, "run every experiment")
-		schema  = fs.String("schema", "", "document schema: nitf or nasa")
-		docs    = fs.Int("docs", 0, "number of generated documents")
-		nq      = fs.Int("nq", 0, "N_Q: pending queries")
-		p       = fs.Float64("p", -1, "P: wildcard probability")
-		dq      = fs.Int("dq", 0, "D_Q: maximum query depth")
-		cap     = fs.Int("capacity", 0, "cycle document budget in bytes")
-		sched   = fs.String("scheduler", "", "scheduler: leelo, fcfs, mrf or rxw")
-		docSeed = fs.Int64("doc-seed", 0, "document generation seed")
-		qSeed   = fs.Int64("query-seed", 0, "query generation seed")
-		format  = fs.String("format", "table", "output format for -exp: table, csv or json")
+		list      = fs.Bool("list", false, "list available experiments and exit")
+		expID     = fs.String("exp", "", "experiment ID to run (see -list)")
+		all       = fs.Bool("all", false, "run every experiment")
+		benchEng  = fs.Bool("bench-engine", false, "benchmark the assembly engine and write BENCH_engine.json")
+		benchPath = fs.String("bench-out", "BENCH_engine.json", "output path for -bench-engine")
+		schema    = fs.String("schema", "", "document schema: nitf or nasa")
+		docs      = fs.Int("docs", 0, "number of generated documents")
+		nq        = fs.Int("nq", 0, "N_Q: pending queries")
+		p         = fs.Float64("p", -1, "P: wildcard probability")
+		dq        = fs.Int("dq", 0, "D_Q: maximum query depth")
+		cap       = fs.Int("capacity", 0, "cycle document budget in bytes")
+		sched     = fs.String("scheduler", "", "scheduler: leelo, fcfs, mrf or rxw")
+		docSeed   = fs.Int64("doc-seed", 0, "document generation seed")
+		qSeed     = fs.Int64("query-seed", 0, "query generation seed")
+		format    = fs.String("format", "table", "output format for -exp: table, csv or json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +88,21 @@ func run(args []string) error {
 	}
 
 	switch {
+	case *benchEng:
+		res, err := repro.RunEngineBenchmark(cfg)
+		if err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (GOMAXPROCS=%d, filter speedup %.2fx, merge speedup %.2fx, %d cycles)\n",
+			*benchPath, res.GOMAXPROCS, res.FilterSpeedup, res.MergeSpeedup, res.Cycles)
+		return nil
 	case *all:
 		return repro.RunAllExperiments(os.Stdout, cfg)
 	case *expID != "":

@@ -128,6 +128,8 @@ func run(args []string) error {
 	}
 	close(driverStop)
 	<-driverDone
-	fmt.Printf("shutting down after %d cycles\n", srv.Cycles())
+	st := srv.Stats()
+	fmt.Printf("shutting down after %d cycles\n", st.Cycles)
+	fmt.Printf("engine: %s\n", st.Engine)
 	return nil
 }

@@ -100,6 +100,7 @@ func run(args []string) error {
 		res.AccessBytesPercentile(50), res.AccessBytesPercentile(99))
 	fmt.Printf("index tuning p50 / p99:  %.0f / %.0f B\n",
 		res.IndexTuningBytesPercentile(50), res.IndexTuningBytesPercentile(99))
+	fmt.Printf("engine:                  %s\n", res.Engine)
 
 	if *verbose {
 		fmt.Println("\ncycle  start      L_I    L_O   docs  docBytes  pending")

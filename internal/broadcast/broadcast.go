@@ -145,7 +145,7 @@ func NewBuilder(c *xmldoc.Collection, m core.SizeModel, mode Mode) (*Builder, er
 		model:  m,
 		mode:   mode,
 		docs:   make(map[xmldoc.DocID]*xmldoc.Document, c.Len()),
-		forest: dataguide.Merge(c),
+		forest: dataguide.MergeParallel(c, 0),
 	}
 	for _, d := range c.Docs() {
 		b.docs[d.ID] = d
@@ -293,23 +293,39 @@ func (b *Builder) BuildCycle(number, start int64, pending []xpath.Path, docPlan 
 // It returns the index segment and, in two-tier mode, the second-tier
 // segment.
 func (b *Builder) Encode(c *Cycle) (indexSeg, secondTierSeg []byte, err error) {
+	buf, err := b.AppendEncoded(nil, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	indexSeg = buf[:c.Packing.StreamBytes:c.Packing.StreamBytes]
+	if len(buf) > c.Packing.StreamBytes {
+		secondTierSeg = buf[c.Packing.StreamBytes:]
+	}
+	return indexSeg, secondTierSeg, nil
+}
+
+// AppendEncoded appends the cycle's index segment followed by, in two-tier
+// mode, its second-tier segment to dst and returns the extended slice. The
+// index segment occupies exactly c.Packing.StreamBytes; callers reusing
+// pooled buffers slice the segments apart at that boundary.
+func (b *Builder) AppendEncoded(dst []byte, c *Cycle) ([]byte, error) {
 	var offs wire.DocOffsets
 	if b.mode == OneTierMode {
 		offs = c.Offsets
 	}
-	indexSeg, err = wire.EncodeIndex(c.Index, c.Packing, c.Catalog, offs)
+	dst, err := wire.AppendIndex(dst, c.Index, c.Packing, c.Catalog, offs)
 	if err != nil {
-		return nil, nil, fmt.Errorf("broadcast: encode index: %w", err)
+		return nil, fmt.Errorf("broadcast: encode index: %w", err)
 	}
 	if b.mode == TwoTierMode {
 		entries := make([]wire.SecondTierEntry, 0, len(c.Docs))
 		for _, p := range c.Docs {
 			entries = append(entries, wire.SecondTierEntry{Doc: p.ID, Offset: uint64(p.Offset)})
 		}
-		secondTierSeg, err = wire.EncodeSecondTier(entries, b.model)
+		dst, err = wire.AppendSecondTier(dst, entries, b.model)
 		if err != nil {
-			return nil, nil, fmt.Errorf("broadcast: encode second tier: %w", err)
+			return nil, fmt.Errorf("broadcast: encode second tier: %w", err)
 		}
 	}
-	return indexSeg, secondTierSeg, nil
+	return dst, nil
 }

@@ -1,0 +1,37 @@
+package dataguide
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/gen"
+)
+
+// flatten reduces a forest to a deterministic path -> (docs, refs) view.
+func flatten(f *Forest) map[string]string {
+	out := make(map[string]string)
+	f.Walk(func(path []string, node *Guide) {
+		out[strings.Join(path, "/")] = fmt.Sprintf("docs=%v refs=%d", node.Docs, node.Refs)
+	})
+	return out
+}
+
+func TestMergeParallelMatchesMerge(t *testing.T) {
+	c, err := gen.Documents(gen.DocConfig{Schema: dtd.NITF(), NumDocs: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Merge(c)
+	for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+		got := MergeParallel(c, workers)
+		if got.NumNodes() != want.NumNodes() {
+			t.Fatalf("workers=%d: %d nodes, want %d", workers, got.NumNodes(), want.NumNodes())
+		}
+		if !reflect.DeepEqual(flatten(got), flatten(want)) {
+			t.Errorf("workers=%d: MergeParallel forest diverges from Merge", workers)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+// Package engine is the server-side cycle-assembly pipeline shared by the
+// discrete-event simulator (internal/sim) and the networked broadcast server
+// (internal/netcast). It owns the per-cycle loop of §3.4 Fig. 8 — resolve
+// pending queries through the shared NFA filter, schedule result documents
+// into the cycle budget, prune and pack the air index, and encode the wire
+// segments — so the two drivers cannot drift apart, and it runs the
+// profitable stages concurrently:
+//
+//   - query answering is memoized per canonical query string and, on misses,
+//     batch-evaluated by one shared automaton with document matching sharded
+//     across GOMAXPROCS workers (yfilter.FilterParallel);
+//   - the builder's merged DataGuide is constructed with per-document guides
+//     built in parallel (dataguide.MergeParallel via broadcast.NewBuilder);
+//   - wire encoding reuses pooled buffers and a per-document payload cache,
+//     so steady-state cycles allocate O(1) buffers instead of O(docs).
+//
+// Every stage reports wall time and input/output sizes through a Probe;
+// the default probe collects Metrics surfaced in netcast.ServerStats and
+// sim.Result.
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+	"repro/internal/yfilter"
+)
+
+// Config parameterises an Engine.
+type Config struct {
+	// Collection is the initial document set. Required.
+	Collection *xmldoc.Collection
+	// Model fixes on-air field widths. Zero selects the default.
+	Model core.SizeModel
+	// Mode selects one-tier or two-tier broadcast. Required.
+	Mode broadcast.Mode
+	// Scheduler plans cycle content. Nil selects schedule.LeeLo.
+	Scheduler schedule.Scheduler
+	// CycleCapacity is the document-byte budget per cycle. Required (> 0).
+	CycleCapacity int
+	// Probe receives pipeline telemetry in addition to the engine's own
+	// collector. Optional.
+	Probe Probe
+	// Workers bounds the filter/build parallelism. Zero selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Pending is one outstanding request as the scheduler sees it: the query (for
+// index pruning), the arrival time in the driver's clock, and the result
+// documents the client still lacks.
+type Pending struct {
+	// ID uniquely identifies the request; relative order must follow
+	// submission order for deterministic tie-breaking.
+	ID int64
+	// Query is the request's XPath query.
+	Query xpath.Path
+	// Arrival is the request's arrival time in the driver's clock units
+	// (byte-time in sim, cycle number in netcast).
+	Arrival int64
+	// Remaining are the result documents not yet delivered. Order is
+	// irrelevant; the engine sorts a copy.
+	Remaining []xmldoc.DocID
+}
+
+// Cycle is one assembled broadcast cycle plus the pipeline inputs it was
+// planned from.
+type Cycle struct {
+	*broadcast.Cycle
+	// Queries are the distinct pending queries, in first-seen order; the
+	// index was pruned to exactly this set.
+	Queries []xpath.Path
+	// NumPending is the number of pending requests the plan drew from.
+	NumPending int
+}
+
+// Encoded holds one cycle's wire segments. Index and SecondTier share one
+// pooled backing buffer: callers that fully consume the segments may return
+// it with Engine.Recycle, callers that retain them (e.g. broadcast fan-out
+// queues) simply let the GC take it. Docs entries point into the engine's
+// per-document payload cache and are shared, immutable, and never recycled.
+type Encoded struct {
+	// Index is the packed index segment.
+	Index []byte
+	// SecondTier is the offset-list segment; nil in one-tier mode.
+	SecondTier []byte
+	// Docs holds one payload per scheduled document, in broadcast order:
+	// 2 little-endian ID bytes followed by the marshalled document.
+	Docs [][]byte
+
+	buf []byte // pooled backing of Index+SecondTier
+}
+
+// Engine owns the cycle-assembly pipeline over a dynamic collection. All
+// methods are safe for concurrent use.
+type Engine struct {
+	scheduler schedule.Scheduler
+	capacity  int
+	workers   int
+	probe     probes
+	collector *Collector
+
+	// mu serialises builder access (the Builder is not concurrent-safe) and
+	// guards the caches; epoch invalidates in-flight resolutions racing a
+	// collection update.
+	mu       sync.Mutex
+	builder  *broadcast.Builder
+	answers  map[string][]xmldoc.DocID
+	payloads map[xmldoc.DocID][]byte
+	epoch    uint64
+
+	segPool sync.Pool // *[]byte scratch for encoded index/second-tier segments
+}
+
+// New validates the configuration and builds the engine (including the
+// merged DataGuide and initial CI).
+func New(cfg Config) (*Engine, error) {
+	if cfg.Collection == nil || cfg.Collection.Len() == 0 {
+		return nil, fmt.Errorf("engine: Config.Collection is required")
+	}
+	if cfg.CycleCapacity <= 0 {
+		return nil, fmt.Errorf("engine: Config.CycleCapacity must be positive, got %d", cfg.CycleCapacity)
+	}
+	if cfg.Model == (core.SizeModel{}) {
+		cfg.Model = core.DefaultSizeModel()
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = schedule.LeeLo{}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	builder, err := broadcast.NewBuilder(cfg.Collection, cfg.Model, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		scheduler: cfg.Scheduler,
+		capacity:  cfg.CycleCapacity,
+		workers:   cfg.Workers,
+		collector: NewCollector(),
+		builder:   builder,
+		answers:   make(map[string][]xmldoc.DocID),
+		payloads:  make(map[xmldoc.DocID][]byte),
+	}
+	e.probe = probes{e.collector}
+	if cfg.Probe != nil {
+		e.probe = append(e.probe, cfg.Probe)
+	}
+	e.segPool.New = func() any { b := make([]byte, 0, 4096); return &b }
+	return e, nil
+}
+
+// Mode reports the engine's index organisation.
+func (e *Engine) Mode() broadcast.Mode {
+	return e.builder.Mode()
+}
+
+// Scheduler reports the planning policy.
+func (e *Engine) Scheduler() schedule.Scheduler { return e.scheduler }
+
+// NumDocs reports the current collection size.
+func (e *Engine) NumDocs() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.builder.NumDocs()
+}
+
+// Metrics snapshots the engine's accumulated telemetry.
+func (e *Engine) Metrics() Metrics { return e.collector.Metrics() }
+
+// Resolve answers one query: the sorted IDs of matching documents. Answers
+// are memoized by canonical query string until the collection changes, so
+// repeated submissions of popular queries never rescan documents.
+func (e *Engine) Resolve(q xpath.Path) ([]xmldoc.DocID, error) {
+	answers, err := e.ResolveAll([]xpath.Path{q})
+	if err != nil {
+		return nil, err
+	}
+	return answers[q.String()], nil
+}
+
+// ResolveAll answers a query batch, keyed by canonical query string. Cached
+// answers are served from the memo; the misses are compiled into one shared
+// NFA and matched against the collection with document matching sharded
+// across the engine's workers.
+func (e *Engine) ResolveAll(queries []xpath.Path) (map[string][]xmldoc.DocID, error) {
+	out := make(map[string][]xmldoc.DocID, len(queries))
+
+	e.mu.Lock()
+	epoch := e.epoch
+	var misses []xpath.Path
+	for _, q := range queries {
+		key := q.String()
+		if _, dup := out[key]; dup {
+			continue
+		}
+		if docs, ok := e.answers[key]; ok {
+			out[key] = docs
+			e.probe.CacheAccess(true)
+		} else {
+			out[key] = nil
+			misses = append(misses, q)
+			e.probe.CacheAccess(false)
+		}
+	}
+	if len(misses) == 0 {
+		e.mu.Unlock()
+		return out, nil
+	}
+	coll, err := e.builder.Collection()
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	// Match outside the lock: the snapshot is immutable, and the epoch check
+	// below discards results that raced a collection update.
+	start := time.Now()
+	perQuery := yfilter.New(misses).FilterParallel(coll, e.workers)
+	matched := 0
+	for _, docs := range perQuery {
+		matched += len(docs)
+	}
+	e.probe.StageDone(StageResolve, time.Since(start), len(misses), matched)
+
+	e.mu.Lock()
+	fresh := e.epoch == epoch
+	for i, q := range misses {
+		out[q.String()] = perQuery[i]
+		if fresh {
+			e.answers[q.String()] = perQuery[i]
+		}
+	}
+	e.mu.Unlock()
+	return out, nil
+}
+
+// AssembleCycle plans and lays out one broadcast cycle: the scheduler fills
+// the capacity budget from the pending requests' remaining documents, and the
+// CI is pruned to the distinct pending queries and packed under the engine's
+// tier. start is both the cycle's start time and the scheduler's "now", in
+// the driver's clock units.
+func (e *Engine) AssembleCycle(number, start int64, pending []Pending) (*Cycle, error) {
+	if len(pending) == 0 {
+		return nil, fmt.Errorf("engine: AssembleCycle with no pending requests")
+	}
+	reqs := make([]schedule.Request, 0, len(pending))
+	queries := make([]xpath.Path, 0, len(pending))
+	seen := make(map[string]struct{}, len(pending))
+	for _, p := range pending {
+		rem := append([]xmldoc.DocID(nil), p.Remaining...)
+		sort.Slice(rem, func(i, j int) bool { return rem[i] < rem[j] })
+		reqs = append(reqs, schedule.Request{ID: p.ID, Arrival: p.Arrival, Docs: rem})
+		if _, ok := seen[p.Query.String()]; !ok {
+			seen[p.Query.String()] = struct{}{}
+			queries = append(queries, p.Query)
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	schedStart := time.Now()
+	size := func(d xmldoc.DocID) int { return e.builder.DocByID(d).Size() }
+	plan := e.scheduler.PlanCycle(reqs, size, e.capacity, start)
+	e.probe.StageDone(StageSchedule, time.Since(schedStart), len(reqs), len(plan))
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("engine: scheduler %q planned an empty cycle with %d pending", e.scheduler.Name(), len(reqs))
+	}
+
+	buildStart := time.Now()
+	ciNodes := e.builder.CI().NumNodes()
+	cy, err := e.builder.BuildCycle(number, start, queries, plan)
+	if err != nil {
+		return nil, err
+	}
+	e.probe.StageDone(StageBuild, time.Since(buildStart), ciNodes, cy.Index.NumNodes())
+	e.probe.CycleDone()
+	return &Cycle{Cycle: cy, Queries: queries, NumPending: len(pending)}, nil
+}
+
+// EncodeCycle produces the cycle's wire segments: the packed index, the
+// second-tier offset list (two-tier mode) and one framed payload per
+// scheduled document. Index/second-tier bytes come from a buffer pool;
+// document payloads are cached across cycles, so rebroadcasting a document
+// costs no allocation. See Encoded for the buffer ownership rules.
+func (e *Engine) EncodeCycle(c *Cycle) (*Encoded, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	start := time.Now()
+	bufp := e.segPool.Get().(*[]byte)
+	buf := (*bufp)[:0]
+	var err error
+	buf, err = e.builder.AppendEncoded(buf, c.Cycle)
+	if err != nil {
+		e.segPool.Put(bufp)
+		return nil, err
+	}
+	enc := &Encoded{buf: buf}
+	indexLen := c.Packing.StreamBytes
+	enc.Index = buf[:indexLen:indexLen]
+	if len(buf) > indexLen {
+		enc.SecondTier = buf[indexLen:len(buf):len(buf)]
+	}
+
+	segments := 1 + len(c.Docs)
+	if enc.SecondTier != nil {
+		segments++
+	}
+	total := len(buf)
+	enc.Docs = make([][]byte, 0, len(c.Docs))
+	for _, p := range c.Docs {
+		payload, ok := e.payloads[p.ID]
+		if !ok {
+			doc := e.builder.DocByID(p.ID)
+			if doc == nil {
+				return nil, fmt.Errorf("engine: document %d scheduled but not in collection", p.ID)
+			}
+			payload = make([]byte, 2, 2+doc.Size())
+			binary.LittleEndian.PutUint16(payload, uint16(p.ID))
+			payload = append(payload, doc.Marshal()...)
+			e.payloads[p.ID] = payload
+		}
+		enc.Docs = append(enc.Docs, payload)
+		total += len(payload)
+	}
+	e.probe.StageDone(StageEncode, time.Since(start), segments, total)
+	return enc, nil
+}
+
+// Recycle returns an Encoded's pooled buffer for reuse. Only call it when the
+// Index and SecondTier slices are fully consumed; the Docs payloads are cache
+// entries and remain valid.
+func (e *Engine) Recycle(enc *Encoded) {
+	if enc == nil || enc.buf == nil {
+		return
+	}
+	buf := enc.buf
+	enc.buf, enc.Index, enc.SecondTier = nil, nil, nil
+	e.segPool.Put(&buf)
+}
+
+// AddDocument admits a new document to the live collection; it becomes
+// visible to queries and schedulable from the next cycle. The answer cache
+// is invalidated.
+func (e *Engine) AddDocument(d *xmldoc.Document) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.builder.AddDocument(d); err != nil {
+		return err
+	}
+	e.invalidateLocked()
+	return nil
+}
+
+// RemoveDocument retires a document from the live collection and invalidates
+// the answer and payload caches.
+func (e *Engine) RemoveDocument(id xmldoc.DocID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.builder.RemoveDocument(id); err != nil {
+		return err
+	}
+	delete(e.payloads, id)
+	e.invalidateLocked()
+	return nil
+}
+
+func (e *Engine) invalidateLocked() {
+	e.epoch++
+	e.answers = make(map[string][]xmldoc.DocID)
+	e.probe.CacheInvalidated()
+}

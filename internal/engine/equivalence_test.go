@@ -1,0 +1,181 @@
+package engine_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/netcast"
+	"repro/internal/sim"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// capturedCycle is one cycle's wire image, deep-copied out of the pipeline.
+type capturedCycle struct {
+	number     int64
+	index      []byte
+	secondTier []byte
+	docs       [][]byte
+}
+
+// TestSimNetcastCycleEquivalence drives the same collection and query set
+// through both consumers of the shared engine — the discrete-event simulator
+// and the networked broadcast server — and asserts they put byte-identical
+// cycles on the air. All requests arrive before the first cycle, and the
+// default LeeLo policy plans from remaining-document sets only, so the two
+// drivers' differing clock units (byte-time vs cycle number) must not change
+// a single encoded byte.
+func TestSimNetcastCycleEquivalence(t *testing.T) {
+	c, err := gen.Documents(gen.DocConfig{Schema: dtd.NITF(), NumDocs: 15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := gen.Queries(c, gen.QueryConfig{NumQueries: 8, MaxDepth: 5, WildcardProb: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := c.TotalSize() / 4 // force a multi-cycle broadcast
+
+	simCycles := runSimCapture(t, c, queries, capacity)
+	if len(simCycles) < 2 {
+		t.Fatalf("fixture produced %d cycles; want a multi-cycle run", len(simCycles))
+	}
+	netCycles := runNetcastCapture(t, c, queries, capacity, len(simCycles))
+
+	if len(netCycles) < len(simCycles) {
+		t.Fatalf("netcast broadcast %d cycles, sim %d", len(netCycles), len(simCycles))
+	}
+	for i, want := range simCycles {
+		got := netCycles[i]
+		if int64(got.Number) != want.number {
+			t.Errorf("cycle %d: netcast number %d, sim number %d", i, got.Number, want.number)
+		}
+		if !bytes.Equal(got.IndexSeg, want.index) {
+			t.Errorf("cycle %d: index segments differ (%d vs %d bytes)", i, len(got.IndexSeg), len(want.index))
+		}
+		if !bytes.Equal(got.SecondTierSeg, want.secondTier) {
+			t.Errorf("cycle %d: second-tier segments differ (%d vs %d bytes)", i, len(got.SecondTierSeg), len(want.secondTier))
+		}
+		if len(got.Docs) != len(want.docs) {
+			t.Fatalf("cycle %d: netcast carried %d documents, sim %d", i, len(got.Docs), len(want.docs))
+		}
+		for j := range want.docs {
+			if !bytes.Equal(got.Docs[j], want.docs[j]) {
+				t.Errorf("cycle %d doc %d: payloads differ", i, j)
+			}
+		}
+	}
+	if len(netCycles) > len(simCycles) {
+		t.Errorf("netcast emitted %d extra cycles after the sim's pending set drained", len(netCycles)-len(simCycles))
+	}
+}
+
+// runSimCapture runs the simulator with every request arriving at time 0 and
+// deep-copies each cycle's encoded segments through Config.CycleSink.
+func runSimCapture(t *testing.T, c *xmldoc.Collection, queries []xpath.Path, capacity int) []capturedCycle {
+	t.Helper()
+	reqs := make([]sim.ClientRequest, 0, len(queries))
+	for _, q := range queries {
+		reqs = append(reqs, sim.ClientRequest{Query: q, Arrival: 0})
+	}
+	var out []capturedCycle
+	_, err := sim.Run(sim.Config{
+		Collection:    c,
+		Mode:          broadcast.TwoTierMode,
+		CycleCapacity: capacity,
+		Requests:      reqs,
+		CycleSink: func(cy *engine.Cycle, enc *engine.Encoded) {
+			cc := capturedCycle{
+				number:     cy.Number,
+				index:      append([]byte(nil), enc.Index...),
+				secondTier: append([]byte(nil), enc.SecondTier...),
+			}
+			for _, d := range enc.Docs {
+				cc.docs = append(cc.docs, append([]byte(nil), d...))
+			}
+			out = append(out, cc)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// runNetcastCapture boots a real server over TCP, submits the same queries
+// (all before the first cycle fires), records the broadcast stream and parses
+// it back into cycles.
+func runNetcastCapture(t *testing.T, c *xmldoc.Collection, queries []xpath.Path, capacity, wantCycles int) []netcast.CycleRecord {
+	t.Helper()
+	srv, err := netcast.StartServer(netcast.ServerConfig{
+		Collection:    c,
+		Mode:          broadcast.TwoTierMode,
+		CycleCapacity: capacity,
+		CycleInterval: 250 * time.Millisecond, // wide enough to land every submission before cycle 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	// Start the recorder and wait for its subscription so cycle 0 is captured.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var buf bytes.Buffer
+	recDone := make(chan error, 1)
+	go func() {
+		// One more cycle than expected: the recorder only closes a cycle on the
+		// next head, so it keeps reading until the shutdown below cuts the
+		// stream; ReadCapture then salvages the final complete cycle.
+		_, err := netcast.Record(ctx, srv.BroadcastAddr(), wantCycles+1, &buf)
+		recDone <- err
+	}()
+	waitFor(t, ctx, "recorder subscription", func() bool { return srv.Stats().Subscribers >= 1 })
+
+	cl, err := netcast.Dial(srv.UplinkAddr(), srv.BroadcastAddr(), core.SizeModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, q := range queries {
+		if err := cl.Submit(q); err != nil {
+			t.Fatalf("submit %s: %v", q, err)
+		}
+	}
+
+	// Let the server broadcast until the pending set drains, then cut the
+	// stream so the recorder returns.
+	waitFor(t, ctx, "pending set to drain", func() bool {
+		st := srv.Stats()
+		return st.Pending == 0 && st.Cycles >= int64(wantCycles)
+	})
+	srv.Shutdown()
+	if err := <-recDone; err == nil {
+		t.Fatal("recorder finished early: server emitted more cycles than the sim")
+	}
+
+	records, err := netcast.ReadCapture(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return records
+}
+
+// waitFor polls cond until it holds or the context expires.
+func waitFor(t *testing.T, ctx context.Context, what string, cond func() bool) {
+	t.Helper()
+	for !cond() {
+		select {
+		case <-ctx.Done():
+			t.Fatalf("timed out waiting for %s", what)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}

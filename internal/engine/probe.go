@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Pipeline stage names reported through Probe. Each AssembleCycle runs
+// schedule then build; EncodeCycle runs encode; Resolve/ResolveAll run
+// resolve for cache misses.
+const (
+	// StageResolve is query answering: the shared NFA filter (or the
+	// answer cache) maps pending queries to result-document sets. Input is
+	// the number of queries resolved against the collection (cache misses),
+	// output the total matched document count.
+	StageResolve = "resolve"
+	// StageSchedule is cycle planning. Input is the number of pending
+	// requests, output the number of planned documents.
+	StageSchedule = "schedule"
+	// StageBuild is PCI pruning, packing and cycle layout. Input is the CI
+	// node count, output the pruned index node count.
+	StageBuild = "build"
+	// StageEncode is wire encoding of the index, second-tier and document
+	// segments. Input is the number of encoded segments, output the total
+	// encoded bytes.
+	StageEncode = "encode"
+)
+
+// Probe receives engine telemetry. Implementations must be safe for
+// concurrent use; the engine may report from multiple goroutines. The
+// zero-cost default is NopProbe.
+type Probe interface {
+	// StageDone reports one completed pipeline stage with its wall time and
+	// the stage's input/output sizes (see the Stage* constants for units).
+	StageDone(stage string, wall time.Duration, in, out int)
+	// CacheAccess reports one answer-cache lookup.
+	CacheAccess(hit bool)
+	// CacheInvalidated reports that a collection update flushed the answer
+	// cache.
+	CacheInvalidated()
+	// CycleDone reports one fully assembled broadcast cycle.
+	CycleDone()
+}
+
+// NopProbe is the default Probe; every method is a no-op.
+type NopProbe struct{}
+
+// StageDone implements Probe.
+func (NopProbe) StageDone(string, time.Duration, int, int) {}
+
+// CacheAccess implements Probe.
+func (NopProbe) CacheAccess(bool) {}
+
+// CacheInvalidated implements Probe.
+func (NopProbe) CacheInvalidated() {}
+
+// CycleDone implements Probe.
+func (NopProbe) CycleDone() {}
+
+// StageStats accumulates one stage's counters.
+type StageStats struct {
+	// Count is the number of completed stage executions.
+	Count int64
+	// Wall is the total wall time spent in the stage.
+	Wall time.Duration
+	// In and Out accumulate the stage's input and output sizes.
+	In, Out int64
+}
+
+// Metrics is a point-in-time snapshot of engine telemetry, exported through
+// netcast.ServerStats and sim.Result.
+type Metrics struct {
+	// Stages holds per-stage counters keyed by the Stage* constants.
+	Stages map[string]StageStats
+	// CacheHits and CacheMisses count answer-cache lookups.
+	CacheHits, CacheMisses int64
+	// CacheInvalidations counts collection updates that flushed the cache.
+	CacheInvalidations int64
+	// Cycles counts assembled broadcast cycles.
+	Cycles int64
+}
+
+// CacheHitRate is the fraction of answer-cache lookups that hit, or 0 when
+// the cache was never consulted.
+func (m Metrics) CacheHitRate() float64 {
+	total := m.CacheHits + m.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.CacheHits) / float64(total)
+}
+
+// String renders the metrics as one compact line, for CLI reporting.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d cache=%d/%d (%.0f%% hit)",
+		m.Cycles, m.CacheHits, m.CacheHits+m.CacheMisses, 100*m.CacheHitRate())
+	names := make([]string, 0, len(m.Stages))
+	for name := range m.Stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := m.Stages[name]
+		fmt.Fprintf(&b, " %s{n=%d wall=%s in=%d out=%d}", name, s.Count, s.Wall.Round(time.Microsecond), s.In, s.Out)
+	}
+	return b.String()
+}
+
+// Collector is a Probe that accumulates Metrics. Safe for concurrent use.
+type Collector struct {
+	mu sync.Mutex
+	m  Metrics
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{m: Metrics{Stages: make(map[string]StageStats)}}
+}
+
+// StageDone implements Probe.
+func (c *Collector) StageDone(stage string, wall time.Duration, in, out int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.m.Stages[stage]
+	s.Count++
+	s.Wall += wall
+	s.In += int64(in)
+	s.Out += int64(out)
+	c.m.Stages[stage] = s
+}
+
+// CacheAccess implements Probe.
+func (c *Collector) CacheAccess(hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if hit {
+		c.m.CacheHits++
+	} else {
+		c.m.CacheMisses++
+	}
+}
+
+// CacheInvalidated implements Probe.
+func (c *Collector) CacheInvalidated() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m.CacheInvalidations++
+}
+
+// CycleDone implements Probe.
+func (c *Collector) CycleDone() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m.Cycles++
+}
+
+// Metrics returns a deep-copied snapshot.
+func (c *Collector) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.m
+	out.Stages = make(map[string]StageStats, len(c.m.Stages))
+	for k, v := range c.m.Stages {
+		out.Stages[k] = v
+	}
+	return out
+}
+
+// probes fans telemetry out to the internal collector plus an optional
+// user probe.
+type probes []Probe
+
+func (p probes) StageDone(stage string, wall time.Duration, in, out int) {
+	for _, pr := range p {
+		pr.StageDone(stage, wall, in, out)
+	}
+}
+
+func (p probes) CacheAccess(hit bool) {
+	for _, pr := range p {
+		pr.CacheAccess(hit)
+	}
+}
+
+func (p probes) CacheInvalidated() {
+	for _, pr := range p {
+		pr.CacheInvalidated()
+	}
+}
+
+func (p probes) CycleDone() {
+	for _, pr := range p {
+		pr.CycleDone()
+	}
+}

@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/dataguide"
+	"repro/internal/engine"
+	"repro/internal/sim"
+	"repro/internal/yfilter"
+)
+
+// EngineBenchResult is the JSON report of the assembly-engine benchmark: the
+// serial-vs-parallel timings of the two sharded pipeline stages (document
+// matching, DataGuide merging) and the per-stage telemetry of one full
+// simulation driven through the engine. Written by cmd/bcast-exp
+// -bench-engine as BENCH_engine.json.
+type EngineBenchResult struct {
+	// GOMAXPROCS and Workers record the parallelism the numbers were
+	// measured at; speedups are only meaningful with several real cores.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Workers    int `json:"workers"`
+	NumDocs    int `json:"num_docs"`
+	NumQueries int `json:"num_queries"`
+
+	// FilterSerialNS / FilterParallelNS time one full matching pass of the
+	// query set over the collection (best of Rounds), serially and sharded.
+	FilterSerialNS   int64   `json:"filter_serial_ns"`
+	FilterParallelNS int64   `json:"filter_parallel_ns"`
+	FilterSpeedup    float64 `json:"filter_speedup"`
+
+	// MergeSerialNS / MergeParallelNS time the merged-DataGuide build.
+	MergeSerialNS   int64   `json:"merge_serial_ns"`
+	MergeParallelNS int64   `json:"merge_parallel_ns"`
+	MergeSpeedup    float64 `json:"merge_speedup"`
+
+	// Cycles and Engine come from a full two-tier simulation of the
+	// workload: per-stage wall time and sizes, cache hit rate, cycle count.
+	Cycles int            `json:"cycles"`
+	Engine engine.Metrics `json:"engine"`
+}
+
+// engineBenchRounds is how many timed repetitions each measurement takes;
+// the best (minimum) round is reported, the usual benchmarking guard against
+// scheduler noise.
+const engineBenchRounds = 5
+
+// RunEngineBench measures the engine's concurrent stages on the configured
+// workload (defaults: the reconstructed Table 2 setup).
+func RunEngineBench(cfg Config) (*EngineBenchResult, error) {
+	cfg = cfg.withDefaults()
+	coll, err := cfg.documents()
+	if err != nil {
+		return nil, err
+	}
+	queries, err := cfg.queries(coll, cfg.NQ, cfg.P, cfg.DQ)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := cfg.scheduler()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &EngineBenchResult{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    runtime.GOMAXPROCS(0),
+		NumDocs:    coll.Len(),
+		NumQueries: len(queries),
+	}
+
+	// Matching: one warm-up pass fills the shared lazy-DFA memo, so both
+	// variants measure matching, not automaton construction.
+	f := yfilter.New(queries)
+	f.Filter(coll)
+	res.FilterSerialNS = bestOf(engineBenchRounds, func() { f.Filter(coll) })
+	res.FilterParallelNS = bestOf(engineBenchRounds, func() { f.FilterParallel(coll, res.Workers) })
+	res.FilterSpeedup = speedup(res.FilterSerialNS, res.FilterParallelNS)
+
+	res.MergeSerialNS = bestOf(engineBenchRounds, func() { dataguide.Merge(coll) })
+	res.MergeParallelNS = bestOf(engineBenchRounds, func() { dataguide.MergeParallel(coll, res.Workers) })
+	res.MergeSpeedup = speedup(res.MergeSerialNS, res.MergeParallelNS)
+
+	out, err := sim.Run(sim.Config{
+		Collection:    coll,
+		Model:         cfg.Model,
+		Mode:          broadcast.TwoTierMode,
+		Scheduler:     sched,
+		CycleCapacity: cfg.CycleCapacity,
+		Requests:      cfg.requests(queries),
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Cycles = len(out.Cycles)
+	res.Engine = out.Engine
+	return res, nil
+}
+
+// bestOf returns the fastest of n timed runs, in nanoseconds.
+func bestOf(n int, run func()) int64 {
+	best := int64(0)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		run()
+		if d := time.Since(start).Nanoseconds(); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// speedup is serial/parallel, guarding the degenerate zero measurement.
+func speedup(serial, parallel int64) float64 {
+	if parallel <= 0 {
+		return 0
+	}
+	return float64(serial) / float64(parallel)
+}

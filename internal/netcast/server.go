@@ -5,18 +5,17 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/broadcast"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/schedule"
 	"repro/internal/wire"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
-	"repro/internal/yfilter"
 )
 
 // ServerConfig parameterises a broadcast server.
@@ -46,6 +45,9 @@ type ServerConfig struct {
 	// write deadline absorb) is dropped; clients reconnect and resync.
 	// Default 256 frames.
 	SubscriberQueue int
+	// Probe receives engine pipeline telemetry in addition to the built-in
+	// collector surfaced by Stats. Optional.
+	Probe engine.Probe
 }
 
 // subWriteTimeout bounds each frame write to one subscriber.
@@ -56,10 +58,9 @@ const subWriteTimeout = 2 * time.Second
 type Server struct {
 	cfg ServerConfig
 
-	// bmu serialises every use of builder: cycle assembly and dynamic
-	// collection updates.
-	bmu     sync.Mutex
-	builder *broadcast.Builder
+	// eng owns cycle assembly, the memoized query answers and the dynamic
+	// collection; it is internally synchronised.
+	eng *engine.Engine
 
 	upLn, bcLn net.Listener
 
@@ -70,14 +71,25 @@ type Server struct {
 	nextID  int64
 	cycles  int64
 
-	// answers caches query result sets; invalidated on collection updates.
-	answers map[string][]xmldoc.DocID
-
 	stop     chan struct{}
 	stopOnce sync.Once
 	loopDone chan struct{} // closed when cycleLoop returns (in-flight cycle flushed)
 	done     chan struct{}
 	wg       sync.WaitGroup
+}
+
+// ServerStats is a point-in-time snapshot of a running server, including the
+// assembly engine's pipeline telemetry.
+type ServerStats struct {
+	// Cycles is the number of broadcast cycles emitted so far.
+	Cycles int64
+	// Pending is the number of outstanding requests.
+	Pending int
+	// Subscribers is the number of connected broadcast listeners.
+	Subscribers int
+	// Engine holds per-stage wall times and sizes, answer-cache hit rate
+	// and cycle counters from the shared assembly engine.
+	Engine engine.Metrics
 }
 
 // subscriber is one broadcast listener: frames are queued to a buffered
@@ -142,7 +154,14 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	if cfg.SubscriberQueue <= 0 {
 		cfg.SubscriberQueue = 256
 	}
-	builder, err := broadcast.NewBuilder(cfg.Collection, cfg.Model, cfg.Mode)
+	eng, err := engine.New(engine.Config{
+		Collection:    cfg.Collection,
+		Model:         cfg.Model,
+		Mode:          cfg.Mode,
+		Scheduler:     cfg.Scheduler,
+		CycleCapacity: cfg.CycleCapacity,
+		Probe:         cfg.Probe,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -157,12 +176,11 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	}
 	s := &Server{
 		cfg:      cfg,
-		builder:  builder,
+		eng:      eng,
 		upLn:     upLn,
 		bcLn:     bcLn,
 		subs:     make(map[*subscriber]struct{}),
 		uplinks:  make(map[net.Conn]struct{}),
-		answers:  make(map[string][]xmldoc.DocID),
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 		done:     make(chan struct{}),
@@ -196,6 +214,20 @@ func (s *Server) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.pending)
+}
+
+// Stats snapshots the server's counters and the assembly engine's pipeline
+// telemetry.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	st := ServerStats{
+		Cycles:      s.cycles,
+		Pending:     len(s.pending),
+		Subscribers: len(s.subs),
+	}
+	s.mu.Unlock()
+	st.Engine = s.eng.Metrics()
+	return st
 }
 
 // Shutdown stops the server gracefully: the cycle loop finishes and flushes
@@ -293,21 +325,11 @@ func (s *Server) submit(expr string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	key := q.String()
-	s.mu.Lock()
-	docs, cached := s.answers[key]
-	s.mu.Unlock()
-	if !cached {
-		s.bmu.Lock()
-		coll, err := s.builder.Collection()
-		s.bmu.Unlock()
-		if err != nil {
-			return 0, err
-		}
-		docs = yfilter.New([]xpath.Path{q}).Filter(coll)[0]
-		s.mu.Lock()
-		s.answers[key] = docs
-		s.mu.Unlock()
+	// The engine memoizes answers per canonical query string, so repeated
+	// submissions of popular queries never rescan the collection.
+	docs, err := s.eng.Resolve(q)
+	if err != nil {
+		return 0, err
 	}
 	if len(docs) == 0 {
 		return 0, errors.New("query has an empty result set")
@@ -390,7 +412,8 @@ func (s *Server) cycleLoop() {
 	}
 }
 
-// broadcastCycle plans, encodes and fans out one cycle.
+// broadcastCycle plans, encodes and fans out one cycle through the shared
+// assembly engine.
 func (s *Server) broadcastCycle() error {
 	s.mu.Lock()
 	if len(s.pending) == 0 {
@@ -398,20 +421,13 @@ func (s *Server) broadcastCycle() error {
 		return nil
 	}
 	snapshot := append([]*srvRequest(nil), s.pending...)
-	reqs := make([]schedule.Request, 0, len(snapshot))
-	var queries []xpath.Path
-	seen := make(map[string]struct{})
+	pending := make([]engine.Pending, 0, len(snapshot))
 	for _, r := range snapshot {
 		rem := make([]xmldoc.DocID, 0, len(r.remaining))
 		for d := range r.remaining {
 			rem = append(rem, d)
 		}
-		sortDocIDs(rem)
-		reqs = append(reqs, schedule.Request{ID: r.id, Arrival: r.arrival, Docs: rem})
-		if _, ok := seen[r.query.String()]; !ok {
-			seen[r.query.String()] = struct{}{}
-			queries = append(queries, r.query)
-		}
+		pending = append(pending, engine.Pending{ID: r.id, Query: r.query, Arrival: r.arrival, Remaining: rem})
 	}
 	// The cycle number is claimed under the same lock that snapshots the
 	// pending set, so a submission observing cycles == k is guaranteed to
@@ -420,29 +436,16 @@ func (s *Server) broadcastCycle() error {
 	s.cycles++
 	s.mu.Unlock()
 
-	s.bmu.Lock()
-	size := func(d xmldoc.DocID) int { return s.builder.DocByID(d).Size() }
-	plan := s.cfg.Scheduler.PlanCycle(reqs, size, s.cfg.CycleCapacity, num)
-	cy, err := s.builder.BuildCycle(num, 0, queries, plan)
+	// The server's clock is the cycle number: arrivals are stamped with it,
+	// and the scheduler's "now" follows the same unit.
+	cy, err := s.eng.AssembleCycle(num, num, pending)
 	if err != nil {
-		s.bmu.Unlock()
 		return err
 	}
-	indexSeg, stSeg, err := s.builder.Encode(cy)
+	enc, err := s.eng.EncodeCycle(cy)
 	if err != nil {
-		s.bmu.Unlock()
 		return err
 	}
-	docPayloads := make([][]byte, 0, len(cy.Docs))
-	for _, p := range cy.Docs {
-		doc := s.builder.DocByID(p.ID)
-		payload := make([]byte, 2, 2+doc.Size())
-		payload[0] = byte(p.ID)
-		payload[1] = byte(p.ID >> 8)
-		payload = append(payload, doc.Marshal()...)
-		docPayloads = append(docPayloads, payload)
-	}
-	s.bmu.Unlock()
 	catBytes, err := cy.Catalog.Encode()
 	if err != nil {
 		return err
@@ -459,12 +462,14 @@ func (s *Server) broadcastCycle() error {
 		return err
 	}
 
+	// The encoded segments are retained by subscriber queues, so they are
+	// never recycled here; the GC reclaims them once every writer is done.
 	s.fanOut(FrameCycleHead, headBytes)
-	s.fanOut(FrameIndex, indexSeg)
-	if stSeg != nil {
-		s.fanOut(FrameSecondTier, stSeg)
+	s.fanOut(FrameIndex, enc.Index)
+	if enc.SecondTier != nil {
+		s.fanOut(FrameSecondTier, enc.SecondTier)
 	}
-	for _, payload := range docPayloads {
+	for _, payload := range enc.Docs {
 		s.fanOut(FrameDoc, payload)
 	}
 
@@ -479,8 +484,8 @@ func (s *Server) broadcastCycle() error {
 	var live []*srvRequest
 	for _, r := range s.pending {
 		if _, ok := inSnapshot[r.id]; ok {
-			for _, d := range plan {
-				delete(r.remaining, d)
+			for _, p := range cy.Docs {
+				delete(r.remaining, p.ID)
 			}
 		}
 		if len(r.remaining) > 0 {
@@ -517,33 +522,18 @@ func (s *Server) fanOut(t FrameType, payload []byte) {
 	}
 }
 
-func sortDocIDs(ids []xmldoc.DocID) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-}
-
 // AddDocument admits a new document to the live collection; it becomes
-// visible to queries and schedulable from the next cycle.
+// visible to queries and schedulable from the next cycle. The engine
+// invalidates its answer cache.
 func (s *Server) AddDocument(d *xmldoc.Document) error {
-	s.bmu.Lock()
-	err := s.builder.AddDocument(d)
-	s.bmu.Unlock()
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	s.answers = make(map[string][]xmldoc.DocID)
-	s.mu.Unlock()
-	return nil
+	return s.eng.AddDocument(d)
 }
 
 // RemoveDocument retires a document from the live collection. Pending
 // requests lose the document from their remaining sets; requests thereby
 // satisfied are retired.
 func (s *Server) RemoveDocument(id xmldoc.DocID) error {
-	s.bmu.Lock()
-	err := s.builder.RemoveDocument(id)
-	s.bmu.Unlock()
-	if err != nil {
+	if err := s.eng.RemoveDocument(id); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -555,14 +545,11 @@ func (s *Server) RemoveDocument(id xmldoc.DocID) error {
 		}
 	}
 	s.pending = live
-	s.answers = make(map[string][]xmldoc.DocID)
 	s.mu.Unlock()
 	return nil
 }
 
 // NumDocs reports the current collection size.
 func (s *Server) NumDocs() int {
-	s.bmu.Lock()
-	defer s.bmu.Unlock()
-	return s.builder.NumDocs()
+	return s.eng.NumDocs()
 }

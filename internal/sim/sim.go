@@ -13,10 +13,10 @@ import (
 
 	"repro/internal/broadcast"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/schedule"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
-	"repro/internal/yfilter"
 )
 
 // ClientRequest is one query submitted by a mobile client.
@@ -57,6 +57,17 @@ type Config struct {
 	LossSeed int64
 	// MaxCycles aborts runaway simulations. Default 100000.
 	MaxCycles int
+	// Probe receives engine pipeline telemetry in addition to the built-in
+	// collector that fills Result.Engine. Optional.
+	Probe engine.Probe
+	// Workers bounds the engine's filter/build parallelism. Zero selects
+	// GOMAXPROCS.
+	Workers int
+	// CycleSink, if non-nil, receives every assembled cycle together with
+	// its encoded wire segments, exactly as the networked server broadcasts
+	// them. Encoding is skipped when nil, so plain simulations pay no wire
+	// cost. The Encoded's segments are only valid during the call.
+	CycleSink func(*engine.Cycle, *engine.Encoded)
 }
 
 func (c *Config) applyDefaults() {
@@ -133,6 +144,9 @@ type Result struct {
 	Cycles []CycleStats
 	// Mode echoes the configuration.
 	Mode broadcast.Mode
+	// Engine is the assembly pipeline's telemetry: per-stage wall time and
+	// sizes, answer-cache hit rate and cycle counters.
+	Engine engine.Metrics
 }
 
 // client is the in-flight state of one request.
@@ -154,14 +168,22 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	builder, err := broadcast.NewBuilder(cfg.Collection, cfg.Model, cfg.Mode)
+	eng, err := engine.New(engine.Config{
+		Collection:    cfg.Collection,
+		Model:         cfg.Model,
+		Mode:          cfg.Mode,
+		Scheduler:     cfg.Scheduler,
+		CycleCapacity: cfg.CycleCapacity,
+		Probe:         cfg.Probe,
+		Workers:       cfg.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}
 
 	// Resolve every distinct query's answer once, server-side, via the
-	// shared NFA filter.
-	answers, err := resolveAnswers(cfg.Collection, cfg.Requests)
+	// engine's shared memoized matcher.
+	answers, err := resolveAnswers(eng, cfg.Requests)
 	if err != nil {
 		return nil, err
 	}
@@ -216,32 +238,28 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("sim: no active clients but %d incomplete", len(clients)-completed)
 		}
 
-		// Server: build pending view and plan the cycle.
-		pendingReqs := make([]schedule.Request, 0, len(active))
-		var pendingQueries []xpath.Path
-		seenQ := make(map[string]struct{})
+		// Server: hand the pending view to the shared assembly engine.
+		pending := make([]engine.Pending, 0, len(active))
 		for _, cl := range active {
 			rem := make([]xmldoc.DocID, 0, len(cl.remaining))
 			for d := range cl.remaining {
 				rem = append(rem, d)
 			}
-			sort.Slice(rem, func(i, j int) bool { return rem[i] < rem[j] })
-			pendingReqs = append(pendingReqs, schedule.Request{ID: cl.id, Arrival: cl.req.Arrival, Docs: rem})
-			key := cl.req.Query.String()
-			if _, ok := seenQ[key]; !ok {
-				seenQ[key] = struct{}{}
-				pendingQueries = append(pendingQueries, cl.req.Query)
-			}
+			pending = append(pending, engine.Pending{ID: cl.id, Query: cl.req.Query, Arrival: cl.req.Arrival, Remaining: rem})
 		}
-		size := func(d xmldoc.DocID) int { return cfg.Collection.ByID(d).Size() }
-		plan := cfg.Scheduler.PlanCycle(pendingReqs, size, cfg.CycleCapacity, now)
-		if len(plan) == 0 {
-			return nil, fmt.Errorf("sim: scheduler %q planned an empty cycle with %d pending", cfg.Scheduler.Name(), len(pendingReqs))
-		}
-		cy, err := builder.BuildCycle(cycleNum, now, pendingQueries, plan)
+		ecy, err := eng.AssembleCycle(cycleNum, now, pending)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("sim: %w", err)
 		}
+		if cfg.CycleSink != nil {
+			enc, err := eng.EncodeCycle(ecy)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
+			}
+			cfg.CycleSink(ecy, enc)
+			eng.Recycle(enc)
+		}
+		cy := ecy.Cycle
 		res.Cycles = append(res.Cycles, CycleStats{
 			Number:          cy.Number,
 			Start:           cy.Start,
@@ -251,7 +269,7 @@ func Run(cfg Config) (*Result, error) {
 			DocBytes:        cy.DocBytes,
 			NumDocs:         len(cy.Docs),
 			IndexNodes:      cy.Index.NumNodes(),
-			Pending:         len(pendingReqs),
+			Pending:         len(pending),
 		})
 
 		// Clients: attend the cycle.
@@ -273,6 +291,7 @@ func Run(cfg Config) (*Result, error) {
 	for _, cl := range clients {
 		res.Clients = append(res.Clients, cl.stats)
 	}
+	res.Engine = eng.Metrics()
 	return res, nil
 }
 
@@ -356,25 +375,21 @@ func indexReadBytes(cl *client, cy *broadcast.Cycle, cfg Config) int {
 	return cy.Packing.BytesFor(lr.Visited)
 }
 
-// resolveAnswers evaluates every distinct query once over the collection.
-func resolveAnswers(c *xmldoc.Collection, reqs []ClientRequest) (map[string][]xmldoc.DocID, error) {
-	var unique []xpath.Path
-	index := make(map[string]int)
+// resolveAnswers evaluates every distinct query once through the engine's
+// memoized matcher.
+func resolveAnswers(eng *engine.Engine, reqs []ClientRequest) (map[string][]xmldoc.DocID, error) {
+	queries := make([]xpath.Path, 0, len(reqs))
 	for _, r := range reqs {
-		key := r.Query.String()
-		if _, ok := index[key]; !ok {
-			index[key] = len(unique)
-			unique = append(unique, r.Query)
-		}
+		queries = append(queries, r.Query)
 	}
-	f := yfilter.New(unique)
-	perQuery := f.Filter(c)
-	out := make(map[string][]xmldoc.DocID, len(unique))
-	for key, qi := range index {
-		if len(perQuery[qi]) == 0 {
+	out, err := eng.ResolveAll(queries)
+	if err != nil {
+		return nil, err
+	}
+	for key, docs := range out {
+		if len(docs) == 0 {
 			return nil, fmt.Errorf("sim: query %s has an empty result set; the paper assumes satisfiable requests", key)
 		}
-		out[key] = perQuery[qi]
 	}
 	return out, nil
 }

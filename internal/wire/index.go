@@ -15,6 +15,13 @@ import (
 // map encode the NotInCycle sentinel. In first-tier layout docOffsets is
 // ignored.
 func EncodeIndex(ix *core.Index, p *core.Packing, cat *Catalog, docOffsets DocOffsets) ([]byte, error) {
+	return AppendIndex(nil, ix, p, cat, docOffsets)
+}
+
+// AppendIndex is EncodeIndex appending to dst (which may be a pooled or
+// recycled buffer) and returning the extended slice, so steady-state
+// encoders can reuse one backing array across cycles.
+func AppendIndex(dst []byte, ix *core.Index, p *core.Packing, cat *Catalog, docOffsets DocOffsets) ([]byte, error) {
 	if len(p.NodeOffsets) != len(ix.Nodes) {
 		return nil, fmt.Errorf("wire: packing covers %d nodes, index has %d", len(p.NodeOffsets), len(ix.Nodes))
 	}
@@ -23,7 +30,9 @@ func EncodeIndex(ix *core.Index, p *core.Packing, cat *Catalog, docOffsets DocOf
 		return nil, err
 	}
 	m := ix.Model
-	out := make([]byte, p.StreamBytes)
+	base := len(dst)
+	dst = grow(dst, p.StreamBytes)
+	out := dst[base:]
 	ptrMax := uint64(1)<<(8*min(m.PointerBytes, 8)) - 1
 	for i := range ix.Nodes {
 		n := &ix.Nodes[i]
@@ -72,7 +81,18 @@ func EncodeIndex(ix *core.Index, p *core.Packing, cat *Catalog, docOffsets DocOf
 			return nil, fmt.Errorf("wire: node %d encoded %d bytes, packing expected %d", i, pos-p.NodeOffsets[i], p.NodeSizes[i])
 		}
 	}
-	return out, nil
+	return dst, nil
+}
+
+// grow extends dst by n zeroed bytes, reusing capacity when available.
+func grow(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		base := len(dst)
+		dst = dst[:base+n]
+		clear(dst[base:])
+		return dst
+	}
+	return append(dst, make([]byte, n)...)
 }
 
 // DecodeIndex parses a byte stream produced by EncodeIndex back into an
@@ -233,9 +253,17 @@ func SecondTierSize(n int, m core.SizeModel) int {
 // EncodeSecondTier serialises the per-cycle offset list, sorted by document
 // ID.
 func EncodeSecondTier(entries []SecondTierEntry, m core.SizeModel) ([]byte, error) {
+	return AppendSecondTier(nil, entries, m)
+}
+
+// AppendSecondTier is EncodeSecondTier appending to dst and returning the
+// extended slice.
+func AppendSecondTier(dst []byte, entries []SecondTierEntry, m core.SizeModel) ([]byte, error) {
 	sorted := append([]SecondTierEntry(nil), entries...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Doc < sorted[j].Doc })
-	out := make([]byte, SecondTierSize(len(sorted), m))
+	base := len(dst)
+	dst = grow(dst, SecondTierSize(len(sorted), m))
+	out := dst[base:]
 	if err := putUint(out, 0, m.DocIDBytes, uint64(len(sorted)), "second-tier count"); err != nil {
 		return nil, err
 	}
@@ -250,7 +278,7 @@ func EncodeSecondTier(entries []SecondTierEntry, m core.SizeModel) ([]byte, erro
 		}
 		pos += m.PointerBytes
 	}
-	return out, nil
+	return dst, nil
 }
 
 // DecodeSecondTier is the inverse of EncodeSecondTier.

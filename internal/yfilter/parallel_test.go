@@ -1,0 +1,68 @@
+package yfilter
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/gen"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// fixture50x200 is the standard parallel-matching fixture: 50 NITF documents
+// against 200 generated queries (the same shape as core's bench fixture).
+func fixture50x200(tb testing.TB) (*xmldoc.Collection, []xpath.Path) {
+	tb.Helper()
+	c, err := gen.Documents(gen.DocConfig{Schema: dtd.NITF(), NumDocs: 50, Seed: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	queries, err := gen.Queries(c, gen.QueryConfig{NumQueries: 200, MaxDepth: 5, WildcardProb: 0.1, Seed: 2})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c, queries
+}
+
+func TestFilterParallelMatchesSerial(t *testing.T) {
+	c, queries := fixture50x200(t)
+	want := New(queries).Filter(c)
+	for _, workers := range []int{0, 1, 2, 3, 4, 7, 16, 100} {
+		got := New(queries).FilterParallel(c, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: FilterParallel diverges from Filter", workers)
+		}
+	}
+	// A shared, already-warmed automaton must give the same answer too.
+	f := New(queries)
+	f.Filter(c)
+	if got := f.FilterParallel(c, 4); !reflect.DeepEqual(got, want) {
+		t.Error("FilterParallel on a warmed automaton diverges from Filter")
+	}
+}
+
+// BenchmarkFilterSerial is the single-goroutine baseline on the 50-doc /
+// 200-query fixture; BenchmarkFilterParallel is the acceptance benchmark for
+// the engine's sharded matcher (target: ≥1.5× over serial at GOMAXPROCS ≥ 4).
+func BenchmarkFilterSerial(b *testing.B) {
+	c, queries := fixture50x200(b)
+	f := New(queries)
+	f.Filter(c) // warm the lazy-DFA memo so both benchmarks measure matching
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Filter(c)
+	}
+}
+
+func BenchmarkFilterParallel(b *testing.B) {
+	c, queries := fixture50x200(b)
+	f := New(queries)
+	f.Filter(c)
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.FilterParallel(c, workers)
+	}
+}

@@ -11,8 +11,11 @@
 package yfilter
 
 import (
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataguide"
 	"repro/internal/xmldoc"
@@ -34,16 +37,18 @@ type state struct {
 	accept []int
 }
 
-// Filter is a compiled query set. It is immutable after New and safe for
-// concurrent readers.
+// Filter is a compiled query set. The NFA is immutable after New; the lazy
+// DFA memo is guarded by a read/write lock, so one Filter may be stepped
+// from many goroutines at once (FilterParallel shards document matching
+// across workers over a single shared machine).
 type Filter struct {
 	states  []state
 	queries []xpath.Path
 
 	// dfa memoises subset-construction steps: key is the encoded state set
-	// plus the consumed label. It is lazily filled; access is not
-	// synchronised, so concurrent users must not share one Filter for
-	// stepping. (The simulator builds one Filter per broadcast server.)
+	// plus the consumed label. It is lazily filled under mu — read-mostly
+	// once the reachable label alphabet has been seen.
+	mu  sync.RWMutex
 	dfa map[string]StateSet
 }
 
@@ -171,24 +176,29 @@ func (f *Filter) Step(s StateSet, label string) StateSet {
 		return s
 	}
 	key := s.key() + "\x00" + label
-	if next, ok := f.dfa[key]; ok {
+	f.mu.RLock()
+	next, ok := f.dfa[key]
+	f.mu.RUnlock()
+	if ok {
 		return next
 	}
-	var next []int32
+	var ids []int32
 	for _, id := range s.ids {
 		st := &f.states[id]
 		if t, ok := st.byLabel[label]; ok {
-			next = append(next, int32(t))
+			ids = append(ids, int32(t))
 		}
 		if st.star >= 0 {
-			next = append(next, int32(st.star))
+			ids = append(ids, int32(st.star))
 		}
 		if st.selfLoop {
-			next = append(next, id)
+			ids = append(ids, id)
 		}
 	}
-	result := f.closure(next)
+	result := f.closure(ids)
+	f.mu.Lock()
 	f.dfa[key] = result
+	f.mu.Unlock()
 	return result
 }
 
@@ -234,6 +244,61 @@ func (f *Filter) Filter(c *xmldoc.Collection) [][]xmldoc.DocID {
 		for _, qi := range f.MatchDocument(d) {
 			results[qi] = append(results[qi], d.ID)
 		}
+	}
+	return results
+}
+
+// FilterParallel is Filter with document matching sharded across workers
+// goroutines (runtime.GOMAXPROCS(0) when workers <= 0) over the shared
+// automaton. Per-document matching — DataGuide construction plus the NFA
+// walk — dominates the cost and is independent per document, so throughput
+// scales with cores. The result is identical to Filter's.
+func (f *Filter) FilterParallel(c *xmldoc.Collection, workers int) [][]xmldoc.DocID {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	docs := c.Docs()
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	if workers <= 1 {
+		return f.Filter(c)
+	}
+
+	// Each worker claims documents by atomic counter and accumulates into
+	// its own result set; shards are merged and re-sorted afterwards, which
+	// restores the deterministic per-query DocID order.
+	shards := make([][][]xmldoc.DocID, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([][]xmldoc.DocID, len(f.queries))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(docs) {
+					break
+				}
+				d := docs[i]
+				for _, qi := range f.MatchDocument(d) {
+					local[qi] = append(local[qi], d.ID)
+				}
+			}
+			shards[w] = local
+		}(w)
+	}
+	wg.Wait()
+
+	results := make([][]xmldoc.DocID, len(f.queries))
+	for _, local := range shards {
+		for qi, ids := range local {
+			results[qi] = append(results[qi], ids...)
+		}
+	}
+	for qi := range results {
+		sort.Slice(results[qi], func(i, j int) bool { return results[qi][i] < results[qi][j] })
 	}
 	return results
 }

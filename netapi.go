@@ -25,6 +25,10 @@ type (
 	// BroadcastClientStats accounts one networked retrieval, including the
 	// Resyncs and Reconnects spent recovering from channel faults.
 	BroadcastClientStats = netcast.ClientStats
+	// BroadcastServerStats is a point-in-time snapshot of a running server
+	// ((*BroadcastServer).Stats), including the assembly engine's pipeline
+	// telemetry.
+	BroadcastServerStats = netcast.ServerStats
 )
 
 // StartBroadcastServer binds the uplink and broadcast listeners and starts

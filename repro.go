@@ -29,6 +29,7 @@ package repro
 import (
 	"repro/internal/broadcast"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/schedule"
 	"repro/internal/sim"
@@ -104,6 +105,21 @@ type (
 	ClientStats = sim.ClientStats
 	// Scheduler plans the document content of broadcast cycles.
 	Scheduler = schedule.Scheduler
+)
+
+// Assembly-engine telemetry: the shared cycle-assembly pipeline behind both
+// Simulate and StartBroadcastServer reports per-stage wall time and sizes,
+// answer-cache hit rate and cycle counters. SimulationResult.Engine and
+// BroadcastServer.Stats().Engine carry an EngineMetrics snapshot; a custom
+// EngineProbe can additionally be wired through SimulationConfig.Probe or
+// BroadcastServerConfig.Probe.
+type (
+	// EngineMetrics is an aggregated telemetry snapshot.
+	EngineMetrics = engine.Metrics
+	// EngineStageStats is one pipeline stage's aggregate.
+	EngineStageStats = engine.StageStats
+	// EngineProbe receives pipeline events as they happen.
+	EngineProbe = engine.Probe
 )
 
 // Experiment harness types.
