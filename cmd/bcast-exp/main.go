@@ -46,6 +46,11 @@ func run(args []string) error {
 		docSeed   = fs.Int64("doc-seed", 0, "document generation seed")
 		qSeed     = fs.Int64("query-seed", 0, "query generation seed")
 		format    = fs.String("format", "table", "output format for -exp: table, csv or json")
+
+		maxPending  = fs.Int("max-pending", 0, "engine admission cap on the pending set (0 = unlimited)")
+		answerCache = fs.Int("answer-cache", 0, "max memoized query answers, LRU-evicted (0 = unlimited)")
+		payloadMB   = fs.Int("payload-cache", 0, "max cached document payload megabytes, LRU-evicted (0 = unlimited)")
+		buildBudget = fs.Duration("build-budget", 0, "per-cycle index-pruning deadline; overruns broadcast the unpruned CI (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +90,12 @@ func run(args []string) error {
 	}
 	if *qSeed != 0 {
 		cfg.QuerySeed = *qSeed
+	}
+	cfg.Limits = repro.EngineLimits{
+		MaxPending:            *maxPending,
+		MaxAnswerCacheEntries: *answerCache,
+		MaxPayloadCacheBytes:  *payloadMB << 20,
+		BuildBudget:           *buildBudget,
 	}
 
 	switch {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +42,13 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 1, "random seed")
 		selfdrive = fs.Bool("selfdrive", false, "submit synthetic requests continuously")
 		duration  = fs.Duration("for", 0, "stop after this long (default: run until interrupted)")
+
+		maxPending  = fs.Int("max-pending", 0, "admission cap on the pending query set (0 = unlimited)")
+		answerCache = fs.Int("answer-cache", 0, "max memoized query answers, LRU-evicted (0 = unlimited)")
+		payloadMB   = fs.Int("payload-cache", 0, "max cached document payload megabytes, LRU-evicted (0 = unlimited)")
+		buildBudget = fs.Duration("build-budget", 0, "per-cycle index-pruning deadline; overruns broadcast the unpruned CI (0 = none)")
+		uplinkRate  = fs.Float64("uplink-rate", 0, "per-connection query rate limit in queries/s (0 = unlimited)")
+		uplinkBurst = fs.Int("uplink-burst", 0, "token-bucket burst for -uplink-rate (default 8)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +81,14 @@ func run(args []string) error {
 		CycleInterval: *interval,
 		UplinkAddr:    *uplink,
 		BroadcastAddr: *bcast,
+		Limits: repro.EngineLimits{
+			MaxPending:            *maxPending,
+			MaxAnswerCacheEntries: *answerCache,
+			MaxPayloadCacheBytes:  *payloadMB << 20,
+			BuildBudget:           *buildBudget,
+		},
+		UplinkRate:  *uplinkRate,
+		UplinkBurst: *uplinkBurst,
 	})
 	if err != nil {
 		return err
@@ -107,7 +123,14 @@ func run(args []string) error {
 				case <-driverStop:
 					return
 				case <-ticker.C:
-					if err := cl.Submit(pool[i%len(pool)]); err != nil {
+					err := cl.Submit(pool[i%len(pool)])
+					var rej *repro.BroadcastRejectedError
+					if errors.As(err, &rej) {
+						// Admission control shedding the self-driver is
+						// backpressure, not failure: skip this tick.
+						continue
+					}
+					if err != nil {
 						return
 					}
 					i++
@@ -131,5 +154,8 @@ func run(args []string) error {
 	st := srv.Stats()
 	fmt.Printf("shutting down after %d cycles\n", st.Cycles)
 	fmt.Printf("engine: %s\n", st.Engine)
+	if st.RejectedRate > 0 || st.RejectedPending > 0 {
+		fmt.Printf("rejected: %d rate-limited, %d over pending cap\n", st.RejectedRate, st.RejectedPending)
+	}
 	return nil
 }

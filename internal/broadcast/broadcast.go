@@ -237,12 +237,20 @@ func (b *Builder) BuildCycle(number, start int64, pending []xpath.Path, docPlan 
 	if err != nil {
 		return nil, fmt.Errorf("broadcast: prune: %w", err)
 	}
+	return b.BuildCycleWithIndex(number, start, pci, docPlan)
+}
+
+// BuildCycleWithIndex lays out one cycle around an already-chosen air index
+// (a pruned PCI, or the full CI when a build deadline forced a degraded
+// cycle — the CI is a strict superset of any PCI, so clients decode either).
+// docPlan must not contain duplicates or unknown documents.
+func (b *Builder) BuildCycleWithIndex(number, start int64, index *core.Index, docPlan []xmldoc.DocID) (*Cycle, error) {
 	cycle := &Cycle{
 		Number:  number,
 		Start:   start,
 		Mode:    b.mode,
-		Index:   pci,
-		Catalog: wire.BuildCatalog(pci),
+		Index:   index,
+		Catalog: wire.BuildCatalog(index),
 		Offsets: make(wire.DocOffsets, len(docPlan)),
 	}
 
@@ -269,7 +277,7 @@ func (b *Builder) BuildCycle(number, start int64, pending []xpath.Path, docPlan 
 	if b.mode == TwoTierMode {
 		tier = core.FirstTier
 	}
-	cycle.Packing = pci.Pack(tier)
+	cycle.Packing = index.Pack(tier)
 	cycle.IndexBytes = cycle.Packing.AirBytes()
 	if b.mode == TwoTierMode {
 		cycle.SecondTierBytes = wire.SecondTierSize(len(docPlan), b.model)
@@ -281,7 +289,7 @@ func (b *Builder) BuildCycle(number, start int64, pending []xpath.Path, docPlan 
 		return nil, fmt.Errorf("broadcast: encode catalog: %w", err)
 	}
 	head := len(catBytes) + 3*b.model.PointerBytes
-	for _, l := range wire.RootLabels(pci) {
+	for _, l := range wire.RootLabels(index) {
 		head += 1 + len(l)
 	}
 	cycle.HeadBytes = head

@@ -53,6 +53,9 @@ type Config struct {
 	// Workers bounds the filter/build parallelism. Zero selects
 	// runtime.GOMAXPROCS(0).
 	Workers int
+	// Limits bounds the engine's memory and per-cycle latency; see Limits.
+	// The zero value imposes no limits.
+	Limits Limits
 }
 
 // Pending is one outstanding request as the scheduler sees it: the query (for
@@ -77,10 +80,14 @@ type Pending struct {
 type Cycle struct {
 	*broadcast.Cycle
 	// Queries are the distinct pending queries, in first-seen order; the
-	// index was pruned to exactly this set.
+	// index was pruned to exactly this set (unless Degraded).
 	Queries []xpath.Path
 	// NumPending is the number of pending requests the plan drew from.
 	NumPending int
+	// Degraded reports that PCI pruning blew Limits.BuildBudget and the
+	// cycle carries the unpruned CI instead (a strict superset of the
+	// PCI; clients decode it unchanged).
+	Degraded bool
 }
 
 // Encoded holds one cycle's wire segments. Index and SecondTier share one
@@ -106,6 +113,7 @@ type Engine struct {
 	scheduler schedule.Scheduler
 	capacity  int
 	workers   int
+	limits    Limits
 	probe     probes
 	collector *Collector
 
@@ -114,8 +122,8 @@ type Engine struct {
 	// collection update.
 	mu       sync.Mutex
 	builder  *broadcast.Builder
-	answers  map[string][]xmldoc.DocID
-	payloads map[xmldoc.DocID][]byte
+	answers  *answerCache
+	payloads *payloadCache
 	epoch    uint64
 
 	segPool sync.Pool // *[]byte scratch for encoded index/second-tier segments
@@ -147,10 +155,11 @@ func New(cfg Config) (*Engine, error) {
 		scheduler: cfg.Scheduler,
 		capacity:  cfg.CycleCapacity,
 		workers:   cfg.Workers,
+		limits:    cfg.Limits,
 		collector: NewCollector(),
 		builder:   builder,
-		answers:   make(map[string][]xmldoc.DocID),
-		payloads:  make(map[xmldoc.DocID][]byte),
+		answers:   newAnswerCache(cfg.Limits.MaxAnswerCacheEntries),
+		payloads:  newPayloadCache(cfg.Limits.MaxPayloadCacheBytes),
 	}
 	e.probe = probes{e.collector}
 	if cfg.Probe != nil {
@@ -167,6 +176,9 @@ func (e *Engine) Mode() broadcast.Mode {
 
 // Scheduler reports the planning policy.
 func (e *Engine) Scheduler() schedule.Scheduler { return e.scheduler }
+
+// Limits reports the configured resource bounds.
+func (e *Engine) Limits() Limits { return e.limits }
 
 // NumDocs reports the current collection size.
 func (e *Engine) NumDocs() int {
@@ -204,7 +216,7 @@ func (e *Engine) ResolveAll(queries []xpath.Path) (map[string][]xmldoc.DocID, er
 		if _, dup := out[key]; dup {
 			continue
 		}
-		if docs, ok := e.answers[key]; ok {
+		if docs, ok := e.answers.get(key); ok {
 			out[key] = docs
 			e.probe.CacheAccess(true)
 		} else {
@@ -235,13 +247,17 @@ func (e *Engine) ResolveAll(queries []xpath.Path) (map[string][]xmldoc.DocID, er
 
 	e.mu.Lock()
 	fresh := e.epoch == epoch
+	evicted := 0
 	for i, q := range misses {
 		out[q.String()] = perQuery[i]
 		if fresh {
-			e.answers[q.String()] = perQuery[i]
+			evicted += e.answers.put(q.String(), q, perQuery[i])
 		}
 	}
 	e.mu.Unlock()
+	if evicted > 0 {
+		e.probe.CacheEvicted(EvictAnswer, evicted)
+	}
 	return out, nil
 }
 
@@ -250,9 +266,18 @@ func (e *Engine) ResolveAll(queries []xpath.Path) (map[string][]xmldoc.DocID, er
 // CI is pruned to the distinct pending queries and packed under the engine's
 // tier. start is both the cycle's start time and the scheduler's "now", in
 // the driver's clock units.
+//
+// With Limits.MaxPending set, a larger pending set is rejected with a wrapped
+// ErrOverload before any scheduling work. With Limits.BuildBudget set, a
+// pruning pass that overruns the budget degrades the cycle to the unpruned CI
+// (see Cycle.Degraded).
 func (e *Engine) AssembleCycle(number, start int64, pending []Pending) (*Cycle, error) {
 	if len(pending) == 0 {
 		return nil, fmt.Errorf("engine: AssembleCycle with no pending requests")
+	}
+	if e.limits.MaxPending > 0 && len(pending) > e.limits.MaxPending {
+		return nil, fmt.Errorf("engine: %d pending requests exceed MaxPending %d: %w",
+			len(pending), e.limits.MaxPending, ErrOverload)
 	}
 	reqs := make([]schedule.Request, 0, len(pending))
 	queries := make([]xpath.Path, 0, len(pending))
@@ -279,14 +304,57 @@ func (e *Engine) AssembleCycle(number, start int64, pending []Pending) (*Cycle, 
 	}
 
 	buildStart := time.Now()
-	ciNodes := e.builder.CI().NumNodes()
-	cy, err := e.builder.BuildCycle(number, start, queries, plan)
+	ci := e.builder.CI()
+	ciNodes := ci.NumNodes()
+	index, degraded, err := e.pruneWithBudget(ci, queries)
+	if err != nil {
+		return nil, err
+	}
+	cy, err := e.builder.BuildCycleWithIndex(number, start, index, plan)
 	if err != nil {
 		return nil, err
 	}
 	e.probe.StageDone(StageBuild, time.Since(buildStart), ciNodes, cy.Index.NumNodes())
+	if degraded {
+		e.probe.CycleDegraded()
+	}
 	e.probe.CycleDone()
-	return &Cycle{Cycle: cy, Queries: queries, NumPending: len(pending)}, nil
+	return &Cycle{Cycle: cy, Queries: queries, NumPending: len(pending), Degraded: degraded}, nil
+}
+
+// pruneWithBudget prunes the CI to the pending query set, racing the prune
+// against Limits.BuildBudget when one is set. On overrun it abandons the
+// prune goroutine (Prune only reads the immutable ci snapshot, so the
+// straggler is harmless) and returns the unpruned CI with degraded = true.
+// Called with e.mu held.
+func (e *Engine) pruneWithBudget(ci *core.Index, queries []xpath.Path) (*core.Index, bool, error) {
+	if e.limits.BuildBudget <= 0 {
+		pci, _, err := ci.Prune(queries)
+		if err != nil {
+			return nil, false, fmt.Errorf("engine: prune: %w", err)
+		}
+		return pci, false, nil
+	}
+	type pruned struct {
+		index *core.Index
+		err   error
+	}
+	done := make(chan pruned, 1)
+	go func() {
+		pci, _, err := ci.Prune(queries)
+		done <- pruned{pci, err}
+	}()
+	timer := time.NewTimer(e.limits.BuildBudget)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		if r.err != nil {
+			return nil, false, fmt.Errorf("engine: prune: %w", r.err)
+		}
+		return r.index, false, nil
+	case <-timer.C:
+		return ci, true, nil
+	}
 }
 
 // EncodeCycle produces the cycle's wire segments: the packed index, the
@@ -320,8 +388,9 @@ func (e *Engine) EncodeCycle(c *Cycle) (*Encoded, error) {
 	}
 	total := len(buf)
 	enc.Docs = make([][]byte, 0, len(c.Docs))
+	evicted := 0
 	for _, p := range c.Docs {
-		payload, ok := e.payloads[p.ID]
+		payload, ok := e.payloads.get(p.ID)
 		if !ok {
 			doc := e.builder.DocByID(p.ID)
 			if doc == nil {
@@ -330,12 +399,15 @@ func (e *Engine) EncodeCycle(c *Cycle) (*Encoded, error) {
 			payload = make([]byte, 2, 2+doc.Size())
 			binary.LittleEndian.PutUint16(payload, uint16(p.ID))
 			payload = append(payload, doc.Marshal()...)
-			e.payloads[p.ID] = payload
+			evicted += e.payloads.put(p.ID, payload)
 		}
 		enc.Docs = append(enc.Docs, payload)
 		total += len(payload)
 	}
 	e.probe.StageDone(StageEncode, time.Since(start), segments, total)
+	if evicted > 0 {
+		e.probe.CacheEvicted(EvictPayload, evicted)
+	}
 	return enc, nil
 }
 
@@ -352,33 +424,63 @@ func (e *Engine) Recycle(enc *Encoded) {
 }
 
 // AddDocument admits a new document to the live collection; it becomes
-// visible to queries and schedulable from the next cycle. The answer cache
-// is invalidated.
+// visible to queries and schedulable from the next cycle. Invalidation is
+// incremental: only cached answers whose query matches the new document are
+// evicted; the rest stay warm and exactly correct.
 func (e *Engine) AddDocument(d *xmldoc.Document) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err := e.builder.AddDocument(d); err != nil {
 		return err
 	}
-	e.invalidateLocked()
+	// The epoch still advances on every update: it fences in-flight
+	// ResolveAll write-backs computed against the pre-update snapshot.
+	e.epoch++
+	e.probe.CacheInvalidated()
+
+	entries := e.answers.entries()
+	if len(entries) == 0 {
+		return nil
+	}
+	queries := make([]xpath.Path, len(entries))
+	for i, en := range entries {
+		queries[i] = en.query
+	}
+	evicted := 0
+	for _, qi := range yfilter.New(queries).MatchDocument(d) {
+		e.answers.remove(entries[qi].key)
+		evicted++
+	}
+	if evicted > 0 {
+		e.probe.CacheEvicted(EvictAnswer, evicted)
+	}
 	return nil
 }
 
-// RemoveDocument retires a document from the live collection and invalidates
-// the answer and payload caches.
+// RemoveDocument retires a document from the live collection. Invalidation
+// is incremental: only cached answers that contain the removed document (and
+// its payload-cache entry) are evicted.
 func (e *Engine) RemoveDocument(id xmldoc.DocID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err := e.builder.RemoveDocument(id); err != nil {
 		return err
 	}
-	delete(e.payloads, id)
-	e.invalidateLocked()
-	return nil
-}
-
-func (e *Engine) invalidateLocked() {
 	e.epoch++
-	e.answers = make(map[string][]xmldoc.DocID)
 	e.probe.CacheInvalidated()
+	e.payloads.remove(id)
+
+	evicted := 0
+	for _, en := range e.answers.entries() {
+		// Answers are sorted DocID slices (yfilter emits them sorted).
+		i := sort.Search(len(en.docs), func(i int) bool { return en.docs[i] >= id })
+		if i < len(en.docs) && en.docs[i] == id {
+			e.answers.remove(en.key)
+			evicted++
+		}
+	}
+	if evicted > 0 {
+		e.probe.CacheEvicted(EvictAnswer, evicted)
+	}
+	return nil
 }

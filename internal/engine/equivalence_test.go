@@ -48,7 +48,13 @@ func TestSimNetcastCycleEquivalence(t *testing.T) {
 		t.Fatalf("fixture produced %d cycles; want a multi-cycle run", len(simCycles))
 	}
 	netCycles := runNetcastCapture(t, c, queries, capacity, len(simCycles))
+	compareCycles(t, simCycles, netCycles)
+}
 
+// compareCycles asserts the netcast capture is a byte-identical replay of the
+// simulator's cycles.
+func compareCycles(t *testing.T, simCycles []capturedCycle, netCycles []netcast.CycleRecord) {
+	t.Helper()
 	if len(netCycles) < len(simCycles) {
 		t.Fatalf("netcast broadcast %d cycles, sim %d", len(netCycles), len(simCycles))
 	}
@@ -75,6 +81,158 @@ func TestSimNetcastCycleEquivalence(t *testing.T) {
 	if len(netCycles) > len(simCycles) {
 		t.Errorf("netcast emitted %d extra cycles after the sim's pending set drained", len(netCycles)-len(simCycles))
 	}
+}
+
+// TestSimNetcastStaggeredEquivalence extends the equivalence check to
+// staggered arrivals, pinning the mapping between the two drivers' clocks:
+// the simulator admits a request into cycle k when its byte-time arrival is
+// at most cycle k's start, and the server admits it into cycle k when the
+// submission lands while k-1 cycles have been broadcast (the ack's covered
+// cycle number is exactly k). A query wave submitted at byte-time Start(k) in
+// the sim and acked with CoveredFrom k over the wire must therefore produce
+// byte-identical cycles.
+//
+// The byte-time arrivals are constructed inductively so the correspondence is
+// exact rather than approximate: wave w's arrival is cycle w's start in a
+// simulator run of waves 0..w-1 — which is unchanged by adding wave w, since
+// wave w only joins at cycle w.
+func TestSimNetcastStaggeredEquivalence(t *testing.T) {
+	c, err := gen.Documents(gen.DocConfig{Schema: dtd.NITF(), NumDocs: 15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := gen.Queries(c, gen.QueryConfig{NumQueries: 24, MaxDepth: 5, WildcardProb: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The server acks empty-result queries with an error instead of
+	// registering them, so the staggered waves use only queries both drivers
+	// admit.
+	const waveSize, numWaves = 3, 3
+	var queries []xpath.Path
+	for _, q := range raw {
+		if len(q.MatchingDocs(c)) > 0 {
+			queries = append(queries, q)
+		}
+	}
+	if len(queries) < waveSize*numWaves {
+		t.Fatalf("fixture yielded %d non-empty queries, want %d", len(queries), waveSize*numWaves)
+	}
+	queries = queries[:waveSize*numWaves]
+	capacity := c.TotalSize() / 4 // force a multi-cycle broadcast
+
+	// Inductively derive each wave's byte-time arrival from the prefix run.
+	arrivals := make([]int64, len(queries))
+	for w := 1; w < numWaves; w++ {
+		n := w * waveSize
+		_, stats := runStaggeredSim(t, c, queries[:n], arrivals[:n], capacity)
+		if len(stats) <= w {
+			t.Fatalf("waves 0..%d drained in %d cycles; fixture cannot stagger wave %d", w-1, len(stats), w)
+		}
+		for i := n; i < n+waveSize; i++ {
+			arrivals[i] = stats[w].Start
+		}
+	}
+
+	simCycles, _ := runStaggeredSim(t, c, queries, arrivals, capacity)
+	if len(simCycles) <= numWaves {
+		t.Fatalf("staggered fixture produced %d cycles; want more than %d", len(simCycles), numWaves)
+	}
+	netCycles := runStaggeredNetcast(t, c, queries, waveSize, capacity, len(simCycles))
+	compareCycles(t, simCycles, netCycles)
+}
+
+// runStaggeredSim runs the simulator with per-request byte-time arrivals and
+// returns the captured cycles alongside their stats (for Start times).
+func runStaggeredSim(t *testing.T, c *xmldoc.Collection, queries []xpath.Path, arrivals []int64, capacity int) ([]capturedCycle, []sim.CycleStats) {
+	t.Helper()
+	reqs := make([]sim.ClientRequest, 0, len(queries))
+	for i, q := range queries {
+		reqs = append(reqs, sim.ClientRequest{Query: q, Arrival: arrivals[i]})
+	}
+	var out []capturedCycle
+	res, err := sim.Run(sim.Config{
+		Collection:    c,
+		Mode:          broadcast.TwoTierMode,
+		CycleCapacity: capacity,
+		Requests:      reqs,
+		CycleSink: func(cy *engine.Cycle, enc *engine.Encoded) {
+			cc := capturedCycle{
+				number:     cy.Number,
+				index:      append([]byte(nil), enc.Index...),
+				secondTier: append([]byte(nil), enc.SecondTier...),
+			}
+			for _, d := range enc.Docs {
+				cc.docs = append(cc.docs, append([]byte(nil), d...))
+			}
+			out = append(out, cc)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, res.Cycles
+}
+
+// runStaggeredNetcast submits the queries in waves of waveSize, holding each
+// wave until the server has broadcast exactly one cycle per earlier wave, and
+// asserts every ack's covered cycle equals the wave number — the explicit
+// cycle-number half of the arrival-clock mapping.
+func runStaggeredNetcast(t *testing.T, c *xmldoc.Collection, queries []xpath.Path, waveSize, capacity, wantCycles int) []netcast.CycleRecord {
+	t.Helper()
+	srv, err := netcast.StartServer(netcast.ServerConfig{
+		Collection:    c,
+		Mode:          broadcast.TwoTierMode,
+		CycleCapacity: capacity,
+		CycleInterval: 250 * time.Millisecond, // wide enough to land a whole wave between ticks
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var buf bytes.Buffer
+	recDone := make(chan error, 1)
+	go func() {
+		_, err := netcast.Record(ctx, srv.BroadcastAddr(), wantCycles+1, &buf)
+		recDone <- err
+	}()
+	waitFor(t, ctx, "recorder subscription", func() bool { return srv.Stats().Subscribers >= 1 })
+
+	cl, err := netcast.Dial(srv.UplinkAddr(), srv.BroadcastAddr(), core.SizeModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i, q := range queries {
+		wave := i / waveSize
+		if i%waveSize == 0 && wave > 0 {
+			waitFor(t, ctx, "the next wave's cycle", func() bool { return srv.Stats().Cycles >= int64(wave) })
+		}
+		if err := cl.Submit(q); err != nil {
+			t.Fatalf("submit %s: %v", q, err)
+		}
+		if got := cl.CoveredFrom(); got != int64(wave) {
+			t.Fatalf("query %d acked covered from cycle %d, want wave %d", i, got, wave)
+		}
+	}
+
+	waitFor(t, ctx, "pending set to drain", func() bool {
+		st := srv.Stats()
+		return st.Pending == 0 && st.Cycles >= int64(wantCycles)
+	})
+	srv.Shutdown()
+	if err := <-recDone; err == nil {
+		t.Fatal("recorder finished early: server emitted more cycles than the sim")
+	}
+
+	records, err := netcast.ReadCapture(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return records
 }
 
 // runSimCapture runs the simulator with every request arriving at time 0 and

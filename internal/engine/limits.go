@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"container/list"
+	"errors"
+	"time"
+
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// ErrOverload is returned (wrapped) when a configured Limits bound rejects
+// work: AssembleCycle refuses a pending set larger than MaxPending, and
+// admission layers built on the engine (netcast.Server) wrap it for their own
+// rejections. Callers test with errors.Is(err, ErrOverload).
+var ErrOverload = errors.New("engine: overloaded")
+
+// Limits bounds the engine's memory and per-cycle latency. The zero value
+// imposes no limits, preserving the unbounded pre-Limits behaviour.
+type Limits struct {
+	// MaxPending caps the pending-request set AssembleCycle accepts; a
+	// larger set is rejected with ErrOverload before any scheduling work.
+	// Admission layers reuse it as their submit-path cap. Zero means
+	// unlimited.
+	MaxPending int
+	// MaxAnswerCacheEntries caps the memoized query answers; the least
+	// recently used entry is evicted on overflow. Zero means unlimited.
+	MaxAnswerCacheEntries int
+	// MaxPayloadCacheBytes caps the total bytes of cached document
+	// payloads; least recently broadcast payloads are evicted on overflow.
+	// Zero means unlimited.
+	MaxPayloadCacheBytes int
+	// BuildBudget is the wall-time deadline for the build stage's PCI
+	// pruning. When pruning overruns it, the cycle degrades gracefully:
+	// the unpruned CI is packed and broadcast instead (a strict superset
+	// of the PCI, so clients decode it unchanged) and the cycle is
+	// reported through Probe.CycleDegraded. Zero means no deadline.
+	BuildBudget time.Duration
+}
+
+// answerEntry is one memoized query answer. The parsed query is retained so
+// collection updates can re-match only the changed document against the
+// cached queries (incremental invalidation).
+type answerEntry struct {
+	key   string
+	query xpath.Path
+	docs  []xmldoc.DocID
+}
+
+// answerCache is an LRU memo of query answers keyed by canonical query
+// string. maxEntries <= 0 means unbounded. Not safe for concurrent use; the
+// engine guards it with its mutex.
+type answerCache struct {
+	maxEntries int
+	ll         *list.List // front = most recently used; values are *answerEntry
+	byKey      map[string]*list.Element
+}
+
+func newAnswerCache(maxEntries int) *answerCache {
+	return &answerCache{maxEntries: maxEntries, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+func (c *answerCache) len() int { return c.ll.Len() }
+
+func (c *answerCache) get(key string) ([]xmldoc.DocID, bool) {
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*answerEntry).docs, true
+}
+
+// put inserts or refreshes an entry and returns how many entries were
+// evicted to stay within maxEntries.
+func (c *answerCache) put(key string, q xpath.Path, docs []xmldoc.DocID) int {
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*answerEntry).docs = docs
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	c.byKey[key] = c.ll.PushFront(&answerEntry{key: key, query: q, docs: docs})
+	evicted := 0
+	for c.maxEntries > 0 && c.ll.Len() > c.maxEntries {
+		c.removeElement(c.ll.Back())
+		evicted++
+	}
+	return evicted
+}
+
+func (c *answerCache) remove(key string) {
+	if el, ok := c.byKey[key]; ok {
+		c.removeElement(el)
+	}
+}
+
+func (c *answerCache) removeElement(el *list.Element) {
+	c.ll.Remove(el)
+	delete(c.byKey, el.Value.(*answerEntry).key)
+}
+
+// entries returns the cached entries in no particular order. The returned
+// slice is fresh; the entries are the cache's own (do not mutate).
+func (c *answerCache) entries() []*answerEntry {
+	out := make([]*answerEntry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*answerEntry))
+	}
+	return out
+}
+
+// payloadEntry is one cached wire payload for a document.
+type payloadEntry struct {
+	id      xmldoc.DocID
+	payload []byte
+}
+
+// payloadCache is an LRU cache of encoded document payloads bounded by total
+// payload bytes. maxBytes <= 0 means unbounded. Not safe for concurrent use.
+type payloadCache struct {
+	maxBytes int
+	bytes    int
+	ll       *list.List // front = most recently used; values are *payloadEntry
+	byID     map[xmldoc.DocID]*list.Element
+}
+
+func newPayloadCache(maxBytes int) *payloadCache {
+	return &payloadCache{maxBytes: maxBytes, ll: list.New(), byID: make(map[xmldoc.DocID]*list.Element)}
+}
+
+func (c *payloadCache) get(id xmldoc.DocID) ([]byte, bool) {
+	el, ok := c.byID[id]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*payloadEntry).payload, true
+}
+
+// put caches a payload and returns how many entries were evicted to fit
+// maxBytes. A payload alone larger than maxBytes is still cached (it is the
+// only entry left after eviction); it will be evicted by the next put.
+func (c *payloadCache) put(id xmldoc.DocID, payload []byte) int {
+	if el, ok := c.byID[id]; ok {
+		e := el.Value.(*payloadEntry)
+		c.bytes += len(payload) - len(e.payload)
+		e.payload = payload
+		c.ll.MoveToFront(el)
+	} else {
+		c.byID[id] = c.ll.PushFront(&payloadEntry{id: id, payload: payload})
+		c.bytes += len(payload)
+	}
+	evicted := 0
+	for c.maxBytes > 0 && c.bytes > c.maxBytes && c.ll.Len() > 1 {
+		c.removeElement(c.ll.Back())
+		evicted++
+	}
+	return evicted
+}
+
+func (c *payloadCache) remove(id xmldoc.DocID) {
+	if el, ok := c.byID[id]; ok {
+		c.removeElement(el)
+	}
+}
+
+func (c *payloadCache) removeElement(el *list.Element) {
+	e := el.Value.(*payloadEntry)
+	c.ll.Remove(el)
+	delete(c.byID, e.id)
+	c.bytes -= len(e.payload)
+}

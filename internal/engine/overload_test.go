@@ -1,0 +1,267 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/xmldoc"
+)
+
+func limitedEngine(t testing.TB, numDocs, numQueries int, lim Limits) (*Engine, []Pending) {
+	t.Helper()
+	c, queries := fixture(t, numDocs, numQueries)
+	e, err := New(Config{Collection: c, Mode: broadcast.TwoTierMode, CycleCapacity: c.TotalSize(), Limits: lim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := e.ResolveAll(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending := make([]Pending, 0, len(queries))
+	for i, q := range queries {
+		if docs := answers[q.String()]; len(docs) > 0 {
+			pending = append(pending, Pending{ID: int64(i), Query: q, Remaining: docs})
+		}
+	}
+	if len(pending) < 2 {
+		t.Fatalf("fixture yielded only %d non-empty queries", len(pending))
+	}
+	return e, pending
+}
+
+func TestAssembleCycleRejectsOverMaxPending(t *testing.T) {
+	e, pending := limitedEngine(t, 10, 10, Limits{MaxPending: 1})
+	if _, err := e.AssembleCycle(0, 0, pending); !errors.Is(err, ErrOverload) {
+		t.Fatalf("AssembleCycle with %d pending over cap 1: err = %v, want ErrOverload", len(pending), err)
+	}
+	// At the cap is admitted, not rejected.
+	if _, err := e.AssembleCycle(0, 0, pending[:1]); err != nil {
+		t.Fatalf("AssembleCycle at the cap: %v", err)
+	}
+}
+
+func TestAnswerCacheLRUEviction(t *testing.T) {
+	const cacheCap = 3
+	c, queries := fixture(t, 10, 20)
+	e, err := New(Config{Collection: c, Mode: broadcast.TwoTierMode, CycleCapacity: c.TotalSize(),
+		Limits: Limits{MaxAnswerCacheEntries: cacheCap}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ResolveAll(queries); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.answers.len(); n > cacheCap {
+		t.Errorf("answer cache holds %d entries, cap %d", n, cacheCap)
+	}
+	m := e.Metrics()
+	distinct := make(map[string]struct{})
+	for _, q := range queries {
+		distinct[q.String()] = struct{}{}
+	}
+	if want := int64(len(distinct) - cacheCap); m.AnswerEvictions < want {
+		t.Errorf("AnswerEvictions = %d, want >= %d", m.AnswerEvictions, want)
+	}
+	// Eviction must not corrupt answers: every query still resolves to the
+	// same result as an unbounded engine.
+	ref := newEngine(t, c, c.TotalSize())
+	for _, q := range queries {
+		got, err := e.Resolve(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Resolve(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %s: %d docs after eviction, want %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestPayloadCacheByteBound(t *testing.T) {
+	const maxBytes = 4 << 10
+	e, pending := limitedEngine(t, 12, 12, Limits{MaxPayloadCacheBytes: maxBytes})
+	for i := 0; i < 3; i++ {
+		cy, err := e.AssembleCycle(int64(i), int64(i), pending)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := e.EncodeCycle(cy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Recycle(enc)
+	}
+	// Documents average ~1 KB+, so a 4 KB bound forces evictions while the
+	// cycle rebroadcasts every scheduled document.
+	if got := e.payloads.bytes; got > maxBytes {
+		t.Errorf("payload cache holds %d bytes, cap %d", got, maxBytes)
+	}
+	if m := e.Metrics(); m.PayloadEvictions == 0 {
+		t.Error("no payload evictions recorded under a tight byte bound")
+	}
+}
+
+func TestBuildBudgetDegradesToFullCI(t *testing.T) {
+	e, pending := limitedEngine(t, 10, 8, Limits{BuildBudget: time.Nanosecond})
+	cy, err := e.AssembleCycle(0, 0, pending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cy.Degraded {
+		t.Fatal("1 ns build budget did not degrade the cycle")
+	}
+	e.mu.Lock()
+	ciNodes := e.builder.CI().NumNodes()
+	e.mu.Unlock()
+	if cy.Index.NumNodes() != ciNodes {
+		t.Errorf("degraded cycle carries %d index nodes, want the full CI's %d", cy.Index.NumNodes(), ciNodes)
+	}
+	if m := e.Metrics(); m.DegradedCycles != 1 {
+		t.Errorf("DegradedCycles = %d, want 1", m.DegradedCycles)
+	}
+	// The degraded cycle must still encode (clients decode the CI exactly
+	// like a PCI — same wire format, more nodes).
+	enc, err := e.EncodeCycle(cy)
+	if err != nil {
+		t.Fatalf("EncodeCycle on degraded cycle: %v", err)
+	}
+	if len(enc.Index) == 0 {
+		t.Error("degraded cycle encoded an empty index segment")
+	}
+	e.Recycle(enc)
+
+	// Without a budget the same inputs build a pruned, non-degraded cycle.
+	e2, pending2 := limitedEngine(t, 10, 8, Limits{})
+	cy2, err := e2.AssembleCycle(0, 0, pending2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cy2.Degraded {
+		t.Error("unbudgeted cycle reported degraded")
+	}
+	if cy2.Index.NumNodes() > cy.Index.NumNodes() {
+		t.Errorf("pruned index (%d nodes) larger than unpruned CI (%d nodes)",
+			cy2.Index.NumNodes(), cy.Index.NumNodes())
+	}
+}
+
+func TestIncrementalInvalidationOnAdd(t *testing.T) {
+	c, queries := fixture(t, 10, 8)
+	e := newEngine(t, c, 100_000)
+	if _, err := e.ResolveAll(queries); err != nil {
+		t.Fatal(err)
+	}
+	warm := e.answers.len()
+	if warm == 0 {
+		t.Fatal("no warm entries")
+	}
+
+	// A document no NITF query matches: unrelated root, so every warm
+	// entry must survive.
+	root, err := xmldoc.Parse(strings.NewReader("<zzz><unmatched/></zzz>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alien := xmldoc.NewDocument(9001, root)
+	before := e.Metrics()
+	if err := e.AddDocument(alien); err != nil {
+		t.Fatal(err)
+	}
+	after := e.Metrics()
+	if e.answers.len() != warm {
+		t.Errorf("unrelated AddDocument evicted entries: %d -> %d", warm, e.answers.len())
+	}
+	if after.CacheInvalidations != before.CacheInvalidations+1 {
+		t.Errorf("CacheInvalidations = %d, want %d", after.CacheInvalidations, before.CacheInvalidations+1)
+	}
+	if after.CacheHits+after.CacheMisses != before.CacheHits+before.CacheMisses {
+		t.Error("invalidation should not consume cache accesses")
+	}
+	// Re-resolving everything must be pure hits.
+	if _, err := e.ResolveAll(queries); err != nil {
+		t.Fatal(err)
+	}
+	if m := e.Metrics(); m.CacheMisses != after.CacheMisses {
+		t.Errorf("re-resolve after unrelated add missed: %d -> %d", after.CacheMisses, m.CacheMisses)
+	}
+
+	// Re-adding a fixture document (same schema) must evict exactly the
+	// queries that match it — and those must re-resolve to include it.
+	victimQuery := queries[0]
+	docs, err := e.Resolve(victimQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Skip("fixture query 0 matches nothing")
+	}
+	matched := c.ByID(docs[0])
+	if err := e.RemoveDocument(matched.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.answers.get(victimQuery.String()); ok {
+		t.Error("removing a result document left its answer cached")
+	}
+	if err := e.AddDocument(matched); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := e.Resolve(victimQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range restored {
+		if d == matched.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("re-added document %d missing from re-resolved answer %v", matched.ID, restored)
+	}
+}
+
+func TestIncrementalInvalidationOnRemove(t *testing.T) {
+	c, queries := fixture(t, 10, 8)
+	e := newEngine(t, c, 100_000)
+	answers, err := e.ResolveAll(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a document and partition the cached queries by whether their
+	// answer contains it.
+	var victim = c.Docs()[0].ID
+	contains := make(map[string]bool)
+	for _, q := range queries {
+		for _, d := range answers[q.String()] {
+			if d == victim {
+				contains[q.String()] = true
+			}
+		}
+	}
+	before := e.answers.len()
+	if err := e.RemoveDocument(victim); err != nil {
+		t.Fatal(err)
+	}
+	evicted := 0
+	for _, q := range queries {
+		_, cached := e.answers.get(q.String())
+		if contains[q.String()] {
+			if cached {
+				t.Errorf("query %s contains removed doc %d but stayed cached", q, victim)
+			}
+			evicted++
+		} else if !cached {
+			t.Errorf("query %s unaffected by doc %d but was evicted", q, victim)
+		}
+	}
+	if got := before - e.answers.len(); evicted == 0 && got != 0 {
+		t.Errorf("expected no evictions, lost %d entries", got)
+	}
+}

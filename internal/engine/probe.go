@@ -29,6 +29,14 @@ const (
 	StageEncode = "encode"
 )
 
+// Cache kinds reported through Probe.CacheEvicted.
+const (
+	// EvictAnswer identifies the memoized query-answer cache.
+	EvictAnswer = "answer"
+	// EvictPayload identifies the per-document payload cache.
+	EvictPayload = "payload"
+)
+
 // Probe receives engine telemetry. Implementations must be safe for
 // concurrent use; the engine may report from multiple goroutines. The
 // zero-cost default is NopProbe.
@@ -38,9 +46,17 @@ type Probe interface {
 	StageDone(stage string, wall time.Duration, in, out int)
 	// CacheAccess reports one answer-cache lookup.
 	CacheAccess(hit bool)
-	// CacheInvalidated reports that a collection update flushed the answer
-	// cache.
+	// CacheInvalidated reports one collection update that invalidated
+	// cached state; the entries it actually dropped are reported through
+	// CacheEvicted.
 	CacheInvalidated()
+	// CacheEvicted reports n entries dropped from the named cache
+	// (EvictAnswer or EvictPayload), whether by an LRU bound or by
+	// targeted invalidation after a collection update.
+	CacheEvicted(kind string, n int)
+	// CycleDegraded reports one cycle whose build stage blew its
+	// Limits.BuildBudget and fell back to broadcasting the unpruned CI.
+	CycleDegraded()
 	// CycleDone reports one fully assembled broadcast cycle.
 	CycleDone()
 }
@@ -56,6 +72,12 @@ func (NopProbe) CacheAccess(bool) {}
 
 // CacheInvalidated implements Probe.
 func (NopProbe) CacheInvalidated() {}
+
+// CacheEvicted implements Probe.
+func (NopProbe) CacheEvicted(string, int) {}
+
+// CycleDegraded implements Probe.
+func (NopProbe) CycleDegraded() {}
 
 // CycleDone implements Probe.
 func (NopProbe) CycleDone() {}
@@ -77,10 +99,17 @@ type Metrics struct {
 	Stages map[string]StageStats
 	// CacheHits and CacheMisses count answer-cache lookups.
 	CacheHits, CacheMisses int64
-	// CacheInvalidations counts collection updates that flushed the cache.
+	// CacheInvalidations counts collection updates that invalidated cached
+	// state.
 	CacheInvalidations int64
+	// AnswerEvictions and PayloadEvictions count entries dropped from the
+	// answer and payload caches, by LRU bounds or targeted invalidation.
+	AnswerEvictions, PayloadEvictions int64
 	// Cycles counts assembled broadcast cycles.
 	Cycles int64
+	// DegradedCycles counts cycles that blew Limits.BuildBudget and were
+	// broadcast with the unpruned CI instead of the PCI.
+	DegradedCycles int64
 }
 
 // CacheHitRate is the fraction of answer-cache lookups that hit, or 0 when
@@ -98,6 +127,12 @@ func (m Metrics) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "cycles=%d cache=%d/%d (%.0f%% hit)",
 		m.Cycles, m.CacheHits, m.CacheHits+m.CacheMisses, 100*m.CacheHitRate())
+	if m.DegradedCycles > 0 {
+		fmt.Fprintf(&b, " degraded=%d", m.DegradedCycles)
+	}
+	if m.AnswerEvictions > 0 || m.PayloadEvictions > 0 {
+		fmt.Fprintf(&b, " evicted=%d/%d", m.AnswerEvictions, m.PayloadEvictions)
+	}
 	names := make([]string, 0, len(m.Stages))
 	for name := range m.Stages {
 		names = append(names, name)
@@ -151,6 +186,25 @@ func (c *Collector) CacheInvalidated() {
 	c.m.CacheInvalidations++
 }
 
+// CacheEvicted implements Probe.
+func (c *Collector) CacheEvicted(kind string, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch kind {
+	case EvictAnswer:
+		c.m.AnswerEvictions += int64(n)
+	case EvictPayload:
+		c.m.PayloadEvictions += int64(n)
+	}
+}
+
+// CycleDegraded implements Probe.
+func (c *Collector) CycleDegraded() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m.DegradedCycles++
+}
+
 // CycleDone implements Probe.
 func (c *Collector) CycleDone() {
 	c.mu.Lock()
@@ -189,6 +243,18 @@ func (p probes) CacheAccess(hit bool) {
 func (p probes) CacheInvalidated() {
 	for _, pr := range p {
 		pr.CacheInvalidated()
+	}
+}
+
+func (p probes) CacheEvicted(kind string, n int) {
+	for _, pr := range p {
+		pr.CacheEvicted(kind, n)
+	}
+}
+
+func (p probes) CycleDegraded() {
+	for _, pr := range p {
+		pr.CycleDegraded()
 	}
 }
 

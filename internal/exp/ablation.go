@@ -138,6 +138,7 @@ func AblationAccounting(cfg Config) (*stats.Table, error) {
 				CycleCapacity: cfg.CycleCapacity,
 				Requests:      cfg.requests(queries),
 				WholeTierRead: whole,
+				Limits:        cfg.Limits,
 			})
 			if err != nil {
 				return nil, err

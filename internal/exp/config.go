@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dtd"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/schedule"
 	"repro/internal/sim"
@@ -77,6 +78,10 @@ type Config struct {
 	ArrivalSpacing int64
 	// DocSeed and QuerySeed make runs reproducible.
 	DocSeed, QuerySeed int64
+	// Limits bounds engine memory and per-cycle latency in every
+	// simulation this config drives (see engine.Limits). The zero value
+	// imposes no limits.
+	Limits engine.Limits
 }
 
 // Default returns the reconstructed Table 2 setup.

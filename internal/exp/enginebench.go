@@ -89,6 +89,7 @@ func RunEngineBench(cfg Config) (*EngineBenchResult, error) {
 		Scheduler:     sched,
 		CycleCapacity: cfg.CycleCapacity,
 		Requests:      cfg.requests(queries),
+		Limits:        cfg.Limits,
 	})
 	if err != nil {
 		return nil, err

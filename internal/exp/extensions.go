@@ -50,6 +50,7 @@ func QuerySkew(cfg Config, skews []float64) (*stats.Table, error) {
 				Scheduler:     sched,
 				CycleCapacity: cfg.CycleCapacity,
 				Requests:      reqs,
+				Limits:        cfg.Limits,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("exp: skew %v: %w", s, err)
@@ -100,6 +101,7 @@ func ChannelLoss(cfg Config, probs []float64) (*stats.Table, error) {
 				Requests:      cfg.requests(queries),
 				LossProb:      p,
 				LossSeed:      cfg.QuerySeed + 13,
+				Limits:        cfg.Limits,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("exp: loss %v: %w", p, err)
@@ -160,6 +162,7 @@ func ArrivalPattern(cfg Config) (*stats.Table, error) {
 				Scheduler:     sched,
 				CycleCapacity: cfg.CycleCapacity,
 				Requests:      reqs,
+				Limits:        cfg.Limits,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("exp: arrivals %s: %w", pat.name, err)

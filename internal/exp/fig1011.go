@@ -29,6 +29,7 @@ func (c Config) modeRun(mode broadcast.Mode, nq int, p float64, dq int) (*sim.Re
 		Scheduler:     sched,
 		CycleCapacity: c.CycleCapacity,
 		Requests:      c.requests(queries),
+		Limits:        c.Limits,
 	})
 }
 

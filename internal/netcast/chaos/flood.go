@@ -1,0 +1,70 @@
+package chaos
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FloodStats counts one flood's outcomes.
+type FloodStats struct {
+	// Attempts is the number of submissions issued.
+	Attempts int64
+	// Accepted counts submissions the target admitted.
+	Accepted int64
+	// Rejected counts submissions the target refused by admission control
+	// (as classified by the caller's isReject).
+	Rejected int64
+	// Failed counts submissions that errored any other way (I/O, parse).
+	Failed int64
+}
+
+// Flood hammers a target with concurrent submissions until the context is
+// cancelled: workers goroutines each call submit in a loop, pausing interval
+// between calls (zero means flat out). submit receives the worker index and
+// a per-worker sequence number so callers can vary the submitted payload;
+// isReject classifies its error as an admission-control rejection versus a
+// real failure (nil treats every error as a failure).
+//
+// The package stays transport-agnostic — the caller supplies the submission
+// closure — so floods compose with Conn/Proxy fault injection and with any
+// uplink protocol.
+func Flood(ctx context.Context, workers int, interval time.Duration, submit func(worker, seq int) error, isReject func(error) bool) FloodStats {
+	if workers <= 0 {
+		workers = 1
+	}
+	var attempts, accepted, rejected, failed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for seq := 0; ctx.Err() == nil; seq++ {
+				attempts.Add(1)
+				switch err := submit(w, seq); {
+				case err == nil:
+					accepted.Add(1)
+				case isReject != nil && isReject(err):
+					rejected.Add(1)
+				default:
+					failed.Add(1)
+				}
+				if interval > 0 {
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(interval):
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return FloodStats{
+		Attempts: attempts.Load(),
+		Accepted: accepted.Load(),
+		Rejected: rejected.Load(),
+		Failed:   failed.Load(),
+	}
+}

@@ -1,0 +1,53 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFloodCountsOutcomes(t *testing.T) {
+	errRejected := errors.New("rejected")
+	errBroken := errors.New("broken")
+	var n atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	submit := func(worker, seq int) error {
+		if n.Add(1) >= 200 {
+			cancel()
+		}
+		switch {
+		case seq == 0:
+			return errBroken
+		case seq%2 == 1:
+			return errRejected
+		default:
+			return nil
+		}
+	}
+	stats := Flood(ctx, 4, 0, submit, func(err error) bool { return errors.Is(err, errRejected) })
+	if stats.Attempts == 0 {
+		t.Fatal("no attempts recorded")
+	}
+	if got := stats.Accepted + stats.Rejected + stats.Failed; got != stats.Attempts {
+		t.Errorf("outcomes %d do not sum to attempts %d", got, stats.Attempts)
+	}
+	if stats.Rejected == 0 {
+		t.Error("no rejections classified")
+	}
+	if stats.Failed == 0 {
+		t.Error("the injected failure was not counted")
+	}
+}
+
+func TestFloodHonorsInterval(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	stats := Flood(ctx, 1, 20*time.Millisecond, func(int, int) error { return nil }, nil)
+	// 50 ms with a 20 ms pause per call bounds the attempts well below a
+	// flat-out loop; allow generous slack for scheduler jitter.
+	if stats.Attempts == 0 || stats.Attempts > 10 {
+		t.Errorf("attempts = %d, want a small paced count", stats.Attempts)
+	}
+}

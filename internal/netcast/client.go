@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"net"
@@ -14,10 +15,31 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/wire"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
 )
+
+// RejectedError reports a query refused by the server's admission control
+// (FrameReject): the uplink is healthy and the query was valid, the server
+// is just shedding load. It matches errors.Is(err, engine.ErrOverload), so
+// callers distinguish overload from network failure and back off instead of
+// redialing.
+type RejectedError struct {
+	// RetryAfter is the server's hint for when to retry.
+	RetryAfter time.Duration
+	// Reason is the server's human-readable explanation.
+	Reason string
+}
+
+// Error implements error.
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("netcast: server rejected query: %s (retry after %s)", e.Reason, e.RetryAfter)
+}
+
+// Is reports overload identity so errors.Is(err, engine.ErrOverload) works.
+func (e *RejectedError) Is(target error) bool { return target == engine.ErrOverload }
 
 // ClientStats accounts one retrieval, mirroring the simulator's metrics on
 // the real byte stream.
@@ -123,6 +145,13 @@ func (c *Client) Submit(q xpath.Path) error {
 	if err != nil {
 		return fmt.Errorf("netcast: submit ack: %w", err)
 	}
+	if t == FrameReject {
+		retryAfter, reason, derr := decodeReject(payload)
+		if derr != nil {
+			return fmt.Errorf("netcast: submit ack: %w", derr)
+		}
+		return &RejectedError{RetryAfter: retryAfter, Reason: reason}
+	}
 	if t != FrameAck {
 		return fmt.Errorf("netcast: unexpected ack frame type %d", t)
 	}
@@ -139,6 +168,44 @@ func (c *Client) Submit(q xpath.Path) error {
 		return nil
 	}
 	return fmt.Errorf("netcast: malformed ack %q", msg)
+}
+
+// CoveredFrom reports the first cycle number whose index covers the most
+// recently submitted query, as acked by the server. It is the network
+// protocol's arrival clock: a query acked with CoveredFrom k is scheduled
+// exactly as a simulator request arriving at cycle k's start time.
+func (c *Client) CoveredFrom() int64 { return int64(c.coveredFrom) }
+
+// SubmitRetry submits q, honoring the server's admission control: each
+// rejection is waited out for the server's retry-after hint (clamped to the
+// reconnect backoff bounds, plus up to 50% jitter so a shedding server isn't
+// re-flooded in lockstep) until the query is admitted, a non-overload error
+// occurs, or the context expires.
+func (c *Client) SubmitRetry(ctx context.Context, q xpath.Path) error {
+	for {
+		err := c.Submit(q)
+		var rej *RejectedError
+		if !errors.As(err, &rej) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoffWait(rej.RetryAfter)):
+		}
+	}
+}
+
+// backoffWait turns a server retry-after hint into a client wait: clamped to
+// the reconnect backoff bounds, with up to 50% random jitter added.
+func backoffWait(hint time.Duration) time.Duration {
+	if hint < reconnectBaseDelay {
+		hint = reconnectBaseDelay
+	}
+	if hint > reconnectMaxDelay {
+		hint = reconnectMaxDelay
+	}
+	return hint + time.Duration(rand.Int64N(int64(hint)/2+1))
 }
 
 // Retrieve follows the access protocol over the broadcast stream until every
@@ -396,7 +463,17 @@ func (c *Client) resubmit(q xpath.Path) {
 	if c.up == nil {
 		return // listen-only client (e.g. capture replay); nothing to re-register
 	}
-	if c.Submit(q) == nil {
+	err := c.Submit(q)
+	if err == nil {
+		return
+	}
+	// A rejection means the uplink is healthy and the server is shedding
+	// load: honor the retry-after hint once instead of redialing (which
+	// would only add connection churn to an overloaded server).
+	var rej *RejectedError
+	if errors.As(err, &rej) {
+		time.Sleep(backoffWait(rej.RetryAfter))
+		_ = c.Submit(q)
 		return
 	}
 	conn, err := net.DialTimeout("tcp", c.upAddr, 5*time.Second)

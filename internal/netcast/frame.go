@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"time"
 )
 
 // FrameType tags downlink and uplink frames.
@@ -40,8 +41,12 @@ const (
 	FrameSecondTier
 	// FrameDoc carries one document: 2 ID bytes then the XML.
 	FrameDoc
+	// FrameReject refuses an uplink request under overload: payload is a
+	// 4-byte little-endian retry-after hint in milliseconds followed by a
+	// human-readable reason. Sent on the uplink in place of FrameAck.
+	FrameReject
 
-	frameTypeMax = FrameDoc
+	frameTypeMax = FrameReject
 )
 
 // Frame sync bytes: every v2 frame starts with this pair so receivers can
@@ -200,6 +205,40 @@ func resyncFrame(br *bufio.Reader, want FrameType) (payload []byte, skipped int6
 		// The accepted frame's own header bytes are not skipped garbage.
 		return body[:n], skipped - frameHdrLen, nil
 	}
+}
+
+// rejectHdrLen is the fixed prefix of a FrameReject payload: the uint32
+// little-endian retry-after hint in milliseconds.
+const rejectHdrLen = 4
+
+// maxRetryAfter clamps the encoded retry-after hint (~49.7 days, the uint32
+// millisecond ceiling is far above it anyway; this keeps hints sane).
+const maxRetryAfter = time.Hour
+
+// encodeReject serialises a FrameReject payload: retry-after hint (clamped
+// to [0, maxRetryAfter], millisecond granularity) then the reason text.
+func encodeReject(retryAfter time.Duration, reason string) []byte {
+	if retryAfter < 0 {
+		retryAfter = 0
+	}
+	if retryAfter > maxRetryAfter {
+		retryAfter = maxRetryAfter
+	}
+	out := make([]byte, rejectHdrLen, rejectHdrLen+len(reason))
+	binary.LittleEndian.PutUint32(out, uint32(retryAfter/time.Millisecond))
+	return append(out, reason...)
+}
+
+// decodeReject is the inverse of encodeReject.
+func decodeReject(payload []byte) (retryAfter time.Duration, reason string, err error) {
+	if len(payload) < rejectHdrLen {
+		return 0, "", fmt.Errorf("netcast: reject frame truncated (%d bytes)", len(payload))
+	}
+	retryAfter = time.Duration(binary.LittleEndian.Uint32(payload)) * time.Millisecond
+	if retryAfter > maxRetryAfter {
+		retryAfter = maxRetryAfter
+	}
+	return retryAfter, string(payload[rejectHdrLen:]), nil
 }
 
 // cycleHead is the decoded head segment of one cycle.

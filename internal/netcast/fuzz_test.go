@@ -3,6 +3,7 @@ package netcast
 import (
 	"bytes"
 	"testing"
+	"time"
 )
 
 // FuzzFrame: flipping any single bit of a well-formed frame — in the sync
@@ -71,6 +72,38 @@ func FuzzReadCapture(f *testing.F) {
 					_ = r.DocID(i)
 				}
 			}
+		}
+	})
+}
+
+// FuzzDecodeReject: arbitrary FrameReject payloads must never panic, every
+// accepted payload must decode to a retry-after inside the clamp bounds, and
+// re-encoding what was decoded must be stable.
+func FuzzDecodeReject(f *testing.F) {
+	f.Add(encodeReject(0, ""))
+	f.Add(encodeReject(time.Second, "rate limited"))
+	f.Add(encodeReject(2*time.Hour, "pending set full")) // encoder clamps to maxRetryAfter
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})                   // short of the retry-after header
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})    // max ms, no reason
+	f.Add([]byte{0, 0, 0, 0, 0xB5, 0xCA, 0}) // reason full of sync bytes
+	f.Fuzz(func(t *testing.T, data []byte) {
+		retryAfter, reason, err := decodeReject(data)
+		if err != nil {
+			return
+		}
+		if retryAfter < 0 || retryAfter > maxRetryAfter {
+			t.Fatalf("decoded retry-after %s outside [0, %s]", retryAfter, maxRetryAfter)
+		}
+		back := encodeReject(retryAfter, reason)
+		again, reason2, err := decodeReject(back)
+		if err != nil {
+			t.Fatalf("re-encode of accepted reject failed to decode: %v", err)
+		}
+		// Millisecond wire granularity: a round trip through encode is exact
+		// once the first decode has already truncated to milliseconds.
+		if again != retryAfter || reason2 != reason {
+			t.Fatalf("reject round trip unstable: %s/%q -> %s/%q", retryAfter, reason, again, reason2)
 		}
 	})
 }

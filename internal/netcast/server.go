@@ -7,6 +7,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/broadcast"
@@ -48,6 +49,20 @@ type ServerConfig struct {
 	// Probe receives engine pipeline telemetry in addition to the built-in
 	// collector surfaced by Stats. Optional.
 	Probe engine.Probe
+	// Limits bounds engine memory and per-cycle latency (see engine.Limits).
+	// Limits.MaxPending doubles as the server's global admission cap: a
+	// submission that would grow the pending set past it is refused with
+	// FrameReject before any resolution work. The zero value imposes no
+	// limits.
+	Limits engine.Limits
+	// UplinkRate is the per-connection sustained submission rate in
+	// queries per second, enforced by a token bucket of UplinkBurst
+	// capacity; queries beyond the budget are refused with FrameReject
+	// carrying a retry-after hint. Zero disables rate limiting.
+	UplinkRate float64
+	// UplinkBurst is the token-bucket burst size. Default 8 when
+	// UplinkRate is set.
+	UplinkBurst int
 }
 
 // subWriteTimeout bounds each frame write to one subscriber.
@@ -71,6 +86,9 @@ type Server struct {
 	nextID  int64
 	cycles  int64
 
+	rejectedRate    atomic.Int64
+	rejectedPending atomic.Int64
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	loopDone chan struct{} // closed when cycleLoop returns (in-flight cycle flushed)
@@ -87,8 +105,13 @@ type ServerStats struct {
 	Pending int
 	// Subscribers is the number of connected broadcast listeners.
 	Subscribers int
-	// Engine holds per-stage wall times and sizes, answer-cache hit rate
-	// and cycle counters from the shared assembly engine.
+	// RejectedRate counts uplink queries refused by per-connection rate
+	// limiting; RejectedPending counts queries refused by the global
+	// pending-set cap (Limits.MaxPending).
+	RejectedRate, RejectedPending int64
+	// Engine holds per-stage wall times and sizes, answer-cache hit rate,
+	// eviction and degraded-cycle counters from the shared assembly
+	// engine.
 	Engine engine.Metrics
 }
 
@@ -154,6 +177,9 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	if cfg.SubscriberQueue <= 0 {
 		cfg.SubscriberQueue = 256
 	}
+	if cfg.UplinkRate > 0 && cfg.UplinkBurst <= 0 {
+		cfg.UplinkBurst = 8
+	}
 	eng, err := engine.New(engine.Config{
 		Collection:    cfg.Collection,
 		Model:         cfg.Model,
@@ -161,6 +187,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		Scheduler:     cfg.Scheduler,
 		CycleCapacity: cfg.CycleCapacity,
 		Probe:         cfg.Probe,
+		Limits:        cfg.Limits,
 	})
 	if err != nil {
 		return nil, err
@@ -221,9 +248,11 @@ func (s *Server) Pending() int {
 func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	st := ServerStats{
-		Cycles:      s.cycles,
-		Pending:     len(s.pending),
-		Subscribers: len(s.subs),
+		Cycles:          s.cycles,
+		Pending:         len(s.pending),
+		Subscribers:     len(s.subs),
+		RejectedRate:    s.rejectedRate.Load(),
+		RejectedPending: s.rejectedPending.Load(),
 	}
 	s.mu.Unlock()
 	st.Engine = s.eng.Metrics()
@@ -276,8 +305,38 @@ func (s *Server) acceptUplink() {
 	}
 }
 
-// serveUplink handles one uplink connection: QUERY frames in, ACK frames
-// out. An idle deadline reaps dead clients.
+// tokenBucket is a per-uplink-connection rate limiter. Each query costs one
+// token; tokens refill at rate per second up to burst. Used by a single
+// goroutine, so no locking.
+type tokenBucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
+}
+
+// take spends one token if available and returns 0; otherwise it returns how
+// long until the next token accrues (the retry-after hint).
+func (b *tokenBucket) take(now time.Time) time.Duration {
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	b.last = now
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0
+	}
+	return time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// serveUplink handles one uplink connection: QUERY frames in, ACK or REJECT
+// frames out. An idle deadline reaps dead clients; a token bucket sheds
+// per-connection floods without dropping the connection.
 func (s *Server) serveUplink(conn net.Conn) {
 	defer s.wg.Done()
 	s.mu.Lock()
@@ -289,6 +348,10 @@ func (s *Server) serveUplink(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
+	var bucket *tokenBucket
+	if s.cfg.UplinkRate > 0 {
+		bucket = newTokenBucket(s.cfg.UplinkRate, s.cfg.UplinkBurst)
+	}
 	for {
 		if s.cfg.UplinkIdleTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.UplinkIdleTimeout))
@@ -304,13 +367,29 @@ func (s *Server) serveUplink(conn net.Conn) {
 			_ = writeFrame(conn, FrameAck, []byte("err: unexpected frame"))
 			return
 		}
-		covered, err := s.submit(string(payload))
-		ack := fmt.Sprintf("ok:%d", covered)
-		if err != nil {
-			ack = "err: " + err.Error()
+		var out outFrame
+		if bucket != nil {
+			if wait := bucket.take(time.Now()); wait > 0 {
+				s.rejectedRate.Add(1)
+				out = outFrame{FrameReject, encodeReject(wait, "rate limited")}
+			}
+		}
+		if out.t == 0 {
+			covered, err := s.submit(string(payload))
+			switch {
+			case err == nil:
+				out = outFrame{FrameAck, []byte(fmt.Sprintf("ok:%d", covered))}
+			case errors.Is(err, engine.ErrOverload):
+				s.rejectedPending.Add(1)
+				// The cap frees up as cycles retire requests, so the next
+				// cycle boundary is the natural retry point.
+				out = outFrame{FrameReject, encodeReject(s.cfg.CycleInterval, "pending set full")}
+			default:
+				out = outFrame{FrameAck, []byte("err: " + err.Error())}
+			}
 		}
 		_ = conn.SetWriteDeadline(time.Now().Add(subWriteTimeout))
-		if err := writeFrame(conn, FrameAck, []byte(ack)); err != nil {
+		if err := writeFrame(conn, out.t, out.payload); err != nil {
 			return
 		}
 		_ = conn.SetWriteDeadline(time.Time{})
@@ -319,8 +398,14 @@ func (s *Server) serveUplink(conn net.Conn) {
 
 // submit registers one query, resolving its result set server-side, and
 // returns the number of the first broadcast cycle whose index is guaranteed
-// to cover it.
+// to cover it. With Limits.MaxPending set, a submission that would grow the
+// pending set past the cap is refused with a wrapped engine.ErrOverload —
+// checked before resolution so floods cannot buy NFA work, and re-checked at
+// the append because the set may have grown while resolving.
 func (s *Server) submit(expr string) (int64, error) {
+	if err := s.admit(); err != nil {
+		return 0, err
+	}
 	q, err := xpath.Parse(strings.TrimSpace(expr))
 	if err != nil {
 		return 0, err
@@ -340,10 +425,27 @@ func (s *Server) submit(expr string) (int64, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if max := s.cfg.Limits.MaxPending; max > 0 && len(s.pending) >= max {
+		return 0, fmt.Errorf("netcast: pending set at MaxPending %d: %w", max, engine.ErrOverload)
+	}
 	s.nextID++
 	s.pending = append(s.pending, &srvRequest{id: s.nextID, query: q, arrival: s.cycles, remaining: rem})
 	// The next snapshot (cycle number s.cycles) will include this request.
 	return s.cycles, nil
+}
+
+// admit is the cheap pre-resolution admission check against the pending cap.
+func (s *Server) admit() error {
+	max := s.cfg.Limits.MaxPending
+	if max <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) >= max {
+		return fmt.Errorf("netcast: pending set at MaxPending %d: %w", max, engine.ErrOverload)
+	}
+	return nil
 }
 
 // acceptSubscribers registers broadcast listeners, each with its own

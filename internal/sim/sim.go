@@ -63,6 +63,10 @@ type Config struct {
 	// Workers bounds the engine's filter/build parallelism. Zero selects
 	// GOMAXPROCS.
 	Workers int
+	// Limits bounds engine memory and per-cycle latency (see
+	// engine.Limits); degraded cycles and evictions surface in
+	// Result.Engine. The zero value imposes no limits.
+	Limits engine.Limits
 	// CycleSink, if non-nil, receives every assembled cycle together with
 	// its encoded wire segments, exactly as the networked server broadcasts
 	// them. Encoding is skipped when nil, so plain simulations pay no wire
@@ -176,6 +180,7 @@ func Run(cfg Config) (*Result, error) {
 		CycleCapacity: cfg.CycleCapacity,
 		Probe:         cfg.Probe,
 		Workers:       cfg.Workers,
+		Limits:        cfg.Limits,
 	})
 	if err != nil {
 		return nil, err

@@ -27,8 +27,12 @@ type (
 	BroadcastClientStats = netcast.ClientStats
 	// BroadcastServerStats is a point-in-time snapshot of a running server
 	// ((*BroadcastServer).Stats), including the assembly engine's pipeline
-	// telemetry.
+	// telemetry and the admission-control rejection counters.
 	BroadcastServerStats = netcast.ServerStats
+	// BroadcastRejectedError reports a query refused by the server's
+	// admission control, carrying the retry-after hint. It satisfies
+	// errors.Is(err, EngineOverload).
+	BroadcastRejectedError = netcast.RejectedError
 )
 
 // StartBroadcastServer binds the uplink and broadcast listeners and starts

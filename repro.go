@@ -120,7 +120,16 @@ type (
 	EngineStageStats = engine.StageStats
 	// EngineProbe receives pipeline events as they happen.
 	EngineProbe = engine.Probe
+	// EngineLimits bounds engine memory (LRU answer/payload caches,
+	// pending-set cap) and per-cycle build latency; wire it through
+	// SimulationConfig.Limits or BroadcastServerConfig.Limits.
+	EngineLimits = engine.Limits
 )
+
+// EngineOverload is the sentinel matched (via errors.Is) by every
+// admission-control rejection: engine MaxPending refusals and the networked
+// server's FrameReject responses (BroadcastRejectedError).
+var EngineOverload = engine.ErrOverload
 
 // Experiment harness types.
 type (
