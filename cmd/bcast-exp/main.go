@@ -36,6 +36,8 @@ func run(args []string) error {
 		all       = fs.Bool("all", false, "run every experiment")
 		benchEng  = fs.Bool("bench-engine", false, "benchmark the assembly engine and write BENCH_engine.json")
 		benchPath = fs.String("bench-out", "BENCH_engine.json", "output path for -bench-engine")
+		benchBase = fs.String("bench-baseline", "", "baseline BENCH_engine.json to compare against; exit non-zero on regression")
+		benchTol  = fs.Float64("bench-tolerance", 0.25, "allowed fractional regression of the build-stage mean for -bench-baseline")
 		schema    = fs.String("schema", "", "document schema: nitf or nasa")
 		docs      = fs.Int("docs", 0, "number of generated documents")
 		nq        = fs.Int("nq", 0, "N_Q: pending queries")
@@ -111,8 +113,23 @@ func run(args []string) error {
 		if err := os.WriteFile(*benchPath, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (GOMAXPROCS=%d, filter speedup %.2fx, merge speedup %.2fx, %d cycles)\n",
-			*benchPath, res.GOMAXPROCS, res.FilterSpeedup, res.MergeSpeedup, res.Cycles)
+		fmt.Printf("wrote %s (GOMAXPROCS=%d, filter speedup %.2fx, merge speedup %.2fx, prune speedup %.2fx, %d cycles)\n",
+			*benchPath, res.GOMAXPROCS, res.FilterSpeedup, res.MergeSpeedup, res.PruneSpeedup, res.Cycles)
+		if *benchBase != "" {
+			baseData, err := os.ReadFile(*benchBase)
+			if err != nil {
+				return err
+			}
+			var base repro.EngineBenchResult
+			if err := json.Unmarshal(baseData, &base); err != nil {
+				return fmt.Errorf("parse %s: %w", *benchBase, err)
+			}
+			summary, err := repro.CompareEngineBenchmarks(&base, res, *benchTol)
+			if err != nil {
+				return err
+			}
+			fmt.Println(summary)
+		}
 		return nil
 	case *all:
 		return repro.RunAllExperiments(os.Stdout, cfg)

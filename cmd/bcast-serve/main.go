@@ -49,6 +49,7 @@ func run(args []string) error {
 		buildBudget = fs.Duration("build-budget", 0, "per-cycle index-pruning deadline; overruns broadcast the unpruned CI (0 = none)")
 		uplinkRate  = fs.Float64("uplink-rate", 0, "per-connection query rate limit in queries/s (0 = unlimited)")
 		uplinkBurst = fs.Int("uplink-burst", 0, "token-bucket burst for -uplink-rate (default 8)")
+		pruneChurn  = fs.Float64("prune-churn", 0, "query-churn fraction forcing a full re-prune (0 = default, negative = always re-prune from scratch)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,6 +90,7 @@ func run(args []string) error {
 		},
 		UplinkRate:  *uplinkRate,
 		UplinkBurst: *uplinkBurst,
+		PruneChurn:  *pruneChurn,
 	})
 	if err != nil {
 		return err

@@ -58,6 +58,44 @@ func BenchmarkPrune200Queries(b *testing.B) {
 	}
 }
 
+// BenchmarkPruneIncremental measures steady-state re-pruning under realistic
+// query drift: every cycle swaps 5 of 200 active queries (≈5% churn, under
+// the default fallback threshold). The delta sub-benchmark drives a warm
+// PrunedView, full re-prunes from scratch over the identical drift sequence;
+// the acceptance target is delta ≥ 2× faster than full.
+func BenchmarkPruneIncremental(b *testing.B) {
+	c, ix, _ := benchFixture(b)
+	pool, err := gen.Queries(c, gen.QueryConfig{NumQueries: 220, MaxDepth: 5, WildcardProb: 0.1, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// window slides by 5 queries per cycle over the 220-query pool, so
+	// consecutive windows differ by exactly 5 removed + 5 added.
+	window := func(i int) []xpath.Path {
+		off := (i * 5) % 20
+		return pool[off : off+200]
+	}
+	b.Run("delta", func(b *testing.B) {
+		view := NewPrunedView(0)
+		if _, _, err := view.Update(ix, window(0)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := view.Update(ix, window(i+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ix.Prune(window(i + 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkNavigatorLookup(b *testing.B) {
 	_, ix, queries := benchFixture(b)
 	navs := make([]*Navigator, len(queries))

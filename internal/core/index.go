@@ -209,14 +209,23 @@ func (ix *Index) SubtreeDocs(id NodeID) []xmldoc.DocID {
 	return out
 }
 
-// walkSubtree visits the subtree of id in DFS pre-order.
+// walkSubtree visits the subtree of id in DFS pre-order. The walk keeps an
+// explicit stack so pathologically deep tries cannot exhaust the goroutine
+// stack.
 func (ix *Index) walkSubtree(id NodeID, visit func(*Node)) {
 	if id == NoNode {
 		return
 	}
-	visit(&ix.Nodes[id])
-	for _, c := range ix.Nodes[id].Children {
-		ix.walkSubtree(c, visit)
+	stack := make([]NodeID, 0, 64)
+	stack = append(stack, id)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visit(&ix.Nodes[cur])
+		children := ix.Nodes[cur].Children
+		for i := len(children) - 1; i >= 0; i-- {
+			stack = append(stack, children[i])
+		}
 	}
 }
 

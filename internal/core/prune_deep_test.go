@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// deepChain builds a synthetic single-path trie of the given depth: a chain of
+// "a" nodes ending in one "leaf" node carrying a document tuple. Real
+// DataGuides never get this deep; the point is that pruning must not recurse
+// per level.
+func deepChain(depth int) *Index {
+	ix := &Index{Model: DefaultSizeModel()}
+	ix.Nodes = make([]Node, depth)
+	for i := range ix.Nodes {
+		ix.Nodes[i] = Node{ID: NodeID(i), Label: "a", Parent: NodeID(i - 1)}
+		if i > 0 {
+			ix.Nodes[i-1].Children = []NodeID{NodeID(i)}
+		}
+	}
+	ix.Nodes[0].Parent = NoNode
+	ix.Roots = []NodeID{0}
+	ix.Nodes[depth-1].Label = "leaf"
+	ix.Nodes[depth-1].Docs = []xmldoc.DocID{7}
+	return ix
+}
+
+// TestPruneDeepTrie prunes a 20 000-level trie. With the old recursive
+// walk/rebuild closures this overflowed the goroutine stack; the iterative
+// passes must handle arbitrary depth.
+func TestPruneDeepTrie(t *testing.T) {
+	const depth = 20_000
+	ix := deepChain(depth)
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	leaf := xpath.MustParse("//leaf")
+
+	pci, stats, err := ix.Prune([]xpath.Path{leaf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pci.Validate(); err != nil {
+		t.Fatalf("pruned deep trie invalid: %v", err)
+	}
+	// The single match node sits at the bottom, so the whole chain is kept.
+	if pci.NumNodes() != depth {
+		t.Errorf("PCI has %d nodes, want the full %d-deep chain", pci.NumNodes(), depth)
+	}
+	if stats.MatchedNodes != 1 || stats.DocsRequested != 1 {
+		t.Errorf("stats = %+v, want 1 matched node and 1 requested doc", stats)
+	}
+
+	// The incremental maintainer walks the same chain (keep-path refcounts
+	// run root-to-match); exercise it through a full build plus a delta that
+	// drops and restores the deep match.
+	view := NewPrunedView(1) // never fall back on churn
+	got, _, err := view.Update(ix, []xpath.Path{leaf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != depth {
+		t.Errorf("view PCI has %d nodes, want %d", got.NumNodes(), depth)
+	}
+	shallow := xpath.MustParse("/a")
+	if _, _, err := view.Update(ix, []xpath.Path{shallow}); err != nil {
+		t.Fatal(err)
+	}
+	got, delta, err := view.Update(ix, []xpath.Path{leaf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Full {
+		t.Fatalf("delta update ran a full prune (%s)", delta.Reason)
+	}
+	if got.NumNodes() != depth {
+		t.Errorf("restored view PCI has %d nodes, want %d", got.NumNodes(), depth)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("restored view PCI invalid: %v", err)
+	}
+}

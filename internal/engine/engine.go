@@ -56,6 +56,11 @@ type Config struct {
 	// Limits bounds the engine's memory and per-cycle latency; see Limits.
 	// The zero value imposes no limits.
 	Limits Limits
+	// PruneChurn is the query-churn fraction above which the incremental
+	// PCI maintainer falls back to a full prune (see core.PrunedView). Zero
+	// selects core.DefaultPruneChurn; a negative value disables incremental
+	// maintenance entirely, re-pruning from scratch every cycle.
+	PruneChurn float64
 }
 
 // Pending is one outstanding request as the scheduler sees it: the query (for
@@ -126,6 +131,13 @@ type Engine struct {
 	payloads *payloadCache
 	epoch    uint64
 
+	// view maintains the PCI incrementally across cycles (keyed on the CI
+	// pointer, which the builder replaces on every collection change). nil
+	// until the first prune, after a budget overrun abandoned an update
+	// mid-flight, or permanently when pruneChurn < 0.
+	view       *core.PrunedView
+	pruneChurn float64
+
 	segPool sync.Pool // *[]byte scratch for encoded index/second-tier segments
 }
 
@@ -152,14 +164,15 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		scheduler: cfg.Scheduler,
-		capacity:  cfg.CycleCapacity,
-		workers:   cfg.Workers,
-		limits:    cfg.Limits,
-		collector: NewCollector(),
-		builder:   builder,
-		answers:   newAnswerCache(cfg.Limits.MaxAnswerCacheEntries),
-		payloads:  newPayloadCache(cfg.Limits.MaxPayloadCacheBytes),
+		scheduler:  cfg.Scheduler,
+		capacity:   cfg.CycleCapacity,
+		workers:    cfg.Workers,
+		limits:     cfg.Limits,
+		pruneChurn: cfg.PruneChurn,
+		collector:  NewCollector(),
+		builder:    builder,
+		answers:    newAnswerCache(cfg.Limits.MaxAnswerCacheEntries),
+		payloads:   newPayloadCache(cfg.Limits.MaxPayloadCacheBytes),
 	}
 	e.probe = probes{e.collector}
 	if cfg.Probe != nil {
@@ -322,16 +335,22 @@ func (e *Engine) AssembleCycle(number, start int64, pending []Pending) (*Cycle, 
 	return &Cycle{Cycle: cy, Queries: queries, NumPending: len(pending), Degraded: degraded}, nil
 }
 
-// pruneWithBudget prunes the CI to the pending query set, racing the prune
-// against Limits.BuildBudget when one is set. On overrun it abandons the
-// prune goroutine (Prune only reads the immutable ci snapshot, so the
-// straggler is harmless) and returns the unpruned CI with degraded = true.
-// Called with e.mu held.
+// pruneWithBudget prunes the CI to the pending query set through the
+// incremental maintainer, racing the prune against Limits.BuildBudget when
+// one is set. On overrun it abandons the prune goroutine together with the
+// view it may have been mutating (a fresh view is built next cycle; the
+// straggler only reads the immutable ci snapshot and writes the orphaned
+// view) and returns the unpruned CI with degraded = true. Called with e.mu
+// held.
 func (e *Engine) pruneWithBudget(ci *core.Index, queries []xpath.Path) (*core.Index, bool, error) {
+	if e.pruneChurn >= 0 && e.view == nil {
+		e.view = core.NewPrunedView(e.pruneChurn)
+	}
+	view := e.view // nil when incremental maintenance is disabled
 	if e.limits.BuildBudget <= 0 {
-		pci, _, err := ci.Prune(queries)
+		pci, err := e.pruneOnce(view, ci, queries)
 		if err != nil {
-			return nil, false, fmt.Errorf("engine: prune: %w", err)
+			return nil, false, err
 		}
 		return pci, false, nil
 	}
@@ -341,7 +360,7 @@ func (e *Engine) pruneWithBudget(ci *core.Index, queries []xpath.Path) (*core.In
 	}
 	done := make(chan pruned, 1)
 	go func() {
-		pci, _, err := ci.Prune(queries)
+		pci, err := e.pruneOnce(view, ci, queries)
 		done <- pruned{pci, err}
 	}()
 	timer := time.NewTimer(e.limits.BuildBudget)
@@ -349,12 +368,45 @@ func (e *Engine) pruneWithBudget(ci *core.Index, queries []xpath.Path) (*core.In
 	select {
 	case r := <-done:
 		if r.err != nil {
-			return nil, false, fmt.Errorf("engine: prune: %w", r.err)
+			return nil, false, r.err
 		}
 		return r.index, false, nil
 	case <-timer.C:
+		// The abandoned goroutine may leave view half-updated; never reuse it.
+		e.view = nil
 		return ci, true, nil
 	}
+}
+
+// pruneOnce produces one cycle's PCI — through the view's delta maintenance
+// when one is live, from scratch otherwise — and reports the outcome kind
+// plus, for delta updates, the StagePruneDelta sub-span.
+func (e *Engine) pruneOnce(view *core.PrunedView, ci *core.Index, queries []xpath.Path) (*core.Index, error) {
+	if view == nil {
+		pci, _, err := ci.Prune(queries)
+		if err != nil {
+			return nil, fmt.Errorf("engine: prune: %w", err)
+		}
+		e.probe.PruneDone(PruneFull)
+		return pci, nil
+	}
+	start := time.Now()
+	pci, delta, err := view.Update(ci, queries)
+	if err != nil {
+		return nil, fmt.Errorf("engine: prune: %w", err)
+	}
+	if !delta.Full {
+		e.probe.StageDone(StagePruneDelta, time.Since(start), delta.Added+delta.Removed, delta.FlippedMatches)
+		e.probe.PruneDone(PruneIncremental)
+		return pci, nil
+	}
+	switch delta.Reason {
+	case core.PruneReasonChurn, core.PruneReasonIndexChanged:
+		e.probe.PruneDone(PruneFallback)
+	default:
+		e.probe.PruneDone(PruneFull)
+	}
+	return pci, nil
 }
 
 // EncodeCycle produces the cycle's wire segments: the packed index, the
@@ -362,17 +414,23 @@ func (e *Engine) pruneWithBudget(ci *core.Index, queries []xpath.Path) (*core.In
 // scheduled document. Index/second-tier bytes come from a buffer pool;
 // document payloads are cached across cycles, so rebroadcasting a document
 // costs no allocation. See Encoded for the buffer ownership rules.
-func (e *Engine) EncodeCycle(c *Cycle) (*Encoded, error) {
+func (e *Engine) EncodeCycle(c *Cycle) (_ *Encoded, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
 	start := time.Now()
 	bufp := e.segPool.Get().(*[]byte)
 	buf := (*bufp)[:0]
-	var err error
+	// Every error return must hand the pooled buffer back; buf may have been
+	// regrown by AppendEncoded, so re-point bufp at the latest backing.
+	defer func() {
+		if err != nil {
+			*bufp = buf[:0]
+			e.segPool.Put(bufp)
+		}
+	}()
 	buf, err = e.builder.AppendEncoded(buf, c.Cycle)
 	if err != nil {
-		e.segPool.Put(bufp)
 		return nil, err
 	}
 	enc := &Encoded{buf: buf}

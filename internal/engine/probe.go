@@ -23,6 +23,13 @@ const (
 	// StageBuild is PCI pruning, packing and cycle layout. Input is the CI
 	// node count, output the pruned index node count.
 	StageBuild = "build"
+	// StagePruneDelta is the incremental-prune sub-span of the build stage:
+	// the time the PrunedView spent applying a query-set delta instead of
+	// re-pruning from scratch. Input is the delta size (queries added plus
+	// removed), output the number of CI nodes whose matched status flipped.
+	// Full prunes do not report this stage; their time lands in StageBuild
+	// only.
+	StagePruneDelta = "prune-delta"
 	// StageEncode is wire encoding of the index, second-tier and document
 	// segments. Input is the number of encoded segments, output the total
 	// encoded bytes.
@@ -35,6 +42,19 @@ const (
 	EvictAnswer = "answer"
 	// EvictPayload identifies the per-document payload cache.
 	EvictPayload = "payload"
+)
+
+// Prune kinds reported through Probe.PruneDone.
+const (
+	// PruneIncremental is a cycle whose PCI came from the incremental
+	// maintainer (a delta update, including the degenerate no-change reuse).
+	PruneIncremental = "incremental"
+	// PruneFull is a from-scratch prune with no usable prior state: the
+	// view's first cycle, or incremental maintenance disabled.
+	PruneFull = "full"
+	// PruneFallback is a from-scratch prune forced on a live view — the
+	// query-set churn exceeded the threshold or the CI itself changed.
+	PruneFallback = "fallback"
 )
 
 // Probe receives engine telemetry. Implementations must be safe for
@@ -54,6 +74,10 @@ type Probe interface {
 	// (EvictAnswer or EvictPayload), whether by an LRU bound or by
 	// targeted invalidation after a collection update.
 	CacheEvicted(kind string, n int)
+	// PruneDone reports how one cycle's PCI was produced: kind is
+	// PruneIncremental, PruneFull or PruneFallback. Degraded cycles (budget
+	// overrun, no prune completed) report CycleDegraded instead.
+	PruneDone(kind string)
 	// CycleDegraded reports one cycle whose build stage blew its
 	// Limits.BuildBudget and fell back to broadcasting the unpruned CI.
 	CycleDegraded()
@@ -75,6 +99,9 @@ func (NopProbe) CacheInvalidated() {}
 
 // CacheEvicted implements Probe.
 func (NopProbe) CacheEvicted(string, int) {}
+
+// PruneDone implements Probe.
+func (NopProbe) PruneDone(string) {}
 
 // CycleDegraded implements Probe.
 func (NopProbe) CycleDegraded() {}
@@ -110,6 +137,11 @@ type Metrics struct {
 	// DegradedCycles counts cycles that blew Limits.BuildBudget and were
 	// broadcast with the unpruned CI instead of the PCI.
 	DegradedCycles int64
+	// IncrementalPrunes counts cycles whose PCI came from the incremental
+	// maintainer's delta path; FullPrunes counts from-scratch prunes.
+	// PruneFallbacks is the subset of FullPrunes forced on a live view by
+	// query-set churn or a CI change.
+	IncrementalPrunes, FullPrunes, PruneFallbacks int64
 }
 
 // CacheHitRate is the fraction of answer-cache lookups that hit, or 0 when
@@ -132,6 +164,12 @@ func (m Metrics) String() string {
 	}
 	if m.AnswerEvictions > 0 || m.PayloadEvictions > 0 {
 		fmt.Fprintf(&b, " evicted=%d/%d", m.AnswerEvictions, m.PayloadEvictions)
+	}
+	if m.IncrementalPrunes > 0 || m.FullPrunes > 0 {
+		fmt.Fprintf(&b, " prunes=%d incr/%d full", m.IncrementalPrunes, m.FullPrunes)
+		if m.PruneFallbacks > 0 {
+			fmt.Fprintf(&b, " (%d fallback)", m.PruneFallbacks)
+		}
 	}
 	names := make([]string, 0, len(m.Stages))
 	for name := range m.Stages {
@@ -198,6 +236,21 @@ func (c *Collector) CacheEvicted(kind string, n int) {
 	}
 }
 
+// PruneDone implements Probe.
+func (c *Collector) PruneDone(kind string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch kind {
+	case PruneIncremental:
+		c.m.IncrementalPrunes++
+	case PruneFull:
+		c.m.FullPrunes++
+	case PruneFallback:
+		c.m.FullPrunes++
+		c.m.PruneFallbacks++
+	}
+}
+
 // CycleDegraded implements Probe.
 func (c *Collector) CycleDegraded() {
 	c.mu.Lock()
@@ -249,6 +302,12 @@ func (p probes) CacheInvalidated() {
 func (p probes) CacheEvicted(kind string, n int) {
 	for _, pr := range p {
 		pr.CacheEvicted(kind, n)
+	}
+}
+
+func (p probes) PruneDone(kind string) {
+	for _, pr := range p {
+		pr.PruneDone(kind)
 	}
 }
 

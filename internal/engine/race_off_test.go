@@ -1,0 +1,8 @@
+//go:build !race
+
+package engine
+
+// raceDetectorEnabled reports whether the race detector is compiled in.
+// sync.Pool intentionally drops a fraction of Puts under the detector, so
+// tests asserting pool reuse must skip there.
+const raceDetectorEnabled = false

@@ -1,13 +1,16 @@
 package exp
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
 	"repro/internal/broadcast"
+	"repro/internal/core"
 	"repro/internal/dataguide"
 	"repro/internal/engine"
 	"repro/internal/sim"
+	"repro/internal/xpath"
 	"repro/internal/yfilter"
 )
 
@@ -34,6 +37,12 @@ type EngineBenchResult struct {
 	MergeSerialNS   int64   `json:"merge_serial_ns"`
 	MergeParallelNS int64   `json:"merge_parallel_ns"`
 	MergeSpeedup    float64 `json:"merge_speedup"`
+
+	// PruneFullNS / PruneIncrementalNS time one PCI re-prune under ≈5%
+	// query churn: from scratch versus a warm PrunedView applying the delta.
+	PruneFullNS        int64   `json:"prune_full_ns"`
+	PruneIncrementalNS int64   `json:"prune_incremental_ns"`
+	PruneSpeedup       float64 `json:"prune_speedup"`
 
 	// Cycles and Engine come from a full two-tier simulation of the
 	// workload: per-stage wall time and sizes, cache hit rate, cycle count.
@@ -82,6 +91,46 @@ func RunEngineBench(cfg Config) (*EngineBenchResult, error) {
 	res.MergeParallelNS = bestOf(engineBenchRounds, func() { dataguide.MergeParallel(coll, res.Workers) })
 	res.MergeSpeedup = speedup(res.MergeSerialNS, res.MergeParallelNS)
 
+	// Re-pruning under drift: a query pool slightly larger than the active
+	// set provides a sliding window where consecutive cycles swap k queries
+	// (≈5% churn). The incremental side applies each delta to a warm view;
+	// the full side re-prunes the same windows from scratch.
+	k := len(queries) / 20
+	if k < 1 {
+		k = 1
+	}
+	pool, err := cfg.queries(coll, len(queries)+4*k, cfg.P, cfg.DQ)
+	if err != nil {
+		return nil, err
+	}
+	window := func(i int) []xpath.Path {
+		off := (i * k) % (4 * k)
+		return pool[off : off+len(queries)]
+	}
+	ci, err := core.BuildCI(coll, cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	round := 0
+	res.PruneFullNS = bestOf(engineBenchRounds, func() {
+		round++
+		if _, _, err := ci.Prune(window(round)); err != nil {
+			panic(err)
+		}
+	})
+	view := core.NewPrunedView(0)
+	if _, _, err := view.Update(ci, window(0)); err != nil {
+		return nil, err
+	}
+	round = 0
+	res.PruneIncrementalNS = bestOf(engineBenchRounds, func() {
+		round++
+		if _, _, err := view.Update(ci, window(round)); err != nil {
+			panic(err)
+		}
+	})
+	res.PruneSpeedup = speedup(res.PruneFullNS, res.PruneIncrementalNS)
+
 	out, err := sim.Run(sim.Config{
 		Collection:    coll,
 		Model:         cfg.Model,
@@ -118,4 +167,36 @@ func speedup(serial, parallel int64) float64 {
 		return 0
 	}
 	return float64(serial) / float64(parallel)
+}
+
+// BuildStageMeanNS is the mean wall time of one engine build stage (PCI
+// pruning, packing, cycle layout) across the benchmark's simulation, or 0
+// when no cycle ran.
+func (r *EngineBenchResult) BuildStageMeanNS() float64 {
+	s, ok := r.Engine.Stages[engine.StageBuild]
+	if !ok || s.Count == 0 {
+		return 0
+	}
+	return float64(s.Wall.Nanoseconds()) / float64(s.Count)
+}
+
+// CompareEngineBench gates a fresh benchmark against a recorded baseline:
+// it returns an error when the current build-stage mean regresses by more
+// than tolerance (a fraction; 0.25 = 25% slower). The summary string reports
+// both means and the ratio either way. Absolute nanoseconds vary across
+// machines, so the comparison is only meaningful against a baseline recorded
+// on comparable hardware (in CI: the same runner class).
+func CompareEngineBench(baseline, current *EngineBenchResult, tolerance float64) (string, error) {
+	base := baseline.BuildStageMeanNS()
+	cur := current.BuildStageMeanNS()
+	if base <= 0 || cur <= 0 {
+		return "", fmt.Errorf("exp: benchmark comparison needs build-stage samples in both results (baseline %.0f ns, current %.0f ns)", base, cur)
+	}
+	ratio := cur / base
+	summary := fmt.Sprintf("build-stage mean %.0f ns vs baseline %.0f ns (%.2fx)", cur, base, ratio)
+	if ratio > 1+tolerance {
+		return summary, fmt.Errorf("exp: build-stage mean regressed %.0f%% (limit %.0f%%): %s",
+			100*(ratio-1), 100*tolerance, summary)
+	}
+	return summary, nil
 }

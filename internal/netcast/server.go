@@ -63,6 +63,12 @@ type ServerConfig struct {
 	// UplinkBurst is the token-bucket burst size. Default 8 when
 	// UplinkRate is set.
 	UplinkBurst int
+	// PruneChurn is the query-churn fraction above which the engine's
+	// incremental PCI maintainer falls back to a full prune. Zero selects
+	// the default; negative disables incremental maintenance (see
+	// engine.Config.PruneChurn). Prune-path counters surface in
+	// Stats().Engine.
+	PruneChurn float64
 }
 
 // subWriteTimeout bounds each frame write to one subscriber.
@@ -188,6 +194,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		CycleCapacity: cfg.CycleCapacity,
 		Probe:         cfg.Probe,
 		Limits:        cfg.Limits,
+		PruneChurn:    cfg.PruneChurn,
 	})
 	if err != nil {
 		return nil, err

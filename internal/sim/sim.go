@@ -67,6 +67,12 @@ type Config struct {
 	// engine.Limits); degraded cycles and evictions surface in
 	// Result.Engine. The zero value imposes no limits.
 	Limits engine.Limits
+	// PruneChurn is the query-churn fraction above which the engine's
+	// incremental PCI maintainer falls back to a full prune. Zero selects
+	// the default; negative disables incremental maintenance (see
+	// engine.Config.PruneChurn). Prune-path counters surface in
+	// Result.Engine.
+	PruneChurn float64
 	// CycleSink, if non-nil, receives every assembled cycle together with
 	// its encoded wire segments, exactly as the networked server broadcasts
 	// them. Encoding is skipped when nil, so plain simulations pay no wire
@@ -181,6 +187,7 @@ func Run(cfg Config) (*Result, error) {
 		Probe:         cfg.Probe,
 		Workers:       cfg.Workers,
 		Limits:        cfg.Limits,
+		PruneChurn:    cfg.PruneChurn,
 	})
 	if err != nil {
 		return nil, err

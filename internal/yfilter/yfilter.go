@@ -39,8 +39,10 @@ type state struct {
 
 // Filter is a compiled query set. The NFA is immutable after New; the lazy
 // DFA memo is guarded by a read/write lock, so one Filter may be stepped
-// from many goroutines at once (FilterParallel shards document matching
-// across workers over a single shared machine).
+// from many goroutines at once. FilterParallel does not contend on that
+// lock: each worker steps through a private stepper (a read-only snapshot of
+// the memo plus a worker-local fresh map) and the fresh entries are merged
+// back under one write lock after the workers join.
 type Filter struct {
 	states  []state
 	queries []xpath.Path
@@ -182,6 +184,17 @@ func (f *Filter) Step(s StateSet, label string) StateSet {
 	if ok {
 		return next
 	}
+	result := f.computeStep(s, label)
+	f.mu.Lock()
+	f.dfa[key] = result
+	f.mu.Unlock()
+	return result
+}
+
+// computeStep is the un-memoised subset-construction step: the ε-closure of
+// every transition the active states have on label. It only reads the
+// immutable NFA, so it is safe to call without holding mu.
+func (f *Filter) computeStep(s StateSet, label string) StateSet {
 	var ids []int32
 	for _, id := range s.ids {
 		st := &f.states[id]
@@ -195,11 +208,64 @@ func (f *Filter) Step(s StateSet, label string) StateSet {
 			ids = append(ids, id)
 		}
 	}
-	result := f.closure(ids)
-	f.mu.Lock()
-	f.dfa[key] = result
-	f.mu.Unlock()
+	return f.closure(ids)
+}
+
+// stepFunc resolves one DFA step; f.Step is the locked shared-memo form,
+// stepper.step the lock-free per-worker form.
+type stepFunc func(StateSet, string) StateSet
+
+// stepper is a worker-private view of the lazy DFA: seed is a read-only
+// snapshot of the shared memo taken before the workers start, fresh collects
+// the steps this worker discovered. Workers never touch the Filter's lock;
+// their fresh maps are merged into the shared memo after they join.
+type stepper struct {
+	f     *Filter
+	seed  map[string]StateSet
+	fresh map[string]StateSet
+}
+
+func (st *stepper) step(s StateSet, label string) StateSet {
+	if s.Empty() {
+		return s
+	}
+	key := s.key() + "\x00" + label
+	if next, ok := st.seed[key]; ok {
+		return next
+	}
+	if next, ok := st.fresh[key]; ok {
+		return next
+	}
+	result := st.f.computeStep(s, label)
+	st.fresh[key] = result
 	return result
+}
+
+// snapshotDFA copies the shared memo for use as a stepper seed. The copy is
+// taken under the read lock so concurrent Step callers stay safe; afterwards
+// the snapshot needs no locking at all.
+func (f *Filter) snapshotDFA() map[string]StateSet {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	seed := make(map[string]StateSet, len(f.dfa))
+	for k, v := range f.dfa {
+		seed[k] = v
+	}
+	return seed
+}
+
+// mergeDFA folds worker-discovered steps back into the shared memo, so the
+// next FilterParallel (or Step) starts warm.
+func (f *Filter) mergeDFA(fresh []map[string]StateSet) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, m := range fresh {
+		for k, v := range m {
+			if _, ok := f.dfa[k]; !ok {
+				f.dfa[k] = v
+			}
+		}
+	}
 }
 
 // Accepting returns the indices of queries accepting in the state set,
@@ -221,9 +287,15 @@ func (f *Filter) Accepting(s StateSet) []int {
 
 // MatchDocument returns the indices of queries matched by the document.
 func (f *Filter) MatchDocument(d *xmldoc.Document) []int {
+	return f.matchDocument(d, f.Step)
+}
+
+// matchDocument is MatchDocument stepping through the given step resolver
+// (the shared locked memo, or a worker-private stepper).
+func (f *Filter) matchDocument(d *xmldoc.Document, step stepFunc) []int {
 	g := dataguide.Build(d)
 	matched := make(map[int]struct{})
-	f.walkGuide(g, f.Start(), func(_ *dataguide.Guide, accepted []int) {
+	f.walkGuide(g, f.Start(), step, func(_ *dataguide.Guide, accepted []int) {
 		for _, qi := range accepted {
 			matched[qi] = struct{}{}
 		}
@@ -267,14 +339,21 @@ func (f *Filter) FilterParallel(c *xmldoc.Collection, workers int) [][]xmldoc.Do
 
 	// Each worker claims documents by atomic counter and accumulates into
 	// its own result set; shards are merged and re-sorted afterwards, which
-	// restores the deterministic per-query DocID order.
+	// restores the deterministic per-query DocID order. Workers step through
+	// private memos (one shared read-only seed snapshot plus a per-worker
+	// fresh map) instead of the Filter's locked memo, so DFA lookups — the
+	// hottest operation in the walk — never contend; the fresh maps are
+	// folded back into the shared memo once the workers join.
+	seed := f.snapshotDFA()
 	shards := make([][][]xmldoc.DocID, workers)
+	fresh := make([]map[string]StateSet, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			st := &stepper{f: f, seed: seed, fresh: make(map[string]StateSet)}
 			local := make([][]xmldoc.DocID, len(f.queries))
 			for {
 				i := int(next.Add(1)) - 1
@@ -282,14 +361,16 @@ func (f *Filter) FilterParallel(c *xmldoc.Collection, workers int) [][]xmldoc.Do
 					break
 				}
 				d := docs[i]
-				for _, qi := range f.MatchDocument(d) {
+				for _, qi := range f.matchDocument(d, st.step) {
 					local[qi] = append(local[qi], d.ID)
 				}
 			}
 			shards[w] = local
+			fresh[w] = st.fresh
 		}(w)
 	}
 	wg.Wait()
+	f.mergeDFA(fresh)
 
 	results := make([][]xmldoc.DocID, len(f.queries))
 	for _, local := range shards {
@@ -309,7 +390,7 @@ func (f *Filter) FilterParallel(c *xmldoc.Collection, workers int) [][]xmldoc.Do
 // query DFA" step of the paper's pruning procedure.
 func (f *Filter) MatchGuideNodes(forest *dataguide.Forest, visit func(node *dataguide.Guide, queries []int)) {
 	for _, root := range forest.Roots {
-		f.walkGuide(root, f.Start(), func(n *dataguide.Guide, accepted []int) {
+		f.walkGuide(root, f.Start(), f.Step, func(n *dataguide.Guide, accepted []int) {
 			if len(accepted) > 0 {
 				visit(n, accepted)
 			}
@@ -317,18 +398,19 @@ func (f *Filter) MatchGuideNodes(forest *dataguide.Forest, visit func(node *data
 	}
 }
 
-// walkGuide advances the automaton down a guide trie, invoking visit at
-// every node with the queries accepting there (possibly none).
-func (f *Filter) walkGuide(g *dataguide.Guide, s StateSet, visit func(node *dataguide.Guide, accepted []int)) {
+// walkGuide advances the automaton down a guide trie through the given step
+// resolver, invoking visit at every node with the queries accepting there
+// (possibly none).
+func (f *Filter) walkGuide(g *dataguide.Guide, s StateSet, step stepFunc, visit func(node *dataguide.Guide, accepted []int)) {
 	if g == nil || s.Empty() {
 		return
 	}
-	next := f.Step(s, g.Label)
+	next := step(s, g.Label)
 	if next.Empty() {
 		return
 	}
 	visit(g, f.Accepting(next))
 	for _, c := range g.Children {
-		f.walkGuide(c, next, visit)
+		f.walkGuide(c, next, step, visit)
 	}
 }
