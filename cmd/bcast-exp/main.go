@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro"
 )
@@ -37,17 +39,20 @@ func run(args []string) error {
 		benchEng  = fs.Bool("bench-engine", false, "benchmark the assembly engine and write BENCH_engine.json")
 		benchPath = fs.String("bench-out", "BENCH_engine.json", "output path for -bench-engine")
 		benchBase = fs.String("bench-baseline", "", "baseline BENCH_engine.json to compare against; exit non-zero on regression")
-		benchTol  = fs.Float64("bench-tolerance", 0.25, "allowed fractional regression of the build-stage mean for -bench-baseline")
-		schema    = fs.String("schema", "", "document schema: nitf or nasa")
-		docs      = fs.Int("docs", 0, "number of generated documents")
-		nq        = fs.Int("nq", 0, "N_Q: pending queries")
-		p         = fs.Float64("p", -1, "P: wildcard probability")
-		dq        = fs.Int("dq", 0, "D_Q: maximum query depth")
-		cap       = fs.Int("capacity", 0, "cycle document budget in bytes")
-		sched     = fs.String("scheduler", "", "scheduler: leelo, fcfs, mrf or rxw")
-		docSeed   = fs.Int64("doc-seed", 0, "document generation seed")
-		qSeed     = fs.Int64("query-seed", 0, "query generation seed")
-		format    = fs.String("format", "table", "output format for -exp: table, csv or json")
+		benchTol  = fs.Float64("bench-tolerance", 0.25, "allowed fractional regression of the build- and schedule-stage means for -bench-baseline")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile = fs.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
+		schema     = fs.String("schema", "", "document schema: nitf or nasa")
+		docs       = fs.Int("docs", 0, "number of generated documents")
+		nq         = fs.Int("nq", 0, "N_Q: pending queries")
+		p          = fs.Float64("p", -1, "P: wildcard probability")
+		dq         = fs.Int("dq", 0, "D_Q: maximum query depth")
+		cap        = fs.Int("capacity", 0, "cycle document budget in bytes")
+		sched      = fs.String("scheduler", "", "scheduler: leelo, fcfs, mrf or rxw")
+		docSeed    = fs.Int64("doc-seed", 0, "document generation seed")
+		qSeed      = fs.Int64("query-seed", 0, "query generation seed")
+		format     = fs.String("format", "table", "output format for -exp: table, csv or json")
 
 		maxPending  = fs.Int("max-pending", 0, "engine admission cap on the pending set (0 = unlimited)")
 		answerCache = fs.Int("answer-cache", 0, "max memoized query answers, LRU-evicted (0 = unlimited)")
@@ -100,6 +105,32 @@ func run(args []string) error {
 		BuildBudget:           *buildBudget,
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bcast-exp: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bcast-exp: memprofile:", err)
+			}
+		}()
+	}
+
 	switch {
 	case *benchEng:
 		res, err := repro.RunEngineBenchmark(cfg)
@@ -113,8 +144,8 @@ func run(args []string) error {
 		if err := os.WriteFile(*benchPath, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (GOMAXPROCS=%d, filter speedup %.2fx, merge speedup %.2fx, prune speedup %.2fx, %d cycles)\n",
-			*benchPath, res.GOMAXPROCS, res.FilterSpeedup, res.MergeSpeedup, res.PruneSpeedup, res.Cycles)
+		fmt.Printf("wrote %s (GOMAXPROCS=%d, filter speedup %.2fx, merge speedup %.2fx, prune speedup %.2fx, schedule speedup %.2fx, %d cycles)\n",
+			*benchPath, res.GOMAXPROCS, res.FilterSpeedup, res.MergeSpeedup, res.PruneSpeedup, res.ScheduleSpeedup, res.Cycles)
 		if *benchBase != "" {
 			baseData, err := os.ReadFile(*benchBase)
 			if err != nil {

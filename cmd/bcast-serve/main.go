@@ -13,6 +13,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,6 +53,8 @@ func run(args []string) error {
 		uplinkRate  = fs.Float64("uplink-rate", 0, "per-connection query rate limit in queries/s (0 = unlimited)")
 		uplinkBurst = fs.Int("uplink-burst", 0, "token-bucket burst for -uplink-rate (default 8)")
 		pruneChurn  = fs.Float64("prune-churn", 0, "query-churn fraction forcing a full re-prune (0 = default, negative = always re-prune from scratch)")
+		schedChurn  = fs.Float64("sched-churn", 0, "pending-churn fraction forcing a demand-index rebuild (0 = default, negative = replan from scratch every cycle)")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,14 +93,30 @@ func run(args []string) error {
 			MaxPayloadCacheBytes:  *payloadMB << 20,
 			BuildBudget:           *buildBudget,
 		},
-		UplinkRate:  *uplinkRate,
-		UplinkBurst: *uplinkBurst,
-		PruneChurn:  *pruneChurn,
+		UplinkRate:    *uplinkRate,
+		UplinkBurst:   *uplinkBurst,
+		PruneChurn:    *pruneChurn,
+		ScheduleChurn: *schedChurn,
 	})
 	if err != nil {
 		return err
 	}
 	defer srv.Shutdown()
+	if *pprofAddr != "" {
+		// DefaultServeMux carries the net/http/pprof handlers via its
+		// blank import; the listener is opt-in and should stay loopback.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		defer ln.Close()
+		fmt.Printf("pprof     http://%s/debug/pprof/\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintln(os.Stderr, "bcast-serve: pprof:", err)
+			}
+		}()
+	}
 	fmt.Printf("serving %d documents (%d bytes) in %s mode\n", coll.Len(), coll.TotalSize(), *mode)
 	fmt.Printf("uplink    %s\n", srv.UplinkAddr())
 	fmt.Printf("broadcast %s\n", srv.BroadcastAddr())

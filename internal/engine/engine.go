@@ -61,6 +61,12 @@ type Config struct {
 	// selects core.DefaultPruneChurn; a negative value disables incremental
 	// maintenance entirely, re-pruning from scratch every cycle.
 	PruneChurn float64
+	// ScheduleChurn is the pending-set churn fraction above which the
+	// incremental demand index falls back to a sharded full rebuild (see
+	// schedule.DemandIndex). Zero selects schedule.DefaultScheduleChurn; a
+	// negative value disables incremental scheduling entirely, planning
+	// every cycle from the pending slice alone.
+	ScheduleChurn float64
 }
 
 // Pending is one outstanding request as the scheduler sees it: the query (for
@@ -138,6 +144,16 @@ type Engine struct {
 	view       *core.PrunedView
 	pruneChurn float64
 
+	// demand maintains per-document demand aggregation across cycles by
+	// pending-set deltas; nil until the first plan, or permanently when
+	// schedChurn < 0 or the scheduler is not incremental. changeIdx and
+	// keepIDs are per-cycle diff scratch, reused under mu.
+	demand     *schedule.DemandIndex
+	isched     schedule.IncrementalScheduler // nil when unsupported
+	schedChurn float64
+	changeIdx  []int
+	keepIDs    map[int64]struct{}
+
 	segPool sync.Pool // *[]byte scratch for encoded index/second-tier segments
 }
 
@@ -163,16 +179,24 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	schedChurn := cfg.ScheduleChurn
+	if schedChurn == 0 {
+		schedChurn = schedule.DefaultScheduleChurn
+	}
 	e := &Engine{
 		scheduler:  cfg.Scheduler,
 		capacity:   cfg.CycleCapacity,
 		workers:    cfg.Workers,
 		limits:     cfg.Limits,
 		pruneChurn: cfg.PruneChurn,
+		schedChurn: schedChurn,
 		collector:  NewCollector(),
 		builder:    builder,
 		answers:    newAnswerCache(cfg.Limits.MaxAnswerCacheEntries),
 		payloads:   newPayloadCache(cfg.Limits.MaxPayloadCacheBytes),
+	}
+	if schedChurn >= 0 {
+		e.isched, _ = cfg.Scheduler.(schedule.IncrementalScheduler)
 	}
 	e.probe = probes{e.collector}
 	if cfg.Probe != nil {
@@ -285,6 +309,24 @@ func (e *Engine) ResolveAll(queries []xpath.Path) (map[string][]xmldoc.DocID, er
 // pruning pass that overruns the budget degrades the cycle to the unpruned CI
 // (see Cycle.Degraded).
 func (e *Engine) AssembleCycle(number, start int64, pending []Pending) (*Cycle, error) {
+	return e.AssembleCycleAt(number, start, start, pending)
+}
+
+// AssembleCycleAt is AssembleCycle with the scheduler's "now" decoupled
+// from the cycle's start time, for drivers whose scheduling clock differs
+// from their layout clock: the simulator's ClockCycles option keeps
+// byte-time cycle starts while handing clock-sensitive policies (RxW) the
+// cycle number netcast schedules with. Arrival values in pending must be in
+// schedNow's unit.
+//
+// Incremental scheduling (see schedule.DemandIndex) additionally assumes
+// driver-shaped pending sets across consecutive calls: a request keeps its
+// ID and arrival, its Remaining set only shrinks, every Remaining is
+// non-empty, and new requests are appended after surviving ones. Both
+// drivers satisfy this; callers that mutate pending arbitrarily between
+// cycles still get correct plans whenever a count or arrival changes, and
+// can force reference behaviour with a negative Config.ScheduleChurn.
+func (e *Engine) AssembleCycleAt(number, start, schedNow int64, pending []Pending) (*Cycle, error) {
 	if len(pending) == 0 {
 		return nil, fmt.Errorf("engine: AssembleCycle with no pending requests")
 	}
@@ -310,7 +352,7 @@ func (e *Engine) AssembleCycle(number, start int64, pending []Pending) (*Cycle, 
 
 	schedStart := time.Now()
 	size := func(d xmldoc.DocID) int { return e.builder.DocByID(d).Size() }
-	plan := e.scheduler.PlanCycle(reqs, size, e.capacity, start)
+	plan := e.planCycle(reqs, size, schedNow)
 	e.probe.StageDone(StageSchedule, time.Since(schedStart), len(reqs), len(plan))
 	if len(plan) == 0 {
 		return nil, fmt.Errorf("engine: scheduler %q planned an empty cycle with %d pending", e.scheduler.Name(), len(reqs))
@@ -333,6 +375,72 @@ func (e *Engine) AssembleCycle(number, start int64, pending []Pending) (*Cycle, 
 	}
 	e.probe.CycleDone()
 	return &Cycle{Cycle: cy, Queries: queries, NumPending: len(pending), Degraded: degraded}, nil
+}
+
+// planCycle produces one cycle's document plan. With an incremental
+// scheduler it diffs the pending set against the persistent demand index —
+// cheap (count, arrival) probes decide between applying the delta and a
+// sharded full rebuild when churn exceeds schedChurn — then plans from the
+// index and applies the plan's predicted deliveries, so the next diff is
+// no-op-sized for well-behaved drivers. Requests that complete are kept as
+// zombies until the next pending set confirms them, which lets a lossy
+// delivery resurrect a request without perturbing LeeLo's summation order.
+// Called with e.mu held.
+func (e *Engine) planCycle(reqs []schedule.Request, size func(xmldoc.DocID) int, now int64) []xmldoc.DocID {
+	if e.isched == nil {
+		e.probe.ScheduleDone(ScheduleFull)
+		return e.scheduler.PlanCycle(reqs, size, e.capacity, now)
+	}
+	if e.demand == nil {
+		e.demand = schedule.NewDemandIndex()
+	}
+	x := e.demand
+	deltaStart := time.Now()
+	changed := e.changeIdx[:0]
+	matched := 0
+	for i := range reqs {
+		if n, arr, ok := x.Peek(reqs[i].ID); ok {
+			matched++
+			if n != len(reqs[i].Docs) || arr != reqs[i].Arrival {
+				changed = append(changed, i)
+			}
+		} else {
+			changed = append(changed, i)
+		}
+	}
+	e.changeIdx = changed
+	removed := x.Len() - matched
+	churn := len(changed) + removed
+	if x.Len() == 0 || float64(churn) > e.schedChurn*float64(len(reqs)+removed) {
+		x.Rebuild(reqs, size, e.workers)
+		x.TakeEdits()
+		e.probe.ScheduleDone(ScheduleFull)
+	} else {
+		for _, i := range changed {
+			x.Apply(reqs[i], size)
+		}
+		if removed > 0 {
+			if x.Zombies() == removed {
+				x.ExpireZombies()
+			} else {
+				if e.keepIDs == nil {
+					e.keepIDs = make(map[int64]struct{}, len(reqs))
+				}
+				clear(e.keepIDs)
+				for i := range reqs {
+					e.keepIDs[reqs[i].ID] = struct{}{}
+				}
+				x.RemoveExcept(e.keepIDs)
+			}
+		}
+		e.probe.StageDone(StageScheduleDelta, time.Since(deltaStart), churn, x.TakeEdits())
+		e.probe.ScheduleDone(ScheduleIncremental)
+	}
+	plan := e.isched.PlanIndexed(x, e.capacity, now)
+	for _, d := range plan {
+		x.DeliverDoc(d)
+	}
+	return plan
 }
 
 // pruneWithBudget prunes the CI to the pending query set through the
@@ -539,6 +647,12 @@ func (e *Engine) RemoveDocument(id xmldoc.DocID) error {
 	}
 	if evicted > 0 {
 		e.probe.CacheEvicted(EvictAnswer, evicted)
+	}
+	if e.demand != nil {
+		// Purge the doc from the demand index the same way a delivery
+		// would: requesters stop missing it, and requests it completed
+		// become zombies until the drivers' pending sets confirm.
+		e.demand.DeliverDoc(id)
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/netcast"
+	"repro/internal/schedule"
 	"repro/internal/sim"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
@@ -96,7 +97,27 @@ func compareCycles(t *testing.T, simCycles []capturedCycle, netCycles []netcast.
 // exact rather than approximate: wave w's arrival is cycle w's start in a
 // simulator run of waves 0..w-1 — which is unchanged by adding wave w, since
 // wave w only joins at cycle w.
+//
+// The LeeLo variant runs with the simulator's default byte-time scheduler
+// clock: LeeLo plans from remaining-document sets only, so the clock unit is
+// irrelevant. The RxW variant is the interesting one — RxW scores depend on
+// arrival times and "now", so the simulator switches to sim.ClockCycles,
+// feeding the scheduler admission-cycle numbers exactly as the server does.
 func TestSimNetcastStaggeredEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		clock sim.ClockUnit
+	}{
+		{"leelo", sim.ClockBytes},
+		{"rxw", sim.ClockCycles},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			testStaggeredEquivalence(t, tc.name, tc.clock)
+		})
+	}
+}
+
+func testStaggeredEquivalence(t *testing.T, policy string, clock sim.ClockUnit) {
 	c, err := gen.Documents(gen.DocConfig{Schema: dtd.NITF(), NumDocs: 15, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
@@ -125,7 +146,7 @@ func TestSimNetcastStaggeredEquivalence(t *testing.T) {
 	arrivals := make([]int64, len(queries))
 	for w := 1; w < numWaves; w++ {
 		n := w * waveSize
-		_, stats := runStaggeredSim(t, c, queries[:n], arrivals[:n], capacity)
+		_, stats := runStaggeredSim(t, c, queries[:n], arrivals[:n], capacity, policy, clock)
 		if len(stats) <= w {
 			t.Fatalf("waves 0..%d drained in %d cycles; fixture cannot stagger wave %d", w-1, len(stats), w)
 		}
@@ -134,18 +155,22 @@ func TestSimNetcastStaggeredEquivalence(t *testing.T) {
 		}
 	}
 
-	simCycles, _ := runStaggeredSim(t, c, queries, arrivals, capacity)
+	simCycles, _ := runStaggeredSim(t, c, queries, arrivals, capacity, policy, clock)
 	if len(simCycles) <= numWaves {
 		t.Fatalf("staggered fixture produced %d cycles; want more than %d", len(simCycles), numWaves)
 	}
-	netCycles := runStaggeredNetcast(t, c, queries, waveSize, capacity, len(simCycles))
+	netCycles := runStaggeredNetcast(t, c, queries, waveSize, capacity, len(simCycles), policy)
 	compareCycles(t, simCycles, netCycles)
 }
 
 // runStaggeredSim runs the simulator with per-request byte-time arrivals and
 // returns the captured cycles alongside their stats (for Start times).
-func runStaggeredSim(t *testing.T, c *xmldoc.Collection, queries []xpath.Path, arrivals []int64, capacity int) ([]capturedCycle, []sim.CycleStats) {
+func runStaggeredSim(t *testing.T, c *xmldoc.Collection, queries []xpath.Path, arrivals []int64, capacity int, policy string, clock sim.ClockUnit) ([]capturedCycle, []sim.CycleStats) {
 	t.Helper()
+	sched, err := schedule.New(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
 	reqs := make([]sim.ClientRequest, 0, len(queries))
 	for i, q := range queries {
 		reqs = append(reqs, sim.ClientRequest{Query: q, Arrival: arrivals[i]})
@@ -154,6 +179,8 @@ func runStaggeredSim(t *testing.T, c *xmldoc.Collection, queries []xpath.Path, a
 	res, err := sim.Run(sim.Config{
 		Collection:    c,
 		Mode:          broadcast.TwoTierMode,
+		Scheduler:     sched,
+		ScheduleClock: clock,
 		CycleCapacity: capacity,
 		Requests:      reqs,
 		CycleSink: func(cy *engine.Cycle, enc *engine.Encoded) {
@@ -178,11 +205,16 @@ func runStaggeredSim(t *testing.T, c *xmldoc.Collection, queries []xpath.Path, a
 // wave until the server has broadcast exactly one cycle per earlier wave, and
 // asserts every ack's covered cycle equals the wave number — the explicit
 // cycle-number half of the arrival-clock mapping.
-func runStaggeredNetcast(t *testing.T, c *xmldoc.Collection, queries []xpath.Path, waveSize, capacity, wantCycles int) []netcast.CycleRecord {
+func runStaggeredNetcast(t *testing.T, c *xmldoc.Collection, queries []xpath.Path, waveSize, capacity, wantCycles int, policy string) []netcast.CycleRecord {
 	t.Helper()
+	sched, err := schedule.New(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv, err := netcast.StartServer(netcast.ServerConfig{
 		Collection:    c,
 		Mode:          broadcast.TwoTierMode,
+		Scheduler:     sched,
 		CycleCapacity: capacity,
 		CycleInterval: 250 * time.Millisecond, // wide enough to land a whole wave between ticks
 	})

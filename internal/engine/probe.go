@@ -30,10 +30,29 @@ const (
 	// Full prunes do not report this stage; their time lands in StageBuild
 	// only.
 	StagePruneDelta = "prune-delta"
+	// StageScheduleDelta is the incremental-scheduling sub-span of the
+	// schedule stage: the time spent diffing the pending set against the
+	// persistent demand index and applying the delta instead of rebuilding
+	// the aggregation from scratch. Input is the delta size (requests
+	// added, reconciled or removed), output the number of requester-list
+	// edits applied. Full rebuilds do not report this stage; their time
+	// lands in StageSchedule only.
+	StageScheduleDelta = "schedule-delta"
 	// StageEncode is wire encoding of the index, second-tier and document
 	// segments. Input is the number of encoded segments, output the total
 	// encoded bytes.
 	StageEncode = "encode"
+)
+
+// Schedule kinds reported through Probe.ScheduleDone.
+const (
+	// ScheduleIncremental is a cycle planned from the delta-maintained
+	// demand index.
+	ScheduleIncremental = "incremental"
+	// ScheduleFull is a cycle planned after a from-scratch demand
+	// aggregation: the index's first cycle, a churn fallback rebuild, or
+	// incremental scheduling disabled (including non-indexable policies).
+	ScheduleFull = "full"
 )
 
 // Cache kinds reported through Probe.CacheEvicted.
@@ -78,6 +97,9 @@ type Probe interface {
 	// PruneIncremental, PruneFull or PruneFallback. Degraded cycles (budget
 	// overrun, no prune completed) report CycleDegraded instead.
 	PruneDone(kind string)
+	// ScheduleDone reports how one cycle's plan was produced: kind is
+	// ScheduleIncremental or ScheduleFull.
+	ScheduleDone(kind string)
 	// CycleDegraded reports one cycle whose build stage blew its
 	// Limits.BuildBudget and fell back to broadcasting the unpruned CI.
 	CycleDegraded()
@@ -102,6 +124,9 @@ func (NopProbe) CacheEvicted(string, int) {}
 
 // PruneDone implements Probe.
 func (NopProbe) PruneDone(string) {}
+
+// ScheduleDone implements Probe.
+func (NopProbe) ScheduleDone(string) {}
 
 // CycleDegraded implements Probe.
 func (NopProbe) CycleDegraded() {}
@@ -142,6 +167,11 @@ type Metrics struct {
 	// PruneFallbacks is the subset of FullPrunes forced on a live view by
 	// query-set churn or a CI change.
 	IncrementalPrunes, FullPrunes, PruneFallbacks int64
+	// IncrementalSchedules counts cycles planned from the delta-maintained
+	// demand index; FullSchedules counts cycles planned after a
+	// from-scratch demand aggregation (cold start, churn fallback, or
+	// incremental scheduling disabled).
+	IncrementalSchedules, FullSchedules int64
 }
 
 // CacheHitRate is the fraction of answer-cache lookups that hit, or 0 when
@@ -170,6 +200,9 @@ func (m Metrics) String() string {
 		if m.PruneFallbacks > 0 {
 			fmt.Fprintf(&b, " (%d fallback)", m.PruneFallbacks)
 		}
+	}
+	if m.IncrementalSchedules > 0 || m.FullSchedules > 0 {
+		fmt.Fprintf(&b, " scheds=%d incr/%d full", m.IncrementalSchedules, m.FullSchedules)
 	}
 	names := make([]string, 0, len(m.Stages))
 	for name := range m.Stages {
@@ -251,6 +284,18 @@ func (c *Collector) PruneDone(kind string) {
 	}
 }
 
+// ScheduleDone implements Probe.
+func (c *Collector) ScheduleDone(kind string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch kind {
+	case ScheduleIncremental:
+		c.m.IncrementalSchedules++
+	case ScheduleFull:
+		c.m.FullSchedules++
+	}
+}
+
 // CycleDegraded implements Probe.
 func (c *Collector) CycleDegraded() {
 	c.mu.Lock()
@@ -308,6 +353,12 @@ func (p probes) CacheEvicted(kind string, n int) {
 func (p probes) PruneDone(kind string) {
 	for _, pr := range p {
 		pr.PruneDone(kind)
+	}
+}
+
+func (p probes) ScheduleDone(kind string) {
+	for _, pr := range p {
+		pr.ScheduleDone(kind)
 	}
 }
 

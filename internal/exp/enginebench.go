@@ -5,11 +5,16 @@ import (
 	"runtime"
 	"time"
 
+	"math/rand"
+	"sort"
+
 	"repro/internal/broadcast"
 	"repro/internal/core"
 	"repro/internal/dataguide"
 	"repro/internal/engine"
+	"repro/internal/schedule"
 	"repro/internal/sim"
+	"repro/internal/xmldoc"
 	"repro/internal/xpath"
 	"repro/internal/yfilter"
 )
@@ -43,6 +48,13 @@ type EngineBenchResult struct {
 	PruneFullNS        int64   `json:"prune_full_ns"`
 	PruneIncrementalNS int64   `json:"prune_incremental_ns"`
 	PruneSpeedup       float64 `json:"prune_speedup"`
+
+	// ScheduleFullNS / ScheduleIncrementalNS time one LeeLo cycle plan over
+	// a 10k pending set under ≈5% churn: the reference per-cycle replan
+	// versus delta maintenance of a persistent schedule.DemandIndex.
+	ScheduleFullNS        int64   `json:"schedule_full_ns"`
+	ScheduleIncrementalNS int64   `json:"schedule_incremental_ns"`
+	ScheduleSpeedup       float64 `json:"schedule_speedup"`
 
 	// Cycles and Engine come from a full two-tier simulation of the
 	// workload: per-stage wall time and sizes, cache hit rate, cycle count.
@@ -131,6 +143,8 @@ func RunEngineBench(cfg Config) (*EngineBenchResult, error) {
 	})
 	res.PruneSpeedup = speedup(res.PruneFullNS, res.PruneIncrementalNS)
 
+	benchScheduleChurn(res)
+
 	out, err := sim.Run(sim.Config{
 		Collection:    coll,
 		Model:         cfg.Model,
@@ -146,6 +160,76 @@ func RunEngineBench(cfg Config) (*EngineBenchResult, error) {
 	res.Cycles = len(out.Cycles)
 	res.Engine = out.Engine
 	return res, nil
+}
+
+// benchScheduleChurn fills the schedule_* fields: one LeeLo plan per round
+// over a synthetic 10k pending set with sparse requester sharing (4000
+// documents, 1–4 docs per request), swapping 5% of the requests before each
+// plan. The fixture deliberately bypasses the collection — scheduling sees
+// only (ID, Arrival, Docs, size), and the sparse regime is where the demand
+// index pays off. Mirrors schedule.BenchmarkScheduleIncremental.
+func benchScheduleChurn(res *EngineBenchResult) {
+	const nDocs, nReqs, swap, capacity = 4000, 10_000, 500, 400_000
+	r := rand.New(rand.NewSource(2))
+	sizes := make([]int, nDocs)
+	for d := range sizes {
+		sizes[d] = 2000 + r.Intn(18000)
+	}
+	size := func(d xmldoc.DocID) int { return sizes[d] }
+	randDocs := func() []xmldoc.DocID {
+		n := 1 + r.Intn(4)
+		seen := make(map[xmldoc.DocID]struct{}, n)
+		docs := make([]xmldoc.DocID, 0, n)
+		for len(docs) < n {
+			d := xmldoc.DocID(r.Intn(nDocs))
+			if _, ok := seen[d]; ok {
+				continue
+			}
+			seen[d] = struct{}{}
+			docs = append(docs, d)
+		}
+		sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+		return docs
+	}
+	mkPending := func() []schedule.Request {
+		pending := make([]schedule.Request, nReqs)
+		for i := range pending {
+			pending[i] = schedule.Request{ID: int64(i), Arrival: int64(i / 16), Docs: randDocs()}
+		}
+		return pending
+	}
+
+	pending := mkPending()
+	nextID := int64(len(pending))
+	round := int64(0)
+	res.ScheduleFullNS = bestOf(engineBenchRounds, func() {
+		round++
+		for k := 0; k < swap; k++ {
+			pending = pending[1:]
+			pending = append(pending, schedule.Request{ID: nextID, Arrival: round, Docs: randDocs()})
+			nextID++
+		}
+		schedule.LeeLo{}.PlanCycle(pending, size, capacity, round)
+	})
+
+	pending = mkPending()
+	x := schedule.NewDemandIndex()
+	x.Rebuild(pending, size, res.Workers)
+	nextID = int64(len(pending))
+	round = 0
+	res.ScheduleIncrementalNS = bestOf(engineBenchRounds, func() {
+		round++
+		for k := 0; k < swap; k++ {
+			x.Remove(pending[0].ID)
+			pending = pending[1:]
+			nr := schedule.Request{ID: nextID, Arrival: round, Docs: randDocs()}
+			nextID++
+			pending = append(pending, nr)
+			x.Apply(nr, size)
+		}
+		schedule.LeeLo{}.PlanIndexed(x, capacity, round)
+	})
+	res.ScheduleSpeedup = speedup(res.ScheduleFullNS, res.ScheduleIncrementalNS)
 }
 
 // bestOf returns the fastest of n timed runs, in nanoseconds.
@@ -180,23 +264,51 @@ func (r *EngineBenchResult) BuildStageMeanNS() float64 {
 	return float64(s.Wall.Nanoseconds()) / float64(s.Count)
 }
 
-// CompareEngineBench gates a fresh benchmark against a recorded baseline:
-// it returns an error when the current build-stage mean regresses by more
-// than tolerance (a fraction; 0.25 = 25% slower). The summary string reports
-// both means and the ratio either way. Absolute nanoseconds vary across
-// machines, so the comparison is only meaningful against a baseline recorded
-// on comparable hardware (in CI: the same runner class).
-func CompareEngineBench(baseline, current *EngineBenchResult, tolerance float64) (string, error) {
-	base := baseline.BuildStageMeanNS()
-	cur := current.BuildStageMeanNS()
-	if base <= 0 || cur <= 0 {
-		return "", fmt.Errorf("exp: benchmark comparison needs build-stage samples in both results (baseline %.0f ns, current %.0f ns)", base, cur)
+// ScheduleStageMeanNS is the mean wall time of one engine schedule stage
+// (cycle planning, delta maintenance included) across the benchmark's
+// simulation, or 0 when no cycle ran.
+func (r *EngineBenchResult) ScheduleStageMeanNS() float64 {
+	s, ok := r.Engine.Stages[engine.StageSchedule]
+	if !ok || s.Count == 0 {
+		return 0
 	}
-	ratio := cur / base
-	summary := fmt.Sprintf("build-stage mean %.0f ns vs baseline %.0f ns (%.2fx)", cur, base, ratio)
-	if ratio > 1+tolerance {
-		return summary, fmt.Errorf("exp: build-stage mean regressed %.0f%% (limit %.0f%%): %s",
-			100*(ratio-1), 100*tolerance, summary)
+	return float64(s.Wall.Nanoseconds()) / float64(s.Count)
+}
+
+// CompareEngineBench gates a fresh benchmark against a recorded baseline: it
+// returns an error when the current build-stage or schedule-stage mean
+// regresses by more than tolerance (a fraction; 0.25 = 25% slower). The
+// summary string reports the means and ratios either way; the schedule gate
+// only engages when the baseline recorded schedule samples, so old baselines
+// keep comparing. Absolute nanoseconds vary across machines, so the
+// comparison is only meaningful against a baseline recorded on comparable
+// hardware (in CI: the same runner class).
+func CompareEngineBench(baseline, current *EngineBenchResult, tolerance float64) (string, error) {
+	type gate struct {
+		name      string
+		base, cur float64
+	}
+	gates := []gate{{"build-stage", baseline.BuildStageMeanNS(), current.BuildStageMeanNS()}}
+	if baseline.ScheduleStageMeanNS() > 0 {
+		gates = append(gates, gate{"schedule-stage", baseline.ScheduleStageMeanNS(), current.ScheduleStageMeanNS()})
+	}
+	var summary string
+	var firstErr error
+	for i, g := range gates {
+		if g.base <= 0 || g.cur <= 0 {
+			return summary, fmt.Errorf("exp: benchmark comparison needs %s samples in both results (baseline %.0f ns, current %.0f ns)", g.name, g.base, g.cur)
+		}
+		ratio := g.cur / g.base
+		if i > 0 {
+			summary += "; "
+		}
+		summary += fmt.Sprintf("%s mean %.0f ns vs baseline %.0f ns (%.2fx)", g.name, g.cur, g.base, ratio)
+		if ratio > 1+tolerance && firstErr == nil {
+			firstErr = fmt.Errorf("exp: %s mean regressed %.0f%% (limit %.0f%%)", g.name, 100*(ratio-1), 100*tolerance)
+		}
+	}
+	if firstErr != nil {
+		return summary, fmt.Errorf("%w: %s", firstErr, summary)
 	}
 	return summary, nil
 }

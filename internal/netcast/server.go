@@ -69,6 +69,12 @@ type ServerConfig struct {
 	// engine.Config.PruneChurn). Prune-path counters surface in
 	// Stats().Engine.
 	PruneChurn float64
+	// ScheduleChurn is the pending-set churn fraction above which the
+	// engine rebuilds its demand index from scratch instead of applying
+	// deltas. Zero selects the default; negative disables incremental
+	// scheduling (see engine.Config.ScheduleChurn). Schedule-path counters
+	// surface in Stats().Engine.
+	ScheduleChurn float64
 }
 
 // subWriteTimeout bounds each frame write to one subscriber.
@@ -195,6 +201,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		Probe:         cfg.Probe,
 		Limits:        cfg.Limits,
 		PruneChurn:    cfg.PruneChurn,
+		ScheduleChurn: cfg.ScheduleChurn,
 	})
 	if err != nil {
 		return nil, err

@@ -32,6 +32,76 @@ func benchScheduler(b *testing.B, s Scheduler) {
 	}
 }
 
+// benchChurnFixture builds the incremental-scheduling workload: a 10k
+// pending set over a wide document universe (sparse requester sharing, the
+// regime the demand index targets) with ~5% of requests swapped per cycle.
+func benchChurnFixture() ([]Request, func(xmldoc.DocID) int, *rand.Rand) {
+	r := rand.New(rand.NewSource(2))
+	const nDocs = 4000
+	sizes := make([]int, nDocs)
+	for d := range sizes {
+		sizes[d] = 2000 + r.Intn(18000)
+	}
+	pending := make([]Request, 10_000)
+	for i := range pending {
+		pending[i] = Request{
+			ID:      int64(i),
+			Arrival: int64(i / 16),
+			Docs:    randomSortedDocs(r, nDocs, 1+r.Intn(4)),
+		}
+	}
+	return pending, func(d xmldoc.DocID) int { return sizes[d] }, r
+}
+
+const benchChurnSwap = 500 // of 10k pending: 5% churn per cycle
+
+// BenchmarkScheduleIncremental compares one cycle of LeeLo planning under
+// 5% pending-set churn: the full per-cycle rebuild the reference oracle
+// performs versus delta maintenance of a persistent DemandIndex. The
+// engine bench records the same ratio as schedule_speedup in
+// BENCH_engine.json (target ≥5×).
+func BenchmarkScheduleIncremental(b *testing.B) {
+	b.Run("full", func(b *testing.B) {
+		pending, size, r := benchChurnFixture()
+		nextID := int64(len(pending))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < benchChurnSwap; k++ {
+				pending = pending[1:]
+				pending = append(pending, Request{
+					ID:      nextID,
+					Arrival: int64(i),
+					Docs:    randomSortedDocs(r, 4000, 1+r.Intn(4)),
+				})
+				nextID++
+			}
+			LeeLo{}.PlanCycle(pending, size, 400_000, int64(i))
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		pending, size, r := benchChurnFixture()
+		x := NewDemandIndex()
+		x.Rebuild(pending, size, 8)
+		nextID := int64(len(pending))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < benchChurnSwap; k++ {
+				x.Remove(pending[0].ID)
+				pending = pending[1:]
+				nr := Request{
+					ID:      nextID,
+					Arrival: int64(i),
+					Docs:    randomSortedDocs(r, 4000, 1+r.Intn(4)),
+				}
+				nextID++
+				pending = append(pending, nr)
+				x.Apply(nr, size)
+			}
+			LeeLo{}.PlanIndexed(x, 400_000, int64(i))
+		}
+	})
+}
+
 func BenchmarkLeeLo(b *testing.B) { benchScheduler(b, LeeLo{}) }
 func BenchmarkFCFS(b *testing.B)  { benchScheduler(b, FCFS{}) }
 func BenchmarkMRF(b *testing.B)   { benchScheduler(b, MRF{}) }

@@ -1,0 +1,611 @@
+package schedule
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/xmldoc"
+)
+
+// DefaultScheduleChurn is the pending-set churn fraction (changed plus
+// removed requests over the union of the incoming and indexed sets) above
+// which the engine abandons delta maintenance of the demand index and
+// rebuilds it from scratch, mirroring core.DefaultPruneChurn for the PCI.
+const DefaultScheduleChurn = 0.25
+
+// demandReq is one pending request's scheduling state inside a DemandIndex.
+type demandReq struct {
+	id      int64
+	arrival int64
+	// seq is the request's first-seen order. Requester lists are kept in
+	// seq order so LeeLo's float score sums run in exactly the pending-slice
+	// order the reference PlanCycle uses — bit-identical summation.
+	seq  int64
+	docs []xmldoc.DocID // still-missing docs, sorted ascending
+	// remaining is the byte sum of docs (LeeLo's denominator base).
+	remaining int
+	// planDelta is the bytes of docs picked for this request within the
+	// plan currently being built; always rolled back to 0 afterwards.
+	planDelta int
+	// zombie marks a request whose last doc was delivered by a plan; it is
+	// kept (with its seq) until the driver's next pending set confirms the
+	// completion, so a lossy delivery can resurrect it without changing the
+	// summation order.
+	zombie bool
+	dead   bool // removed; awaiting byArrival compaction
+}
+
+// demandDoc is one demanded document's aggregation inside a DemandIndex.
+type demandDoc struct {
+	id   xmldoc.DocID
+	size int
+	// reqs lists the requesters in seq order (see demandReq.seq).
+	reqs       []*demandReq
+	minArrival int64
+	// score is the cached LeeLo base score Σ 1/remaining over reqs, valid
+	// when dirty is false.
+	score float64
+	dirty bool
+	// hver versions heap entries pushed for this doc during a plan; a
+	// popped entry with a stale version is discarded (a fresher entry was
+	// pushed when a sharing requester's pick changed the score).
+	hver uint32
+	// pickedAt/droppedAt/rescoredAt are plan-local stamps compared against
+	// the index's plan and op counters, avoiding per-plan clearing.
+	pickedAt   int64
+	droppedAt  int64
+	rescoredAt uint64
+}
+
+// docHeapEntry is one candidate document in a policy's selection heap.
+type docHeapEntry struct {
+	fscore float64 // LeeLo score
+	iscore int64   // MRF count / RxW count×wait
+	doc    xmldoc.DocID
+	ver    uint32
+}
+
+// DemandIndex is persistent per-document demand aggregation maintained
+// across broadcast cycles by pending-set deltas instead of being rebuilt
+// from each cycle's full pending slice: per-document requester lists with
+// refcounts-by-construction, arrival extrema for RxW, and cached LeeLo
+// scores with dirty tracking. The incremental schedulers (PlanIndexed on
+// each policy) plan directly from it and are defined to produce exactly the
+// plan the reference PlanCycle would produce for the equivalent pending
+// slice.
+//
+// Contracts, matching how the engine's drivers behave:
+//   - Request.Docs handed to Apply/Rebuild are sorted ascending without
+//     duplicates and non-empty.
+//   - A request keeps its arrival time for its whole life; between
+//     consecutive reconciles of the same ID its doc set only shrinks
+//     (documents are delivered, never re-demanded with others swapped in at
+//     equal count). Arbitrary same-size substitutions require a Rebuild.
+//   - Requester-list order is first-seen (Apply/Rebuild) order, so callers
+//     must present pending slices with new requests appended after old ones
+//     for LeeLo plan identity with the reference oracle.
+//
+// Not safe for concurrent use; the engine serialises access under its
+// mutex.
+type DemandIndex struct {
+	reqs map[int64]*demandReq
+	// docTab is the per-document state, dense-indexed by DocID (a uint16):
+	// slice indexing keeps the planners' inner loops off map hashing, which
+	// dominated the dense-sharing profile. nil slots are undemanded docs.
+	docTab []*demandDoc
+	ndocs  int
+
+	// byArrival holds live requests plus tombstones in (arrival, id) order
+	// when sortDirty is false; FCFS streams it directly.
+	byArrival []*demandReq
+	tombs     int
+	sortDirty bool
+
+	seq     int64
+	nzombie int
+	zombies []*demandReq // may hold resurrected entries; filtered lazily
+
+	dirty []xmldoc.DocID // docs whose cached LeeLo score is stale
+	edits int            // requester-list edits since TakeEdits
+
+	maxDoc  xmldoc.DocID
+	seen    []uint32 // FCFS dedup bitmap, generation-stamped
+	seenGen uint32
+
+	plan int64  // plan stamp epoch (LeeLo pickedAt/droppedAt)
+	op   uint64 // per-pick stamp epoch (LeeLo rescoredAt)
+
+	// plan scratch, reused across cycles
+	heap    []docHeapEntry
+	out     []xmldoc.DocID
+	touched []*demandReq
+
+	// rebuild scratch, reused across rebuilds
+	reqSlab    []demandReq
+	docSlab    []demandDoc
+	docIDSlab  []xmldoc.DocID
+	reqPtrSlab []*demandReq
+	offs       []int
+	gcount     []int32 // per-doc counts, zeroed again after each rebuild
+	doff       []int32 // per-doc fill cursors, init-before-use per rebuild
+	dsize      []int   // per-doc sizes, init-before-use per rebuild
+	rebuilt    []xmldoc.DocID
+}
+
+// NewDemandIndex returns an empty index.
+func NewDemandIndex() *DemandIndex {
+	return &DemandIndex{reqs: make(map[int64]*demandReq)}
+}
+
+// doc returns the state of a demanded document, or nil.
+func (x *DemandIndex) doc(d xmldoc.DocID) *demandDoc {
+	if int(d) >= len(x.docTab) {
+		return nil
+	}
+	return x.docTab[d]
+}
+
+func (x *DemandIndex) putDoc(d xmldoc.DocID, ds *demandDoc) {
+	if int(d) >= len(x.docTab) {
+		n := 2 * len(x.docTab)
+		if n <= int(d) {
+			n = int(d) + 1
+		}
+		grown := make([]*demandDoc, n)
+		copy(grown, x.docTab)
+		x.docTab = grown
+	}
+	x.docTab[d] = ds
+	x.ndocs++
+}
+
+func (x *DemandIndex) delDoc(d xmldoc.DocID) {
+	x.docTab[d] = nil
+	x.ndocs--
+}
+
+// Len is the number of tracked requests, including zombies awaiting their
+// driver-confirmed completion.
+func (x *DemandIndex) Len() int { return len(x.reqs) }
+
+// NumDocs is the number of distinct demanded documents.
+func (x *DemandIndex) NumDocs() int { return x.ndocs }
+
+// Zombies is the number of tracked requests whose completion a plan
+// predicted but the driver has not yet confirmed.
+func (x *DemandIndex) Zombies() int { return x.nzombie }
+
+// Peek reports a tracked request's still-missing doc count and arrival.
+// The engine's per-cycle diff uses it: under the shrink-only contract,
+// equal (count, arrival) implies the doc sets are equal too.
+func (x *DemandIndex) Peek(id int64) (docs int, arrival int64, ok bool) {
+	rs := x.reqs[id]
+	if rs == nil {
+		return 0, 0, false
+	}
+	return len(rs.docs), rs.arrival, true
+}
+
+// TakeEdits returns and resets the number of requester-list edits applied
+// since the last call (the schedule-delta probe's output unit).
+func (x *DemandIndex) TakeEdits() int {
+	e := x.edits
+	x.edits = 0
+	return e
+}
+
+// Apply upserts one request: unknown IDs are added, known IDs are
+// reconciled against the incoming doc set (documents delivered elsewhere
+// are detached, lost documents re-attached) preserving the request's seq so
+// summation order is stable. An arrival change is treated as a new request.
+func (x *DemandIndex) Apply(r Request, size func(xmldoc.DocID) int) {
+	rs := x.reqs[r.ID]
+	if rs == nil {
+		x.addRequest(r, size)
+		return
+	}
+	if rs.arrival != r.Arrival {
+		x.Remove(r.ID)
+		x.addRequest(r, size)
+		return
+	}
+	if rs.zombie {
+		rs.zombie = false
+		x.nzombie--
+	}
+	before := rs.remaining
+	old, incoming := rs.docs, r.Docs
+	i, j := 0, 0
+	changed := false
+	for i < len(old) || j < len(incoming) {
+		switch {
+		case j == len(incoming) || (i < len(old) && old[i] < incoming[j]):
+			x.detach(rs, old[i])
+			i++
+			changed = true
+		case i == len(old) || old[i] > incoming[j]:
+			x.attach(rs, incoming[j], size(incoming[j]))
+			j++
+			changed = true
+		default:
+			i, j = i+1, j+1
+		}
+	}
+	if changed {
+		rs.docs = append(rs.docs[:0], incoming...)
+	}
+	if rs.remaining != before {
+		for _, d := range rs.docs {
+			x.markDirty(x.doc(d))
+		}
+	}
+}
+
+// Remove drops one tracked request (driver abandoned or retired it).
+func (x *DemandIndex) Remove(id int64) {
+	rs := x.reqs[id]
+	if rs == nil {
+		return
+	}
+	x.removeReq(rs)
+}
+
+func (x *DemandIndex) removeReq(rs *demandReq) {
+	for _, d := range rs.docs {
+		x.detach(rs, d)
+	}
+	if rs.zombie {
+		rs.zombie = false
+		x.nzombie--
+	}
+	rs.dead = true
+	rs.docs = nil
+	x.tombs++
+	delete(x.reqs, rs.id)
+	if x.tombs > 64 && x.tombs*2 > len(x.byArrival) {
+		live := x.byArrival[:0]
+		for _, r := range x.byArrival {
+			if !r.dead {
+				live = append(live, r)
+			}
+		}
+		x.byArrival = live
+		x.tombs = 0
+	}
+}
+
+// RemoveExcept drops every tracked request whose ID is not in keep.
+func (x *DemandIndex) RemoveExcept(keep map[int64]struct{}) {
+	for id, rs := range x.reqs {
+		if _, ok := keep[id]; !ok {
+			x.removeReq(rs)
+		}
+	}
+}
+
+// ExpireZombies drops every request whose plan-predicted completion was not
+// contradicted by a reconcile since. The engine uses it as the cheap sweep
+// when the only requests missing from a cycle's pending set are exactly the
+// previous plan's completions.
+func (x *DemandIndex) ExpireZombies() {
+	for _, rs := range x.zombies {
+		if rs.zombie && !rs.dead {
+			x.removeReq(rs)
+		}
+	}
+	x.zombies = x.zombies[:0]
+	x.nzombie = 0
+}
+
+// DeliverDoc applies one planned document's predicted delivery: the
+// document leaves every requester's missing set (and the index), and
+// requesters left with nothing become zombies until the driver confirms.
+func (x *DemandIndex) DeliverDoc(d xmldoc.DocID) {
+	ds := x.doc(d)
+	if ds == nil {
+		return
+	}
+	for _, rs := range ds.reqs {
+		i := sort.Search(len(rs.docs), func(i int) bool { return rs.docs[i] >= d })
+		copy(rs.docs[i:], rs.docs[i+1:])
+		rs.docs = rs.docs[:len(rs.docs)-1]
+		rs.remaining -= ds.size
+		x.edits++
+		if len(rs.docs) == 0 {
+			rs.zombie = true
+			x.nzombie++
+			x.zombies = append(x.zombies, rs)
+			continue
+		}
+		for _, d2 := range rs.docs {
+			x.markDirty(x.doc(d2))
+		}
+	}
+	x.delDoc(d)
+}
+
+func (x *DemandIndex) addRequest(r Request, size func(xmldoc.DocID) int) {
+	rs := &demandReq{id: r.ID, arrival: r.Arrival, seq: x.seq}
+	x.seq++
+	rs.docs = append(make([]xmldoc.DocID, 0, len(r.Docs)), r.Docs...)
+	for _, d := range r.Docs {
+		x.attach(rs, d, size(d))
+	}
+	x.reqs[r.ID] = rs
+	if n := len(x.byArrival); n > 0 {
+		if last := x.byArrival[n-1]; r.Arrival < last.arrival ||
+			(r.Arrival == last.arrival && r.ID < last.id) {
+			x.sortDirty = true
+		}
+	}
+	x.byArrival = append(x.byArrival, rs)
+}
+
+// attach adds rs to d's requester list at its seq position and folds the
+// doc's size into the request's remaining bytes.
+func (x *DemandIndex) attach(rs *demandReq, d xmldoc.DocID, size int) {
+	ds := x.doc(d)
+	if ds == nil {
+		ds = &demandDoc{id: d, size: size, minArrival: rs.arrival}
+		x.putDoc(d, ds)
+		if d > x.maxDoc {
+			x.maxDoc = d
+		}
+	} else if rs.arrival < ds.minArrival {
+		ds.minArrival = rs.arrival
+	}
+	i := sort.Search(len(ds.reqs), func(i int) bool { return ds.reqs[i].seq > rs.seq })
+	ds.reqs = append(ds.reqs, nil)
+	copy(ds.reqs[i+1:], ds.reqs[i:])
+	ds.reqs[i] = rs
+	rs.remaining += size
+	x.markDirty(ds)
+	x.edits++
+}
+
+// detach removes rs from d's requester list, re-deriving the arrival
+// extremum when rs held it, and drops the doc once undemanded.
+func (x *DemandIndex) detach(rs *demandReq, d xmldoc.DocID) {
+	ds := x.doc(d)
+	i := sort.Search(len(ds.reqs), func(i int) bool { return ds.reqs[i].seq >= rs.seq })
+	copy(ds.reqs[i:], ds.reqs[i+1:])
+	ds.reqs = ds.reqs[:len(ds.reqs)-1]
+	rs.remaining -= ds.size
+	x.edits++
+	if len(ds.reqs) == 0 {
+		x.delDoc(d)
+		return
+	}
+	if rs.arrival == ds.minArrival {
+		min := ds.reqs[0].arrival
+		for _, r := range ds.reqs[1:] {
+			if r.arrival < min {
+				min = r.arrival
+			}
+		}
+		ds.minArrival = min
+	}
+	x.markDirty(ds)
+}
+
+func (x *DemandIndex) markDirty(ds *demandDoc) {
+	if ds != nil && !ds.dirty {
+		ds.dirty = true
+		x.dirty = append(x.dirty, ds.id)
+	}
+}
+
+// refreshScores recomputes the cached LeeLo base score of every dirtied
+// doc. Summation runs over the seq-ordered requester list, which is the
+// reference oracle's pending-slice order, so cached and from-scratch scores
+// are bit-identical.
+func (x *DemandIndex) refreshScores() {
+	for _, d := range x.dirty {
+		if ds := x.doc(d); ds != nil && ds.dirty {
+			ds.score = x.planScore(ds)
+			ds.dirty = false
+		}
+	}
+	x.dirty = x.dirty[:0]
+}
+
+// planScore is the doc's LeeLo score against the plan being built:
+// Σ 1/(remaining − planDelta) over requesters, in seq order.
+func (x *DemandIndex) planScore(ds *demandDoc) float64 {
+	s := 0.0
+	for _, rs := range ds.reqs {
+		if rem := rs.remaining - rs.planDelta; rem > 0 {
+			s += 1 / float64(rem)
+		}
+	}
+	return s
+}
+
+func (x *DemandIndex) nextSeenGen() uint32 {
+	x.seenGen++
+	if x.seenGen == 0 { // wrapped: stale stamps could alias, restart clean
+		clear(x.seen)
+		x.seenGen = 1
+	}
+	return x.seenGen
+}
+
+func (x *DemandIndex) ensureSeen() {
+	if int(x.maxDoc) >= len(x.seen) {
+		grown := make([]uint32, int(x.maxDoc)+1)
+		copy(grown, x.seen)
+		x.seen = grown
+	}
+}
+
+// grow returns s resized to n, reallocating only when capacity is short.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// Rebuild replaces the index content from a full pending slice: the cold
+// start and high-churn fallback path. Request state construction is sharded
+// across workers; per-document aggregation is a serial counting sort into
+// slab-backed requester lists (document sizes are resolved serially because
+// xmldoc.Document.Size caches lazily), and remaining-byte sums are sharded
+// again. All scratch is retained and reused by later rebuilds.
+func (x *DemandIndex) Rebuild(reqs []Request, size func(xmldoc.DocID) int, workers int) {
+	clear(x.reqs)
+	clear(x.docTab)
+	x.ndocs = 0
+	x.byArrival = x.byArrival[:0]
+	x.tombs = 0
+	x.sortDirty = false
+	x.zombies = x.zombies[:0]
+	x.nzombie = 0
+	x.dirty = x.dirty[:0]
+	x.seq = int64(len(reqs))
+
+	n := len(reqs)
+	if n == 0 {
+		return
+	}
+	x.offs = grow(x.offs, n+1)
+	total := 0
+	for i := range reqs {
+		x.offs[i] = total
+		total += len(reqs[i].Docs)
+	}
+	x.offs[n] = total
+	x.reqSlab = grow(x.reqSlab, n)
+	x.docIDSlab = grow(x.docIDSlab, total)
+
+	if workers > n/512+1 {
+		workers = n/512 + 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	shard := (n + workers - 1) / workers
+
+	// Phase 1 (sharded): request states with slab-backed doc copies.
+	runShards(workers, shard, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := &reqs[i]
+			off, end := x.offs[i], x.offs[i+1]
+			docs := x.docIDSlab[off:end:end]
+			copy(docs, r.Docs)
+			x.reqSlab[i] = demandReq{id: r.ID, arrival: r.Arrival, seq: int64(i), docs: docs}
+		}
+	})
+
+	// Phase 2 (serial): count demand per doc, resolve sizes, lay out
+	// requester lists by counting sort — shard-ascending fill order keeps
+	// every list in seq order.
+	maxDoc := xmldoc.DocID(0)
+	for _, d := range x.docIDSlab[:total] {
+		if d > maxDoc {
+			maxDoc = d
+		}
+	}
+	if maxDoc > x.maxDoc {
+		x.maxDoc = maxDoc
+	}
+	if int(maxDoc) >= len(x.gcount) {
+		x.gcount = make([]int32, int(maxDoc)+1)
+		x.doff = make([]int32, int(maxDoc)+1)
+		x.dsize = make([]int, int(maxDoc)+1)
+	}
+	distinct := x.rebuilt[:0]
+	for _, d := range x.docIDSlab[:total] {
+		if x.gcount[d] == 0 {
+			distinct = append(distinct, d)
+		}
+		x.gcount[d]++
+	}
+	x.rebuilt = distinct
+	x.docSlab = grow(x.docSlab, len(distinct))
+	x.reqPtrSlab = grow(x.reqPtrSlab, total)
+	cur := int32(0)
+	for di, d := range distinct {
+		x.doff[d] = cur
+		cur += x.gcount[d]
+		x.dsize[d] = size(d)
+		x.docSlab[di] = demandDoc{id: d, size: x.dsize[d]}
+		x.putDoc(d, &x.docSlab[di])
+	}
+	for i := 0; i < n; i++ {
+		rs := &x.reqSlab[i]
+		for _, d := range rs.docs {
+			x.reqPtrSlab[x.doff[d]] = rs
+			x.doff[d]++
+		}
+	}
+	for di, d := range distinct {
+		ds := &x.docSlab[di]
+		end := x.doff[d]
+		start := end - x.gcount[d]
+		ds.reqs = x.reqPtrSlab[start:end:end]
+		min := ds.reqs[0].arrival
+		for _, r := range ds.reqs[1:] {
+			if r.arrival < min {
+				min = r.arrival
+			}
+		}
+		ds.minArrival = min
+		ds.dirty = true
+		x.dirty = append(x.dirty, d)
+		x.gcount[d] = 0 // restore the zeroed-counts invariant
+	}
+
+	// Phase 3 (sharded): remaining-byte sums and the reqs map refill.
+	var mu sync.Mutex
+	runShards(workers, shard, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rs := &x.reqSlab[i]
+			sum := 0
+			for _, d := range rs.docs {
+				sum += x.dsize[d]
+			}
+			rs.remaining = sum
+		}
+		mu.Lock()
+		for i := lo; i < hi; i++ {
+			x.reqs[x.reqSlab[i].id] = &x.reqSlab[i]
+		}
+		mu.Unlock()
+	})
+
+	x.byArrival = grow(x.byArrival, n)
+	for i := range x.reqSlab[:n] {
+		x.byArrival[i] = &x.reqSlab[i]
+	}
+	for i := 1; i < n; i++ {
+		a, b := x.byArrival[i-1], x.byArrival[i]
+		if b.arrival < a.arrival || (b.arrival == a.arrival && b.id < a.id) {
+			x.sortDirty = true
+			break
+		}
+	}
+	x.edits += total
+}
+
+// runShards runs fn over [0,n) in contiguous ranges of the given width,
+// serially when one worker suffices.
+func runShards(workers, width, n int, fn func(lo, hi int)) {
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += width {
+		hi := lo + width
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

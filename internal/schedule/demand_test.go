@@ -1,0 +1,324 @@
+package schedule
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/xmldoc"
+)
+
+// checkInvariants verifies the DemandIndex's internal consistency: doc
+// lists sorted, requester lists in seq order, remaining-byte sums exact,
+// arrival extrema correct, zombie accounting balanced, plan deltas rolled
+// back, and the FCFS order sorted whenever it claims to be.
+func checkInvariants(t *testing.T, x *DemandIndex) {
+	t.Helper()
+	live, nz := 0, 0
+	for id, rs := range x.reqs {
+		if rs.dead {
+			t.Fatalf("request %d tracked but dead", id)
+		}
+		if rs.id != id {
+			t.Fatalf("request map key %d holds id %d", id, rs.id)
+		}
+		if rs.planDelta != 0 {
+			t.Fatalf("request %d planDelta %d not rolled back", id, rs.planDelta)
+		}
+		if rs.zombie != (len(rs.docs) == 0) {
+			t.Fatalf("request %d zombie=%v with %d docs", id, rs.zombie, len(rs.docs))
+		}
+		if rs.zombie {
+			nz++
+		}
+		sum := 0
+		for k, d := range rs.docs {
+			if k > 0 && rs.docs[k-1] >= d {
+				t.Fatalf("request %d docs not strictly ascending: %v", id, rs.docs)
+			}
+			ds := x.doc(d)
+			if ds == nil {
+				t.Fatalf("request %d demands doc %d missing from index", id, d)
+			}
+			sum += ds.size
+			found := false
+			for _, r := range ds.reqs {
+				if r == rs {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("doc %d requester list misses request %d", d, id)
+			}
+		}
+		if sum != rs.remaining {
+			t.Fatalf("request %d remaining %d, want %d", id, rs.remaining, sum)
+		}
+		live++
+	}
+	if nz != x.nzombie {
+		t.Fatalf("nzombie %d, counted %d", x.nzombie, nz)
+	}
+	ndocs := 0
+	for i, ds := range x.docTab {
+		if ds == nil {
+			continue
+		}
+		ndocs++
+		d := xmldoc.DocID(i)
+		if ds.id != d {
+			t.Fatalf("doc slot %d holds id %d", d, ds.id)
+		}
+		if len(ds.reqs) == 0 {
+			t.Fatalf("doc %d has empty requester list", d)
+		}
+		min := ds.reqs[0].arrival
+		for k, rs := range ds.reqs {
+			if k > 0 && ds.reqs[k-1].seq >= rs.seq {
+				t.Fatalf("doc %d requester list not in seq order", d)
+			}
+			if rs.arrival < min {
+				min = rs.arrival
+			}
+			if rs.dead {
+				t.Fatalf("doc %d lists dead request %d", d, rs.id)
+			}
+			if x.reqs[rs.id] != rs {
+				t.Fatalf("doc %d lists untracked request %d", d, rs.id)
+			}
+			has := false
+			for _, rd := range rs.docs {
+				if rd == d {
+					has = true
+					break
+				}
+			}
+			if !has {
+				t.Fatalf("doc %d lists request %d that no longer demands it", d, rs.id)
+			}
+		}
+		if min != ds.minArrival {
+			t.Fatalf("doc %d minArrival %d, want %d", d, ds.minArrival, min)
+		}
+	}
+	if ndocs != x.ndocs {
+		t.Fatalf("ndocs %d, counted %d", x.ndocs, ndocs)
+	}
+	seen := 0
+	for _, rs := range x.byArrival {
+		if rs.dead {
+			continue
+		}
+		seen++
+		if x.reqs[rs.id] != rs {
+			t.Fatalf("byArrival holds live entry %d not in request map", rs.id)
+		}
+	}
+	if seen != live {
+		t.Fatalf("byArrival holds %d live entries, request map %d", seen, live)
+	}
+	if !x.sortDirty {
+		for i := 1; i < len(x.byArrival); i++ {
+			a, b := x.byArrival[i-1], x.byArrival[i]
+			if b.arrival < a.arrival || (b.arrival == a.arrival && b.id < a.id) {
+				t.Fatalf("byArrival claims sorted but (%d,%d) precedes (%d,%d)",
+					a.arrival, a.id, b.arrival, b.id)
+			}
+		}
+	}
+}
+
+func randomSortedDocs(rng *rand.Rand, nDocs, k int) []xmldoc.DocID {
+	picked := make(map[xmldoc.DocID]struct{}, k)
+	for len(picked) < k {
+		picked[xmldoc.DocID(rng.Intn(nDocs))] = struct{}{}
+	}
+	docs := make([]xmldoc.DocID, 0, k)
+	for d := range picked {
+		docs = append(docs, d)
+	}
+	for i := 1; i < len(docs); i++ {
+		for j := i; j > 0 && docs[j-1] > docs[j]; j-- {
+			docs[j-1], docs[j] = docs[j], docs[j-1]
+		}
+	}
+	return docs
+}
+
+// TestIncrementalMatchesReferenceUnderChurn drives a DemandIndex and a
+// mirror pending slice through randomized multi-cycle churn — arrivals,
+// abandons, plan-predicted deliveries with client-side loss forcing
+// reconciles, zombie expiry and periodic sharded rebuilds — asserting after
+// every cycle that PlanIndexed equals the reference PlanCycle oracle
+// exactly, for all four policies.
+func TestIncrementalMatchesReferenceUnderChurn(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			sched, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inc := sched.(IncrementalScheduler)
+			ref := sched
+			for seed := int64(1); seed <= 3; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				const nDocs, capacity = 50, 5000
+				sizes := make([]int, nDocs)
+				for d := range sizes {
+					sizes[d] = 300 + rng.Intn(4200)
+				}
+				sizes[nDocs-1] = capacity + 1000 // exercise the oversized rule
+				size := func(d xmldoc.DocID) int { return sizes[d] }
+
+				x := NewDemandIndex()
+				var mirror []Request
+				nextID := int64(0)
+				now := int64(0)
+				for step := 0; step < 45; step++ {
+					now += int64(400 + rng.Intn(600))
+					for k := 1 + rng.Intn(5); k > 0; k-- {
+						r := Request{
+							ID:      nextID,
+							Arrival: now - int64(rng.Intn(200)),
+							Docs:    randomSortedDocs(rng, nDocs, 1+rng.Intn(4)),
+						}
+						nextID++
+						mirror = append(mirror, r)
+						x.Apply(r, size)
+					}
+					if len(mirror) > 0 && rng.Intn(4) == 0 { // abandon
+						i := rng.Intn(len(mirror))
+						x.Remove(mirror[i].ID)
+						mirror = append(mirror[:i], mirror[i+1:]...)
+					}
+					if step%9 == 5 { // cold-start / high-churn fallback path
+						x.Rebuild(mirror, size, 1+rng.Intn(4))
+					}
+					checkInvariants(t, x)
+					if len(mirror) == 0 {
+						continue
+					}
+
+					want := ref.PlanCycle(mirror, size, capacity, now)
+					got := inc.PlanIndexed(x, capacity, now)
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("seed %d step %d: PlanIndexed = %v, reference = %v",
+							seed, step, got, want)
+					}
+					checkInvariants(t, x)
+
+					planned := make(map[xmldoc.DocID]struct{}, len(got))
+					for _, d := range got {
+						planned[d] = struct{}{}
+						x.DeliverDoc(d)
+					}
+					liveMirror := mirror[:0]
+					for i := range mirror {
+						r := mirror[i]
+						kept := r.Docs[:0]
+						for _, d := range r.Docs {
+							if _, ok := planned[d]; ok && rng.Float64() >= 0.15 {
+								continue // delivered
+							}
+							kept = append(kept, d) // not planned, or lost
+						}
+						r.Docs = kept
+						if len(r.Docs) == 0 {
+							continue // completed: driver retires it
+						}
+						if n, _, ok := x.Peek(r.ID); !ok || n != len(r.Docs) {
+							x.Apply(r, size) // lossy delivery: reconcile
+						}
+						liveMirror = append(liveMirror, r)
+					}
+					mirror = liveMirror
+					x.ExpireZombies()
+					checkInvariants(t, x)
+				}
+			}
+		})
+	}
+}
+
+// TestIncrementalContractsAtScale quick-checks the scheduler contracts —
+// capacity bound, no duplicates, demanded-documents-only, oversized rule —
+// and exact reference equality on a 10k-request pending set, through a
+// sharded rebuild plus incremental churn rounds.
+func TestIncrementalContractsAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(7))
+	const nDocs, nReq, capacity = 400, 10_000, 120_000
+	sizes := make([]int, nDocs)
+	for d := range sizes {
+		sizes[d] = 2000 + rng.Intn(18000)
+	}
+	sizes[nDocs-1] = capacity * 2
+	size := func(d xmldoc.DocID) int { return sizes[d] }
+
+	pending := make([]Request, nReq)
+	for i := range pending {
+		pending[i] = Request{
+			ID:      int64(i),
+			Arrival: int64(i / 16),
+			Docs:    randomSortedDocs(rng, nDocs, 1+rng.Intn(4)),
+		}
+	}
+	nextID := int64(nReq)
+
+	x := NewDemandIndex()
+	x.Rebuild(pending, size, 8)
+
+	verify := func(round int) {
+		t.Helper()
+		now := int64(nReq/16 + round)
+		demanded := make(map[xmldoc.DocID]struct{})
+		for i := range pending {
+			for _, d := range pending[i].Docs {
+				demanded[d] = struct{}{}
+			}
+		}
+		for _, name := range Names() {
+			sched, _ := New(name)
+			plan := sched.(IncrementalScheduler).PlanIndexed(x, capacity, now)
+			seen := make(map[xmldoc.DocID]struct{}, len(plan))
+			used := 0
+			for _, d := range plan {
+				if _, dup := seen[d]; dup {
+					t.Fatalf("round %d %s: duplicate doc %d", round, name, d)
+				}
+				seen[d] = struct{}{}
+				if _, ok := demanded[d]; !ok {
+					t.Fatalf("round %d %s: undemanded doc %d", round, name, d)
+				}
+				used += size(d)
+			}
+			if used > capacity && !(len(plan) == 1 && size(plan[0]) > capacity) {
+				t.Fatalf("round %d %s: %d bytes exceed capacity %d", round, name, used, capacity)
+			}
+			if want := sched.PlanCycle(pending, size, capacity, now); !reflect.DeepEqual(want, plan) {
+				t.Fatalf("round %d %s: PlanIndexed diverges from reference", round, name)
+			}
+		}
+	}
+
+	verify(0)
+	for round := 1; round <= 3; round++ {
+		for k := 0; k < 500; k++ { // ~5% churn: drop the oldest, add a new
+			x.Remove(pending[0].ID)
+			pending = pending[1:]
+			r := Request{
+				ID:      nextID,
+				Arrival: int64(nReq/16 + round),
+				Docs:    randomSortedDocs(rng, nDocs, 1+rng.Intn(4)),
+			}
+			nextID++
+			pending = append(pending, r)
+			x.Apply(r, size)
+		}
+		verify(round)
+	}
+	checkInvariants(t, x)
+}

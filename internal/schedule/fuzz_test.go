@@ -1,0 +1,110 @@
+package schedule
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/xmldoc"
+)
+
+// FuzzDemandIndex interprets the input as an op stream over a DemandIndex —
+// add, shrink-reconcile, remove, deliver, plan (with its plan-delta
+// rollback), zombie expiry and sharded rebuild — mirrored against a plain
+// pending slice. After every op the index invariants must hold and all four
+// incremental planners must equal their reference oracles.
+func FuzzDemandIndex(f *testing.F) {
+	f.Add([]byte{0x10, 0x23, 0x31, 0x42, 0x00, 0x57, 0x68})
+	f.Add([]byte{0x00, 0x00, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70, 0x80})
+	f.Add([]byte{0x0f, 0x1f, 0x2f, 0x3f, 0x4f, 0x5f, 0x6f, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nDocs, capacity = 16, 900
+		size := func(d xmldoc.DocID) int { return 100 + 37*int(d) }
+
+		x := NewDemandIndex()
+		var mirror []Request
+		nextID := int64(0)
+		now := int64(0)
+		next := func() (byte, bool) {
+			if len(data) == 0 {
+				return 0, false
+			}
+			b := data[0]
+			data = data[1:]
+			return b, true
+		}
+		for {
+			op, ok := next()
+			if !ok {
+				break
+			}
+			arg, _ := next()
+			now++
+			switch op % 6 {
+			case 0: // add
+				docs := []xmldoc.DocID{xmldoc.DocID(arg % nDocs)}
+				if extra := xmldoc.DocID((arg >> 4) % nDocs); extra != docs[0] {
+					if extra < docs[0] {
+						docs = []xmldoc.DocID{extra, docs[0]}
+					} else {
+						docs = append(docs, extra)
+					}
+				}
+				r := Request{ID: nextID, Arrival: now - int64(arg%5), Docs: docs}
+				nextID++
+				mirror = append(mirror, r)
+				x.Apply(r, size)
+			case 1: // remove
+				if len(mirror) == 0 {
+					continue
+				}
+				i := int(arg) % len(mirror)
+				x.Remove(mirror[i].ID)
+				mirror = append(mirror[:i], mirror[i+1:]...)
+			case 2: // shrink-reconcile: one doc delivered out of band
+				if len(mirror) == 0 {
+					continue
+				}
+				i := int(arg) % len(mirror)
+				r := &mirror[i]
+				if len(r.Docs) > 1 {
+					j := int(arg>>4) % len(r.Docs)
+					r.Docs = append(r.Docs[:j], r.Docs[j+1:]...)
+					x.Apply(*r, size)
+				}
+			case 3: // deliver one doc everywhere, retire completions
+				d := xmldoc.DocID(arg % nDocs)
+				x.DeliverDoc(d)
+				live := mirror[:0]
+				for _, r := range mirror {
+					kept := r.Docs[:0]
+					for _, rd := range r.Docs {
+						if rd != d {
+							kept = append(kept, rd)
+						}
+					}
+					r.Docs = kept
+					if len(r.Docs) > 0 {
+						live = append(live, r)
+					}
+				}
+				mirror = live
+				x.ExpireZombies()
+			case 4: // plan and compare all four policies
+				if len(mirror) == 0 {
+					continue
+				}
+				for _, name := range Names() {
+					sched, _ := New(name)
+					want := sched.PlanCycle(mirror, size, capacity, now)
+					got := sched.(IncrementalScheduler).PlanIndexed(x, capacity, now)
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("%s: PlanIndexed = %v, reference = %v", name, got, want)
+					}
+				}
+			case 5: // sharded rebuild
+				x.Rebuild(mirror, size, 1+int(arg%4))
+			}
+			checkInvariants(t, x)
+		}
+	})
+}

@@ -19,6 +19,19 @@ import (
 	"repro/internal/xpath"
 )
 
+// ClockUnit selects the clock the scheduler sees (request arrivals and the
+// planning "now").
+type ClockUnit int
+
+const (
+	// ClockBytes passes byte-time arrivals and the cycle-start byte-time,
+	// the simulator's native clock. Default.
+	ClockBytes ClockUnit = iota
+	// ClockCycles passes admission cycle numbers and the current cycle
+	// number, the networked server's clock.
+	ClockCycles
+)
+
 // ClientRequest is one query submitted by a mobile client.
 type ClientRequest struct {
 	// Query is the client's XPath request.
@@ -73,6 +86,19 @@ type Config struct {
 	// engine.Config.PruneChurn). Prune-path counters surface in
 	// Result.Engine.
 	PruneChurn float64
+	// ScheduleChurn is the pending-set churn fraction above which the
+	// engine's incremental demand index falls back to a full rebuild. Zero
+	// selects the default; negative disables incremental scheduling (see
+	// engine.Config.ScheduleChurn). Schedule-path counters surface in
+	// Result.Engine.
+	ScheduleChurn float64
+	// ScheduleClock selects the clock unit the scheduler sees. The default
+	// ClockBytes hands it the simulator's native byte-time; ClockCycles
+	// hands it admission cycle numbers and the current cycle number,
+	// matching the networked server's clock so clock-sensitive policies
+	// (RxW) score identically across the two drivers. Byte-time cycle
+	// layout and client accounting are unaffected.
+	ScheduleClock ClockUnit
 	// CycleSink, if non-nil, receives every assembled cycle together with
 	// its encoded wire segments, exactly as the networked server broadcasts
 	// them. Encoding is skipped when nil, so plain simulations pay no wire
@@ -166,7 +192,8 @@ type client struct {
 	nav       *core.Navigator
 	docs      []xmldoc.DocID // full result set, known after first index read
 	remaining map[xmldoc.DocID]struct{}
-	knowsDocs bool // two-tier: first-tier already read
+	admit     int64 // cycle number that first covered the request
+	knowsDocs bool  // two-tier: first-tier already read
 	stats     ClientStats
 	done      bool
 }
@@ -188,6 +215,7 @@ func Run(cfg Config) (*Result, error) {
 		Workers:       cfg.Workers,
 		Limits:        cfg.Limits,
 		PruneChurn:    cfg.PruneChurn,
+		ScheduleChurn: cfg.ScheduleChurn,
 	})
 	if err != nil {
 		return nil, err
@@ -243,6 +271,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		for admitted < len(byArrival) && byArrival[admitted].req.Arrival <= now {
+			byArrival[admitted].admit = cycleNum
 			active = append(active, byArrival[admitted])
 			admitted++
 		}
@@ -250,16 +279,26 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("sim: no active clients but %d incomplete", len(clients)-completed)
 		}
 
-		// Server: hand the pending view to the shared assembly engine.
+		// Server: hand the pending view to the shared assembly engine. The
+		// scheduler's clock follows cfg.ScheduleClock; cycle layout stays
+		// in byte-time regardless.
+		schedNow := now
 		pending := make([]engine.Pending, 0, len(active))
 		for _, cl := range active {
 			rem := make([]xmldoc.DocID, 0, len(cl.remaining))
 			for d := range cl.remaining {
 				rem = append(rem, d)
 			}
-			pending = append(pending, engine.Pending{ID: cl.id, Query: cl.req.Query, Arrival: cl.req.Arrival, Remaining: rem})
+			arrival := cl.req.Arrival
+			if cfg.ScheduleClock == ClockCycles {
+				arrival = cl.admit
+			}
+			pending = append(pending, engine.Pending{ID: cl.id, Query: cl.req.Query, Arrival: arrival, Remaining: rem})
 		}
-		ecy, err := eng.AssembleCycle(cycleNum, now, pending)
+		if cfg.ScheduleClock == ClockCycles {
+			schedNow = cycleNum
+		}
+		ecy, err := eng.AssembleCycleAt(cycleNum, now, schedNow, pending)
 		if err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}

@@ -105,6 +105,18 @@ type (
 	ClientStats = sim.ClientStats
 	// Scheduler plans the document content of broadcast cycles.
 	Scheduler = schedule.Scheduler
+	// ScheduleClockUnit selects the clock a simulation's scheduler sees
+	// (see SimulationConfig.ScheduleClock).
+	ScheduleClockUnit = sim.ClockUnit
+)
+
+// Scheduler clock units.
+const (
+	// ClockBytes hands schedulers the simulator's native byte-time.
+	ClockBytes = sim.ClockBytes
+	// ClockCycles hands schedulers admission cycle numbers, matching the
+	// networked server's clock for clock-sensitive policies such as RxW.
+	ClockCycles = sim.ClockCycles
 )
 
 // Assembly-engine telemetry: the shared cycle-assembly pipeline behind both
