@@ -54,6 +54,8 @@ func run(args []string) error {
 		uplinkBurst = fs.Int("uplink-burst", 0, "token-bucket burst for -uplink-rate (default 8)")
 		pruneChurn  = fs.Float64("prune-churn", 0, "query-churn fraction forcing a full re-prune (0 = default, negative = always re-prune from scratch)")
 		schedChurn  = fs.Float64("sched-churn", 0, "pending-churn fraction forcing a demand-index rebuild (0 = default, negative = replan from scratch every cycle)")
+		adaptive    = fs.Bool("adaptive", false, "self-tune the admission limits (AIMD over -max-pending/-uplink-rate, auto-picked churn thresholds); static values become seeds")
+		targetLat   = fs.Duration("target-latency", 0, "adaptive controller's per-cycle assembly-latency goal (0 = derive from -build-budget or default)")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -93,10 +95,12 @@ func run(args []string) error {
 			MaxPayloadCacheBytes:  *payloadMB << 20,
 			BuildBudget:           *buildBudget,
 		},
-		UplinkRate:    *uplinkRate,
-		UplinkBurst:   *uplinkBurst,
-		PruneChurn:    *pruneChurn,
-		ScheduleChurn: *schedChurn,
+		UplinkRate:     *uplinkRate,
+		UplinkBurst:    *uplinkBurst,
+		PruneChurn:     *pruneChurn,
+		ScheduleChurn:  *schedChurn,
+		Adaptive:       *adaptive,
+		AdaptiveTarget: *targetLat,
 	})
 	if err != nil {
 		return err
@@ -177,6 +181,9 @@ func run(args []string) error {
 	st := srv.Stats()
 	fmt.Printf("shutting down after %d cycles\n", st.Cycles)
 	fmt.Printf("engine: %s\n", st.Engine)
+	if st.Health != "" {
+		fmt.Printf("health: %s\n", st.Health)
+	}
 	if st.RejectedRate > 0 || st.RejectedPending > 0 {
 		fmt.Printf("rejected: %d rate-limited, %d over pending cap\n", st.RejectedRate, st.RejectedPending)
 	}

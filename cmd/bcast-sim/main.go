@@ -25,17 +25,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bcast-sim", flag.ContinueOnError)
 	var (
-		mode     = fs.String("mode", "two-tier", "index organisation: one-tier or two-tier")
-		schema   = fs.String("schema", "nitf", "document schema: nitf or nasa")
-		dataDir  = fs.String("data", "", "directory of .xml files to broadcast (overrides -schema/-docs)")
-		docs     = fs.Int("docs", 50, "number of generated documents")
-		nq       = fs.Int("nq", 100, "number of client requests")
-		p        = fs.Float64("p", 0.1, "wildcard probability")
-		dq       = fs.Int("dq", 5, "maximum query depth")
-		capacity = fs.Int("capacity", 100_000, "cycle document budget in bytes")
-		sched    = fs.String("scheduler", "leelo", "scheduler: leelo, fcfs, mrf or rxw")
-		seed     = fs.Int64("seed", 1, "random seed")
-		verbose  = fs.Bool("v", false, "print per-cycle and per-client detail")
+		mode      = fs.String("mode", "two-tier", "index organisation: one-tier or two-tier")
+		schema    = fs.String("schema", "nitf", "document schema: nitf or nasa")
+		dataDir   = fs.String("data", "", "directory of .xml files to broadcast (overrides -schema/-docs)")
+		docs      = fs.Int("docs", 50, "number of generated documents")
+		nq        = fs.Int("nq", 100, "number of client requests")
+		p         = fs.Float64("p", 0.1, "wildcard probability")
+		dq        = fs.Int("dq", 5, "maximum query depth")
+		capacity  = fs.Int("capacity", 100_000, "cycle document budget in bytes")
+		sched     = fs.String("scheduler", "leelo", "scheduler: leelo, fcfs, mrf or rxw")
+		seed      = fs.Int64("seed", 1, "random seed")
+		adaptive  = fs.Bool("adaptive", false, "enable the self-tuning admission controller (auto-picked churn thresholds; health in the engine line)")
+		targetLat = fs.Duration("target-latency", 0, "adaptive controller's per-cycle assembly-latency goal (0 = default)")
+		verbose   = fs.Bool("v", false, "print per-cycle and per-client detail")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,11 +78,13 @@ func run(args []string) error {
 		return err
 	}
 	res, err := repro.Simulate(repro.SimulationConfig{
-		Collection:    coll,
-		Mode:          bm,
-		Scheduler:     scheduler,
-		CycleCapacity: *capacity,
-		Requests:      reqs,
+		Collection:     coll,
+		Mode:           bm,
+		Scheduler:      scheduler,
+		CycleCapacity:  *capacity,
+		Requests:       reqs,
+		Adaptive:       *adaptive,
+		AdaptiveTarget: *targetLat,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,154 @@
+// Package control holds the small time-and-estimation primitives behind the
+// engine's adaptive admission controller: an injectable clock with a
+// deterministic fake for tests, and an exponentially weighted moving average.
+// It deliberately has no dependency on the rest of the repository so every
+// layer (engine, netcast, tests) can share one clock abstraction.
+package control
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time and timer channels. Production code uses
+// Real; tests inject a Fake and advance it explicitly, so admission and
+// controller behaviour is deterministic instead of wall-clock dependent.
+type Clock interface {
+	// Now returns the current time in the clock's frame.
+	Now() time.Time
+	// After returns a channel that delivers the clock's time once d has
+	// elapsed in the clock's frame.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Or returns c, or the wall clock when c is nil — the conventional default
+// for optional Clock configuration fields.
+func Or(c Clock) Clock {
+	if c == nil {
+		return Real{}
+	}
+	return c
+}
+
+// Fake is a manually advanced clock for deterministic tests. Safe for
+// concurrent use: readers observe a consistent now, and Advance fires every
+// timer whose deadline it reaches.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFake returns a fake clock frozen at start.
+func NewFake(start time.Time) *Fake { return &Fake{now: start} }
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// After implements Clock: the returned channel fires once Advance has moved
+// the clock at least d past the current fake time. A non-positive d fires
+// immediately.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if d <= 0 {
+		ch <- f.now
+		return ch
+	}
+	f.waiters = append(f.waiters, fakeWaiter{at: f.now.Add(d), ch: ch})
+	return ch
+}
+
+// Waiters reports how many timers are pending, so tests can wait for a
+// goroutine to block on After before advancing.
+func (f *Fake) Waiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}
+
+// Advance moves the clock forward by d and fires every timer whose deadline
+// has been reached.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	now := f.now
+	var due []fakeWaiter
+	kept := f.waiters[:0]
+	for _, w := range f.waiters {
+		if w.at.After(now) {
+			kept = append(kept, w)
+		} else {
+			due = append(due, w)
+		}
+	}
+	f.waiters = kept
+	f.mu.Unlock()
+	for _, w := range due {
+		w.ch <- now
+	}
+}
+
+// EWMA is an exponentially weighted moving average. The zero value is
+// unusable; construct with NewEWMA. Not safe for concurrent use — callers
+// (the adaptive limiter) guard it with their own lock.
+type EWMA struct {
+	alpha float64
+	v     float64
+	n     int64
+}
+
+// NewEWMA returns an empty average with the given smoothing factor in
+// (0, 1]; out-of-range values select 0.3. Larger alpha weights recent
+// observations more.
+func NewEWMA(alpha float64) EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	return EWMA{alpha: alpha}
+}
+
+// Observe folds one sample in and returns the updated average. The first
+// sample seeds the average directly.
+func (e *EWMA) Observe(x float64) float64 {
+	e.n++
+	if e.n == 1 {
+		e.v = x
+	} else {
+		e.v = (1-e.alpha)*e.v + e.alpha*x
+	}
+	return e.v
+}
+
+// ObserveDuration is Observe over a time.Duration sample.
+func (e *EWMA) ObserveDuration(d time.Duration) time.Duration {
+	return time.Duration(e.Observe(float64(d)))
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.v }
+
+// Duration returns the current average as a time.Duration.
+func (e *EWMA) Duration() time.Duration { return time.Duration(e.v) }
+
+// Seeded reports whether at least one sample has been observed.
+func (e *EWMA) Seeded() bool { return e.n > 0 }

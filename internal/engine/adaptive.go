@@ -1,0 +1,540 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/schedule"
+)
+
+// Health is the adaptive admission controller's three-state load signal,
+// surfaced through Metrics, sim.Result and netcast.ServerStats.
+type Health string
+
+const (
+	// Healthy: observed assembly latency has stayed under target long
+	// enough that the controller is (or is back to) opening limits
+	// additively.
+	Healthy Health = "healthy"
+	// Shedding: the controller recently cut limits multiplicatively and is
+	// holding them down (hysteresis) until latency recovers.
+	Shedding Health = "shedding"
+	// Degraded: cycles are blowing Limits.BuildBudget faster than shedding
+	// relieves them — the engine is broadcasting unpruned indexes and the
+	// controller is at or racing towards its floors.
+	Degraded Health = "degraded"
+)
+
+// Adaptive controller defaults. The zero AdaptiveConfig selects all of them.
+const (
+	// DefaultAdaptiveTarget is the per-cycle assembly-latency goal when
+	// neither TargetLatency nor a BuildBudget to derive it from is set.
+	DefaultAdaptiveTarget = 20 * time.Millisecond
+	// DefaultTargetFraction of Limits.BuildBudget becomes the latency
+	// target when TargetLatency is zero, leaving headroom so shedding
+	// engages before cycles start degrading.
+	DefaultTargetFraction = 0.5
+	// DefaultAdaptivePending seeds MaxPending for drivers that enable the
+	// controller without a configured cap.
+	DefaultAdaptivePending = 256
+	// DefaultAdaptiveUplinkRate (queries/sec per connection) seeds the
+	// uplink rate for drivers that enable the controller without one.
+	DefaultAdaptiveUplinkRate = 128
+)
+
+const (
+	defaultAdaptiveAlpha  = 0.3
+	defaultDecreaseFactor = 0.5
+	defaultHoldCycles     = 8
+	defaultRecoverCycles  = 12
+	defaultDegradedStreak = 3
+	// Auto-picked churn thresholds stay inside [minAutoChurn, maxAutoChurn]
+	// so one skewed measurement can neither pin the engine to full rebuilds
+	// nor to delta paths.
+	minAutoChurn = 0.05
+	maxAutoChurn = 0.95
+)
+
+// AdaptiveConfig parameterises NewAdaptiveLimiter. Only the seeds need
+// thought; every control parameter has a sensible default.
+type AdaptiveConfig struct {
+	// Limits seeds MaxPending and, through BuildBudget, the default latency
+	// target. A zero MaxPending leaves pending-cap tuning off (no cap).
+	Limits Limits
+	// UplinkRate seeds the per-connection uplink rate (queries/sec). Zero
+	// leaves rate tuning off.
+	UplinkRate float64
+	// PruneChurn seeds the incremental-prune fallback threshold. Zero
+	// selects core.DefaultPruneChurn; negative disables the incremental
+	// path and its tuning, mirroring Config.PruneChurn.
+	PruneChurn float64
+	// ScheduleChurn seeds the incremental-scheduling fallback threshold.
+	// Zero selects schedule.DefaultScheduleChurn; negative disables.
+	ScheduleChurn float64
+	// TargetLatency is the per-cycle assembly-latency goal. Zero derives
+	// TargetFraction×Limits.BuildBudget, or DefaultAdaptiveTarget when no
+	// budget is set.
+	TargetLatency time.Duration
+	// TargetFraction overrides DefaultTargetFraction for the derivation
+	// above. Ignored when TargetLatency is set.
+	TargetFraction float64
+	// Alpha is the EWMA smoothing factor for all estimators; zero selects
+	// 0.3.
+	Alpha float64
+	// DecreaseFactor is the multiplicative shed factor in (0, 1); zero
+	// selects 0.5.
+	DecreaseFactor float64
+	// PendingStep and RateStep are the additive growth increments; zero
+	// selects seed/64 (min 1) and seed/16 respectively.
+	PendingStep int
+	RateStep    float64
+	// PendingFloor/PendingCeil bound MaxPending; zero selects min(8, seed)
+	// and max(4096, 16×seed). RateFloor/RateCeil bound UplinkRate; zero
+	// selects seed/64 (min 1) and 16×seed.
+	PendingFloor, PendingCeil int
+	RateFloor, RateCeil       float64
+	// HoldCycles is the hysteresis window after a shed during which neither
+	// further soft sheds nor growth happen; zero selects 8.
+	HoldCycles int
+	// RecoverCycles is the consecutive-good-cycle streak required to report
+	// Healthy again; zero selects 12.
+	RecoverCycles int
+	// DegradedStreak is the consecutive degraded-cycle count that flips
+	// health from Shedding to Degraded; zero selects 3.
+	DegradedStreak int
+	// Clock drives the controller's inter-cycle latency estimate. Nil
+	// selects the wall clock; tests inject control.Fake.
+	Clock control.Clock
+}
+
+// AdaptiveState is a point-in-time snapshot of the controller, exported
+// through Metrics.Adaptive.
+type AdaptiveState struct {
+	// Health is the three-state load signal.
+	Health Health
+	// Target is the assembly-latency goal the loop steers towards.
+	Target time.Duration
+	// MaxPending and UplinkRate are the live limit values (0 = untuned).
+	MaxPending int
+	UplinkRate float64
+	// PruneChurn and ScheduleChurn are the live fallback thresholds.
+	PruneChurn, ScheduleChurn float64
+	// AssemblyLatency is the EWMA of per-cycle stage wall time (schedule +
+	// build + encode); CycleLatency the EWMA of observed spacing between
+	// assembled cycles, which prices FrameReject retry-after hints.
+	AssemblyLatency, CycleLatency time.Duration
+	// Sheds counts multiplicative-decrease decisions; Grows counts
+	// additive increases that actually moved a limit.
+	Sheds, Grows int64
+}
+
+// AdaptiveLimiter closes the loop between the engine's Probe telemetry and
+// its admission limits: additive-increase/multiplicative-decrease (AIMD)
+// with hysteresis over MaxPending and the uplink rate, steering the
+// per-cycle assembly latency towards a target fraction of BuildBudget, plus
+// measurement-driven auto-picking of the incremental-vs-full churn
+// thresholds. It implements Probe; wire it via Config.Adaptive and it sees
+// every pipeline event. All methods are safe for concurrent use.
+//
+// Enforcement split: the controller only computes limits. Drivers enforce
+// MaxPending/UplinkRate at admission time (netcast's submit path); the
+// engine itself stops hard-rejecting oversized pending sets when a
+// controller is wired, so work that was already admitted always assembles
+// even right after a shed.
+type AdaptiveLimiter struct {
+	mu    sync.Mutex
+	clock control.Clock
+
+	target       time.Duration
+	factor       float64
+	stepPending  int
+	stepRate     float64
+	pendingFloor int
+	pendingCeil  int
+	rateFloor    float64
+	rateCeil     float64
+	hold         int
+	recoverAfter int
+	degStreakMax int
+
+	// Live limit values.
+	maxPending           int
+	uplinkRate           float64
+	pruneChurn           float64
+	schedChurn           float64
+	tunePrune, tuneSched bool
+	health               Health
+
+	// Per-cycle accumulation between CycleDone events.
+	cycleWall     time.Duration
+	sawDegraded   bool
+	pendingDepth  int
+	lastSchedKind string
+	lastPruneKind string
+
+	// Estimators.
+	assembly       control.EWMA // per-cycle assembly wall
+	interCycle     control.EWMA // spacing between CycleDone events
+	setSize        control.EWMA // pending-set depth at schedule time
+	schedFull      control.EWMA // full-rebuild schedule stage wall
+	schedPerChange control.EWMA // per-request delta-schedule cost
+	pruneFull      control.EWMA // full-prune build stage wall
+	prunePerChange control.EWMA // per-query delta-prune cost
+	lastCycleAt    time.Time
+
+	holdLeft      int
+	healthyStreak int
+	degStreak     int
+	sheds, grows  int64
+}
+
+// NewAdaptiveLimiter builds a controller from seeds and defaults; see
+// AdaptiveConfig.
+func NewAdaptiveLimiter(cfg AdaptiveConfig) *AdaptiveLimiter {
+	target := cfg.TargetLatency
+	if target <= 0 {
+		if cfg.Limits.BuildBudget > 0 {
+			frac := cfg.TargetFraction
+			if frac <= 0 || frac >= 1 {
+				frac = DefaultTargetFraction
+			}
+			target = time.Duration(frac * float64(cfg.Limits.BuildBudget))
+		}
+		if target <= 0 {
+			target = DefaultAdaptiveTarget
+		}
+	}
+	alpha := cfg.Alpha
+	factor := cfg.DecreaseFactor
+	if factor <= 0 || factor >= 1 {
+		factor = defaultDecreaseFactor
+	}
+	a := &AdaptiveLimiter{
+		clock:        control.Or(cfg.Clock),
+		target:       target,
+		factor:       factor,
+		hold:         cfg.HoldCycles,
+		recoverAfter: cfg.RecoverCycles,
+		degStreakMax: cfg.DegradedStreak,
+		maxPending:   cfg.Limits.MaxPending,
+		uplinkRate:   cfg.UplinkRate,
+		health:       Healthy,
+
+		assembly:       control.NewEWMA(alpha),
+		interCycle:     control.NewEWMA(alpha),
+		setSize:        control.NewEWMA(alpha),
+		schedFull:      control.NewEWMA(alpha),
+		schedPerChange: control.NewEWMA(alpha),
+		pruneFull:      control.NewEWMA(alpha),
+		prunePerChange: control.NewEWMA(alpha),
+	}
+	if a.hold <= 0 {
+		a.hold = defaultHoldCycles
+	}
+	if a.recoverAfter <= 0 {
+		a.recoverAfter = defaultRecoverCycles
+	}
+	if a.degStreakMax <= 0 {
+		a.degStreakMax = defaultDegradedStreak
+	}
+	if a.maxPending > 0 {
+		a.stepPending = cfg.PendingStep
+		if a.stepPending <= 0 {
+			a.stepPending = max(1, a.maxPending/64)
+		}
+		a.pendingFloor = cfg.PendingFloor
+		if a.pendingFloor <= 0 {
+			a.pendingFloor = max(1, min(8, a.maxPending))
+		}
+		a.pendingCeil = cfg.PendingCeil
+		if a.pendingCeil <= 0 {
+			a.pendingCeil = max(4096, 16*a.maxPending)
+		}
+	}
+	if a.uplinkRate > 0 {
+		a.stepRate = cfg.RateStep
+		if a.stepRate <= 0 {
+			a.stepRate = a.uplinkRate / 16
+		}
+		a.rateFloor = cfg.RateFloor
+		if a.rateFloor <= 0 {
+			a.rateFloor = max(1, a.uplinkRate/64)
+		}
+		a.rateCeil = cfg.RateCeil
+		if a.rateCeil <= 0 {
+			a.rateCeil = 16 * a.uplinkRate
+		}
+	}
+	a.pruneChurn = cfg.PruneChurn
+	if a.pruneChurn == 0 {
+		a.pruneChurn = core.DefaultPruneChurn
+	}
+	a.tunePrune = a.pruneChurn > 0
+	a.schedChurn = cfg.ScheduleChurn
+	if a.schedChurn == 0 {
+		a.schedChurn = schedule.DefaultScheduleChurn
+	}
+	a.tuneSched = a.schedChurn > 0
+	return a
+}
+
+// MaxPending is the live pending-set cap drivers enforce at admission (0 =
+// uncapped).
+func (a *AdaptiveLimiter) MaxPending() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.maxPending
+}
+
+// UplinkRate is the live per-connection uplink rate in queries/sec (0 =
+// unlimited).
+func (a *AdaptiveLimiter) UplinkRate() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.uplinkRate
+}
+
+// PruneChurn is the live incremental-prune fallback threshold (negative =
+// incremental maintenance disabled).
+func (a *AdaptiveLimiter) PruneChurn() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pruneChurn
+}
+
+// ScheduleChurn is the live incremental-scheduling fallback threshold
+// (negative = disabled).
+func (a *AdaptiveLimiter) ScheduleChurn() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.schedChurn
+}
+
+// Health is the current three-state load signal.
+func (a *AdaptiveLimiter) Health() Health {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.health
+}
+
+// RetryAfter prices a FrameReject retry-after hint from the controller's
+// inter-cycle latency estimate: how long until the next cycle retires
+// pending work. Returns 0 before the estimate is seeded (callers fall back
+// to their static hint).
+func (a *AdaptiveLimiter) RetryAfter() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.interCycle.Seeded() {
+		return 0
+	}
+	d := a.interCycle.Duration()
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// State snapshots the controller.
+func (a *AdaptiveLimiter) State() AdaptiveState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdaptiveState{
+		Health:          a.health,
+		Target:          a.target,
+		MaxPending:      a.maxPending,
+		UplinkRate:      a.uplinkRate,
+		PruneChurn:      a.pruneChurn,
+		ScheduleChurn:   a.schedChurn,
+		AssemblyLatency: a.assembly.Duration(),
+		CycleLatency:    a.interCycle.Duration(),
+		Sheds:           a.sheds,
+		Grows:           a.grows,
+	}
+}
+
+// StageDone implements Probe: accumulate this cycle's assembly wall and feed
+// the incremental-vs-full cost estimators. StageResolve is excluded — it is
+// driven by uplink concurrency, not the cycle loop.
+func (a *AdaptiveLimiter) StageDone(stage string, wall time.Duration, in, out int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch stage {
+	case StageSchedule:
+		a.cycleWall += wall
+		a.pendingDepth = in
+		a.setSize.Observe(float64(in))
+		// ScheduleDone fires before StageDone(StageSchedule), so the kind
+		// attributes this stage's wall.
+		if a.lastSchedKind == ScheduleFull {
+			a.schedFull.ObserveDuration(wall)
+		}
+		a.lastSchedKind = ""
+	case StageScheduleDelta:
+		if in > 0 {
+			a.schedPerChange.Observe(float64(wall) / float64(in))
+		}
+	case StageBuild:
+		a.cycleWall += wall
+		if a.lastPruneKind == PruneFull || a.lastPruneKind == PruneFallback {
+			a.pruneFull.ObserveDuration(wall)
+		}
+		a.lastPruneKind = ""
+	case StagePruneDelta:
+		if in > 0 {
+			a.prunePerChange.Observe(float64(wall) / float64(in))
+		}
+	case StageEncode:
+		// Encode runs after the cycle's CycleDone, so its wall lands in the
+		// next control step — a one-cycle smear the EWMA absorbs.
+		a.cycleWall += wall
+	}
+}
+
+// CacheAccess implements Probe.
+func (a *AdaptiveLimiter) CacheAccess(bool) {}
+
+// CacheInvalidated implements Probe.
+func (a *AdaptiveLimiter) CacheInvalidated() {}
+
+// CacheEvicted implements Probe.
+func (a *AdaptiveLimiter) CacheEvicted(string, int) {}
+
+// PruneDone implements Probe.
+func (a *AdaptiveLimiter) PruneDone(kind string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.lastPruneKind = kind
+}
+
+// ScheduleDone implements Probe.
+func (a *AdaptiveLimiter) ScheduleDone(kind string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.lastSchedKind = kind
+}
+
+// CycleDegraded implements Probe.
+func (a *AdaptiveLimiter) CycleDegraded() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sawDegraded = true
+}
+
+// CycleDone implements Probe and runs one control step:
+//
+//   - a degraded cycle always sheds multiplicatively (hard signal);
+//   - assembly latency over target sheds too, but at most once per
+//     HoldCycles window (soft signal with hysteresis), so the EWMA's memory
+//     of a burst cannot cascade limits to the floor;
+//   - latency under target with the hold window drained grows additively;
+//   - health transitions Shedding→Degraded on a degraded streak and back to
+//     Healthy after RecoverCycles consecutive good cycles.
+func (a *AdaptiveLimiter) CycleDone() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.clock.Now()
+	if !a.lastCycleAt.IsZero() {
+		a.interCycle.ObserveDuration(now.Sub(a.lastCycleAt))
+	}
+	a.lastCycleAt = now
+
+	inst := a.cycleWall
+	a.cycleWall = 0
+	lat := a.assembly.ObserveDuration(inst)
+	deg := a.sawDegraded
+	a.sawDegraded = false
+	if deg {
+		a.degStreak++
+	} else {
+		a.degStreak = 0
+	}
+
+	over := inst > a.target || lat > a.target
+	switch {
+	case deg || (over && a.holdLeft == 0):
+		a.shed()
+		a.holdLeft = a.hold
+		a.healthyStreak = 0
+		if a.degStreak >= a.degStreakMax {
+			a.health = Degraded
+		} else {
+			a.health = Shedding
+		}
+	case over:
+		// Over target inside the hold window: let the last shed take
+		// effect before cutting again.
+		a.holdLeft--
+		a.healthyStreak = 0
+	default:
+		if a.holdLeft > 0 {
+			a.holdLeft--
+		} else {
+			a.grow()
+		}
+		a.healthyStreak++
+		if a.health != Healthy && a.healthyStreak >= a.recoverAfter {
+			a.health = Healthy
+		}
+	}
+	a.retuneChurn()
+}
+
+// shed applies one multiplicative decrease. Called with a.mu held.
+func (a *AdaptiveLimiter) shed() {
+	a.sheds++
+	if a.maxPending > 0 {
+		a.maxPending = max(a.pendingFloor, int(float64(a.maxPending)*a.factor))
+	}
+	if a.uplinkRate > 0 {
+		a.uplinkRate = max(a.rateFloor, a.uplinkRate*a.factor)
+	}
+}
+
+// grow applies one additive increase, counting it only when a limit
+// actually moved. Called with a.mu held.
+func (a *AdaptiveLimiter) grow() {
+	moved := false
+	if a.maxPending > 0 && a.maxPending < a.pendingCeil {
+		a.maxPending = min(a.pendingCeil, a.maxPending+a.stepPending)
+		moved = true
+	}
+	if a.uplinkRate > 0 && a.uplinkRate < a.rateCeil {
+		a.uplinkRate = min(a.rateCeil, a.uplinkRate+a.stepRate)
+		moved = true
+	}
+	if moved {
+		a.grows++
+	}
+}
+
+// retuneChurn picks the incremental-vs-full fallback thresholds from
+// measured costs: a delta path is worth taking while
+// churn × setSize × perChangeCost < fullCost, so the breakeven churn is
+// fullCost / (perChangeCost × setSize), clamped to [0.05, 0.95]. The
+// pending-set depth stands in for the query-set size on the prune side — a
+// proxy, but the two scale together under both drivers. Called with a.mu
+// held.
+func (a *AdaptiveLimiter) retuneChurn() {
+	set := a.setSize.Value()
+	if set < 1 {
+		return
+	}
+	if a.tuneSched && a.schedFull.Seeded() && a.schedPerChange.Seeded() && a.schedPerChange.Value() > 0 {
+		a.schedChurn = clampChurn(a.schedFull.Value() / (a.schedPerChange.Value() * set))
+	}
+	if a.tunePrune && a.pruneFull.Seeded() && a.prunePerChange.Seeded() && a.prunePerChange.Value() > 0 {
+		a.pruneChurn = clampChurn(a.pruneFull.Value() / (a.prunePerChange.Value() * set))
+	}
+}
+
+func clampChurn(x float64) float64 {
+	if x < minAutoChurn {
+		return minAutoChurn
+	}
+	if x > maxAutoChurn {
+		return maxAutoChurn
+	}
+	return x
+}

@@ -67,6 +67,14 @@ type Config struct {
 	// negative value disables incremental scheduling entirely, planning
 	// every cycle from the pending slice alone.
 	ScheduleChurn float64
+	// Adaptive wires a self-tuning admission controller into the probe
+	// stream. When set, the controller's live values supersede the static
+	// PruneChurn/ScheduleChurn each cycle, Metrics carries its health and
+	// state, and AssembleCycle stops hard-rejecting on Limits.MaxPending —
+	// the driver enforces the controller's cap at admission time instead,
+	// so already-admitted work still assembles right after a shed.
+	// Optional.
+	Adaptive *AdaptiveLimiter
 }
 
 // Pending is one outstanding request as the scheduler sees it: the query (for
@@ -127,6 +135,7 @@ type Engine struct {
 	limits    Limits
 	probe     probes
 	collector *Collector
+	adaptive  *AdaptiveLimiter // nil without Config.Adaptive
 
 	// mu serialises builder access (the Builder is not concurrent-safe) and
 	// guards the caches; epoch invalidates in-flight resolutions racing a
@@ -188,6 +197,7 @@ func New(cfg Config) (*Engine, error) {
 		capacity:   cfg.CycleCapacity,
 		workers:    cfg.Workers,
 		limits:     cfg.Limits,
+		adaptive:   cfg.Adaptive,
 		pruneChurn: cfg.PruneChurn,
 		schedChurn: schedChurn,
 		collector:  NewCollector(),
@@ -201,6 +211,9 @@ func New(cfg Config) (*Engine, error) {
 	e.probe = probes{e.collector}
 	if cfg.Probe != nil {
 		e.probe = append(e.probe, cfg.Probe)
+	}
+	if e.adaptive != nil {
+		e.probe = append(e.probe, e.adaptive)
 	}
 	e.segPool.New = func() any { b := make([]byte, 0, 4096); return &b }
 	return e, nil
@@ -224,8 +237,17 @@ func (e *Engine) NumDocs() int {
 	return e.builder.NumDocs()
 }
 
-// Metrics snapshots the engine's accumulated telemetry.
-func (e *Engine) Metrics() Metrics { return e.collector.Metrics() }
+// Metrics snapshots the engine's accumulated telemetry, including the
+// adaptive controller's health and state when one is wired.
+func (e *Engine) Metrics() Metrics {
+	m := e.collector.Metrics()
+	if e.adaptive != nil {
+		st := e.adaptive.State()
+		m.Health = st.Health
+		m.Adaptive = &st
+	}
+	return m
+}
 
 // Resolve answers one query: the sorted IDs of matching documents. Answers
 // are memoized by canonical query string until the collection changes, so
@@ -330,7 +352,11 @@ func (e *Engine) AssembleCycleAt(number, start, schedNow int64, pending []Pendin
 	if len(pending) == 0 {
 		return nil, fmt.Errorf("engine: AssembleCycle with no pending requests")
 	}
-	if e.limits.MaxPending > 0 && len(pending) > e.limits.MaxPending {
+	// With an adaptive controller the cap is the driver's to enforce at
+	// admission time; assembly never refuses a pending set it already
+	// admitted (a post-shed cap below the admitted depth would otherwise
+	// kill the cycle loop).
+	if e.adaptive == nil && e.limits.MaxPending > 0 && len(pending) > e.limits.MaxPending {
 		return nil, fmt.Errorf("engine: %d pending requests exceed MaxPending %d: %w",
 			len(pending), e.limits.MaxPending, ErrOverload)
 	}
@@ -411,7 +437,11 @@ func (e *Engine) planCycle(reqs []schedule.Request, size func(xmldoc.DocID) int,
 	e.changeIdx = changed
 	removed := x.Len() - matched
 	churn := len(changed) + removed
-	if x.Len() == 0 || float64(churn) > e.schedChurn*float64(len(reqs)+removed) {
+	schedChurn := e.schedChurn
+	if e.adaptive != nil {
+		schedChurn = e.adaptive.ScheduleChurn()
+	}
+	if x.Len() == 0 || float64(churn) > schedChurn*float64(len(reqs)+removed) {
 		x.Rebuild(reqs, size, e.workers)
 		x.TakeEdits()
 		e.probe.ScheduleDone(ScheduleFull)
@@ -451,8 +481,16 @@ func (e *Engine) planCycle(reqs []schedule.Request, size func(xmldoc.DocID) int,
 // view) and returns the unpruned CI with degraded = true. Called with e.mu
 // held.
 func (e *Engine) pruneWithBudget(ci *core.Index, queries []xpath.Path) (*core.Index, bool, error) {
-	if e.pruneChurn >= 0 && e.view == nil {
-		e.view = core.NewPrunedView(e.pruneChurn)
+	pruneChurn := e.pruneChurn
+	if e.adaptive != nil {
+		pruneChurn = e.adaptive.PruneChurn()
+	}
+	if pruneChurn >= 0 {
+		if e.view == nil {
+			e.view = core.NewPrunedView(pruneChurn)
+		} else if e.adaptive != nil {
+			e.view.SetChurn(pruneChurn)
+		}
 	}
 	view := e.view // nil when incremental maintenance is disabled
 	if e.limits.BuildBudget <= 0 {

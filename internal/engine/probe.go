@@ -172,6 +172,12 @@ type Metrics struct {
 	// from-scratch demand aggregation (cold start, churn fallback, or
 	// incremental scheduling disabled).
 	IncrementalSchedules, FullSchedules int64
+	// Health is the adaptive admission controller's three-state load
+	// signal; empty when no controller is wired (see Config.Adaptive).
+	Health Health
+	// Adaptive snapshots the controller's live limits and estimators; nil
+	// when no controller is wired.
+	Adaptive *AdaptiveState
 }
 
 // CacheHitRate is the fraction of answer-cache lookups that hit, or 0 when
@@ -203,6 +209,14 @@ func (m Metrics) String() string {
 	}
 	if m.IncrementalSchedules > 0 || m.FullSchedules > 0 {
 		fmt.Fprintf(&b, " scheds=%d incr/%d full", m.IncrementalSchedules, m.FullSchedules)
+	}
+	if m.Health != "" {
+		fmt.Fprintf(&b, " health=%s", m.Health)
+	}
+	if a := m.Adaptive; a != nil {
+		fmt.Fprintf(&b, " adaptive{pend=%d rate=%.3g churn=%.2f/%.2f lat=%s sheds=%d grows=%d}",
+			a.MaxPending, a.UplinkRate, a.PruneChurn, a.ScheduleChurn,
+			a.AssemblyLatency.Round(time.Microsecond), a.Sheds, a.Grows)
 	}
 	names := make([]string, 0, len(m.Stages))
 	for name := range m.Stages {

@@ -131,14 +131,16 @@ func AblationAccounting(cfg Config) (*stats.Table, error) {
 		var tt [2]float64
 		for i, mode := range []broadcast.Mode{broadcast.OneTierMode, broadcast.TwoTierMode} {
 			res, err := sim.Run(sim.Config{
-				Collection:    coll,
-				Model:         cfg.Model,
-				Mode:          mode,
-				Scheduler:     sched,
-				CycleCapacity: cfg.CycleCapacity,
-				Requests:      cfg.requests(queries),
-				WholeTierRead: whole,
-				Limits:        cfg.Limits,
+				Collection:     coll,
+				Model:          cfg.Model,
+				Mode:           mode,
+				Scheduler:      sched,
+				CycleCapacity:  cfg.CycleCapacity,
+				Requests:       cfg.requests(queries),
+				WholeTierRead:  whole,
+				Limits:         cfg.Limits,
+				Adaptive:       cfg.Adaptive,
+				AdaptiveTarget: cfg.AdaptiveTarget,
 			})
 			if err != nil {
 				return nil, err

@@ -8,6 +8,7 @@ package exp
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dtd"
@@ -82,6 +83,14 @@ type Config struct {
 	// simulation this config drives (see engine.Limits). The zero value
 	// imposes no limits.
 	Limits engine.Limits
+	// Adaptive enables the self-tuning admission controller in every
+	// simulation this config drives (see sim.Config.Adaptive). Off by
+	// default; the engine benchmark harness always runs with the
+	// controller off so bench baselines stay comparable.
+	Adaptive bool
+	// AdaptiveTarget is the controller's per-cycle assembly-latency goal;
+	// zero selects the default derivation. Ignored unless Adaptive.
+	AdaptiveTarget time.Duration
 }
 
 // Default returns the reconstructed Table 2 setup.

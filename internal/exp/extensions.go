@@ -44,13 +44,15 @@ func QuerySkew(cfg Config, skews []float64) (*stats.Table, error) {
 		var results [2]*sim.Result
 		for i, mode := range []broadcast.Mode{broadcast.OneTierMode, broadcast.TwoTierMode} {
 			results[i], err = sim.Run(sim.Config{
-				Collection:    coll,
-				Model:         cfg.Model,
-				Mode:          mode,
-				Scheduler:     sched,
-				CycleCapacity: cfg.CycleCapacity,
-				Requests:      reqs,
-				Limits:        cfg.Limits,
+				Collection:     coll,
+				Model:          cfg.Model,
+				Mode:           mode,
+				Scheduler:      sched,
+				CycleCapacity:  cfg.CycleCapacity,
+				Requests:       reqs,
+				Limits:         cfg.Limits,
+				Adaptive:       cfg.Adaptive,
+				AdaptiveTarget: cfg.AdaptiveTarget,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("exp: skew %v: %w", s, err)
@@ -93,15 +95,17 @@ func ChannelLoss(cfg Config, probs []float64) (*stats.Table, error) {
 		var tt, access [2]float64
 		for i, mode := range []broadcast.Mode{broadcast.OneTierMode, broadcast.TwoTierMode} {
 			res, err := sim.Run(sim.Config{
-				Collection:    coll,
-				Model:         cfg.Model,
-				Mode:          mode,
-				Scheduler:     sched,
-				CycleCapacity: cfg.CycleCapacity,
-				Requests:      cfg.requests(queries),
-				LossProb:      p,
-				LossSeed:      cfg.QuerySeed + 13,
-				Limits:        cfg.Limits,
+				Collection:     coll,
+				Model:          cfg.Model,
+				Mode:           mode,
+				Scheduler:      sched,
+				CycleCapacity:  cfg.CycleCapacity,
+				Requests:       cfg.requests(queries),
+				LossProb:       p,
+				LossSeed:       cfg.QuerySeed + 13,
+				Limits:         cfg.Limits,
+				Adaptive:       cfg.Adaptive,
+				AdaptiveTarget: cfg.AdaptiveTarget,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("exp: loss %v: %w", p, err)
@@ -156,13 +160,15 @@ func ArrivalPattern(cfg Config) (*stats.Table, error) {
 		var tt, access [2]float64
 		for i, mode := range []broadcast.Mode{broadcast.OneTierMode, broadcast.TwoTierMode} {
 			res, err := sim.Run(sim.Config{
-				Collection:    coll,
-				Model:         cfg.Model,
-				Mode:          mode,
-				Scheduler:     sched,
-				CycleCapacity: cfg.CycleCapacity,
-				Requests:      reqs,
-				Limits:        cfg.Limits,
+				Collection:     coll,
+				Model:          cfg.Model,
+				Mode:           mode,
+				Scheduler:      sched,
+				CycleCapacity:  cfg.CycleCapacity,
+				Requests:       reqs,
+				Limits:         cfg.Limits,
+				Adaptive:       cfg.Adaptive,
+				AdaptiveTarget: cfg.AdaptiveTarget,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("exp: arrivals %s: %w", pat.name, err)

@@ -23,13 +23,15 @@ func (c Config) modeRun(mode broadcast.Mode, nq int, p float64, dq int) (*sim.Re
 		return nil, err
 	}
 	return sim.Run(sim.Config{
-		Collection:    coll,
-		Model:         c.Model,
-		Mode:          mode,
-		Scheduler:     sched,
-		CycleCapacity: c.CycleCapacity,
-		Requests:      c.requests(queries),
-		Limits:        c.Limits,
+		Collection:     coll,
+		Model:          c.Model,
+		Mode:           mode,
+		Scheduler:      sched,
+		CycleCapacity:  c.CycleCapacity,
+		Requests:       c.requests(queries),
+		Limits:         c.Limits,
+		Adaptive:       c.Adaptive,
+		AdaptiveTarget: c.AdaptiveTarget,
 	})
 }
 

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/wire"
@@ -93,6 +94,12 @@ type Client struct {
 	// failing instead of hanging on a stalled server. Zero disables the
 	// deadline. Dial sets it to 10 s.
 	AckTimeout time.Duration
+
+	// Clock supplies the waits between admission-control retries
+	// (SubmitRetry and resubmit backoff). Nil selects the wall clock;
+	// tests inject control.Fake so backoff runs deterministically without
+	// wall-clock sleeps.
+	Clock control.Clock
 
 	// coveredFrom is the first cycle number whose index covers the last
 	// submitted query (from the server's ack); earlier cycles' indexes are
@@ -191,7 +198,7 @@ func (c *Client) SubmitRetry(ctx context.Context, q xpath.Path) error {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(backoffWait(rej.RetryAfter)):
+		case <-control.Or(c.Clock).After(backoffWait(rej.RetryAfter)):
 		}
 	}
 }
@@ -472,7 +479,7 @@ func (c *Client) resubmit(q xpath.Path) {
 	// would only add connection churn to an overloaded server).
 	var rej *RejectedError
 	if errors.As(err, &rej) {
-		time.Sleep(backoffWait(rej.RetryAfter))
+		<-control.Or(c.Clock).After(backoffWait(rej.RetryAfter))
 		_ = c.Submit(q)
 		return
 	}

@@ -1,0 +1,136 @@
+package netcast
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/xpath"
+)
+
+// The token bucket is pure arithmetic over a supplied clock, so its behaviour
+// is exactly computable: 2 tokens/s with burst 1 grants the burst token, then
+// demands a 500ms wait per query.
+func TestTokenBucketDeterministic(t *testing.T) {
+	clk := control.NewFake(time.Unix(0, 0))
+	b := newTokenBucket(2, 1, clk.Now())
+
+	if wait := b.take(clk.Now()); wait != 0 {
+		t.Fatalf("burst token refused: wait = %v", wait)
+	}
+	if wait := b.take(clk.Now()); wait != 500*time.Millisecond {
+		t.Fatalf("empty bucket: wait = %v, want 500ms", wait)
+	}
+	clk.Advance(500 * time.Millisecond)
+	if wait := b.take(clk.Now()); wait != 0 {
+		t.Fatalf("refilled token refused: wait = %v", wait)
+	}
+	clk.Advance(250 * time.Millisecond)
+	if wait := b.take(clk.Now()); wait != 250*time.Millisecond {
+		t.Fatalf("half-refilled bucket: wait = %v, want 250ms", wait)
+	}
+
+	// Idle time accrues at most the burst capacity.
+	clk.Advance(time.Hour)
+	if wait := b.take(clk.Now()); wait != 0 {
+		t.Fatalf("token after idle refused: wait = %v", wait)
+	}
+	if wait := b.take(clk.Now()); wait != 500*time.Millisecond {
+		t.Fatalf("burst not clamped after idle: wait = %v, want 500ms", wait)
+	}
+}
+
+// waitForWaiter polls until a goroutine blocks on the fake clock's After.
+func waitForWaiter(t *testing.T, clk *control.Fake) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for clk.Waiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no goroutine ever blocked on the injected clock")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// SubmitRetry's backoff waits must run on the injected clock: against a stub
+// server that rejects twice before admitting, the retry loop blocks on the
+// fake clock (observable via Waiters) and completes only as the test advances
+// it — no wall-clock sleeps.
+func TestSubmitRetryBackoffOnInjectedClock(t *testing.T) {
+	upLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer upLn.Close()
+	bcLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bcLn.Close()
+	go func() {
+		// Broadcast side: hold the connection open, send nothing.
+		conn, err := bcLn.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		<-make(chan struct{})
+	}()
+
+	const rejects = 2
+	go func() {
+		conn, err := upLn.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for i := 0; ; i++ {
+			if _, _, err := readFrame(conn); err != nil {
+				return
+			}
+			if i < rejects {
+				_ = writeFrame(conn, FrameReject, encodeReject(100*time.Millisecond, "busy"))
+			} else {
+				_ = writeFrame(conn, FrameAck, []byte("ok:1"))
+				return
+			}
+		}
+	}()
+
+	cl, err := Dial(upLn.Addr().String(), bcLn.Addr().String(), core.SizeModel{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	clk := control.NewFake(time.Unix(0, 0))
+	cl.Clock = clk
+
+	done := make(chan error, 1)
+	go func() {
+		done <- cl.SubmitRetry(context.Background(), xpath.MustParse("/nitf"))
+	}()
+	for i := 0; i < rejects; i++ {
+		select {
+		case err := <-done:
+			t.Fatalf("SubmitRetry returned after %d rejections without waiting: %v", i, err)
+		default:
+		}
+		waitForWaiter(t, clk)
+		// The 100ms hint gains at most 50% jitter; 200ms always covers it.
+		clk.Advance(200 * time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SubmitRetry: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SubmitRetry did not complete after the final admit")
+	}
+	if got := cl.CoveredFrom(); got != 1 {
+		t.Errorf("CoveredFrom = %d, want 1 from the stub ack", got)
+	}
+}

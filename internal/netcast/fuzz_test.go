@@ -83,6 +83,13 @@ func FuzzDecodeReject(f *testing.F) {
 	f.Add(encodeReject(0, ""))
 	f.Add(encodeReject(time.Second, "rate limited"))
 	f.Add(encodeReject(2*time.Hour, "pending set full")) // encoder clamps to maxRetryAfter
+	// Controller-priced hints: the adaptive limiter emits its measured
+	// inter-cycle latency, so odd sub-second durations (truncated to wire
+	// milliseconds), its 1ms floor, and sub-ms values that truncate to 0
+	// all cross the wire.
+	f.Add(encodeReject(time.Millisecond, "pending set full"))
+	f.Add(encodeReject(500*time.Microsecond, "pending set full"))
+	f.Add(encodeReject(20*time.Millisecond+617*time.Microsecond, "pending set full"))
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})                   // short of the retry-after header
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})    // max ms, no reason

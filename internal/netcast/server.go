@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/broadcast"
+	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/schedule"
@@ -75,6 +76,22 @@ type ServerConfig struct {
 	// scheduling (see engine.Config.ScheduleChurn). Schedule-path counters
 	// surface in Stats().Engine.
 	ScheduleChurn float64
+	// Adaptive replaces the static admission knobs with a self-tuning
+	// control loop (engine.AdaptiveLimiter): Limits.MaxPending, UplinkRate
+	// and the churn thresholds become seeds the controller retunes from
+	// observed cycle latency, and FrameReject retry-after hints come from
+	// its cycle-latency estimate. A zero MaxPending seeds
+	// engine.DefaultAdaptivePending; a zero UplinkRate seeds
+	// engine.DefaultAdaptiveUplinkRate. Health surfaces in Stats.
+	Adaptive bool
+	// AdaptiveTarget is the controller's per-cycle assembly-latency goal;
+	// zero derives it from Limits.BuildBudget or the default (see
+	// engine.AdaptiveConfig.TargetLatency). Ignored unless Adaptive.
+	AdaptiveTarget time.Duration
+	// Clock drives admission timing (token buckets, the controller's
+	// latency estimate). Nil selects the wall clock; tests inject
+	// control.Fake.
+	Clock control.Clock
 }
 
 // subWriteTimeout bounds each frame write to one subscriber.
@@ -83,11 +100,16 @@ const subWriteTimeout = 2 * time.Second
 // Server is a running broadcast station. Create with StartServer, stop with
 // Shutdown.
 type Server struct {
-	cfg ServerConfig
+	cfg   ServerConfig
+	clock control.Clock
 
 	// eng owns cycle assembly, the memoized query answers and the dynamic
 	// collection; it is internally synchronised.
 	eng *engine.Engine
+	// adaptive is the self-tuning admission controller; nil unless
+	// ServerConfig.Adaptive. Its live MaxPending/UplinkRate supersede the
+	// static config at every admission decision.
+	adaptive *engine.AdaptiveLimiter
 
 	upLn, bcLn net.Listener
 
@@ -125,6 +147,9 @@ type ServerStats struct {
 	// eviction and degraded-cycle counters from the shared assembly
 	// engine.
 	Engine engine.Metrics
+	// Health is the adaptive admission controller's three-state load
+	// signal; empty unless ServerConfig.Adaptive.
+	Health engine.Health
 }
 
 // subscriber is one broadcast listener: frames are queued to a buffered
@@ -189,6 +214,24 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	if cfg.SubscriberQueue <= 0 {
 		cfg.SubscriberQueue = 256
 	}
+	clock := control.Or(cfg.Clock)
+	var adaptive *engine.AdaptiveLimiter
+	if cfg.Adaptive {
+		if cfg.Limits.MaxPending <= 0 {
+			cfg.Limits.MaxPending = engine.DefaultAdaptivePending
+		}
+		if cfg.UplinkRate <= 0 {
+			cfg.UplinkRate = engine.DefaultAdaptiveUplinkRate
+		}
+		adaptive = engine.NewAdaptiveLimiter(engine.AdaptiveConfig{
+			Limits:        cfg.Limits,
+			UplinkRate:    cfg.UplinkRate,
+			PruneChurn:    cfg.PruneChurn,
+			ScheduleChurn: cfg.ScheduleChurn,
+			TargetLatency: cfg.AdaptiveTarget,
+			Clock:         clock,
+		})
+	}
 	if cfg.UplinkRate > 0 && cfg.UplinkBurst <= 0 {
 		cfg.UplinkBurst = 8
 	}
@@ -202,6 +245,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		Limits:        cfg.Limits,
 		PruneChurn:    cfg.PruneChurn,
 		ScheduleChurn: cfg.ScheduleChurn,
+		Adaptive:      adaptive,
 	})
 	if err != nil {
 		return nil, err
@@ -217,6 +261,8 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	}
 	s := &Server{
 		cfg:      cfg,
+		clock:    clock,
+		adaptive: adaptive,
 		eng:      eng,
 		upLn:     upLn,
 		bcLn:     bcLn,
@@ -270,6 +316,7 @@ func (s *Server) Stats() ServerStats {
 	}
 	s.mu.Unlock()
 	st.Engine = s.eng.Metrics()
+	st.Health = st.Engine.Health
 	return st
 }
 
@@ -329,8 +376,8 @@ type tokenBucket struct {
 	last   time.Time
 }
 
-func newTokenBucket(rate float64, burst int) *tokenBucket {
-	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
+func newTokenBucket(rate float64, burst int, now time.Time) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: now}
 }
 
 // take spends one token if available and returns 0; otherwise it returns how
@@ -364,7 +411,7 @@ func (s *Server) serveUplink(conn net.Conn) {
 	}()
 	var bucket *tokenBucket
 	if s.cfg.UplinkRate > 0 {
-		bucket = newTokenBucket(s.cfg.UplinkRate, s.cfg.UplinkBurst)
+		bucket = newTokenBucket(s.cfg.UplinkRate, s.cfg.UplinkBurst, s.clock.Now())
 	}
 	for {
 		if s.cfg.UplinkIdleTimeout > 0 {
@@ -383,7 +430,12 @@ func (s *Server) serveUplink(conn net.Conn) {
 		}
 		var out outFrame
 		if bucket != nil {
-			if wait := bucket.take(time.Now()); wait > 0 {
+			if s.adaptive != nil {
+				// The controller retunes the sustained rate; the burst
+				// capacity stays as configured.
+				bucket.rate = s.adaptive.UplinkRate()
+			}
+			if wait := bucket.take(s.clock.Now()); wait > 0 {
 				s.rejectedRate.Add(1)
 				out = outFrame{FrameReject, encodeReject(wait, "rate limited")}
 			}
@@ -396,8 +448,17 @@ func (s *Server) serveUplink(conn net.Conn) {
 			case errors.Is(err, engine.ErrOverload):
 				s.rejectedPending.Add(1)
 				// The cap frees up as cycles retire requests, so the next
-				// cycle boundary is the natural retry point.
-				out = outFrame{FrameReject, encodeReject(s.cfg.CycleInterval, "pending set full")}
+				// cycle boundary is the natural retry point: the configured
+				// interval, or the controller's measured cycle latency when
+				// one is running (under load cycles retire slower than the
+				// interval promises).
+				retry := s.cfg.CycleInterval
+				if s.adaptive != nil {
+					if ra := s.adaptive.RetryAfter(); ra > 0 {
+						retry = ra
+					}
+				}
+				out = outFrame{FrameReject, encodeReject(retry, "pending set full")}
 			default:
 				out = outFrame{FrameAck, []byte("err: " + err.Error())}
 			}
@@ -439,7 +500,7 @@ func (s *Server) submit(expr string) (int64, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if max := s.cfg.Limits.MaxPending; max > 0 && len(s.pending) >= max {
+	if max := s.maxPending(); max > 0 && len(s.pending) >= max {
 		return 0, fmt.Errorf("netcast: pending set at MaxPending %d: %w", max, engine.ErrOverload)
 	}
 	s.nextID++
@@ -448,9 +509,18 @@ func (s *Server) submit(expr string) (int64, error) {
 	return s.cycles, nil
 }
 
+// maxPending is the live pending-set cap: the adaptive controller's value
+// when one is running, the static Limits.MaxPending otherwise.
+func (s *Server) maxPending() int {
+	if s.adaptive != nil {
+		return s.adaptive.MaxPending()
+	}
+	return s.cfg.Limits.MaxPending
+}
+
 // admit is the cheap pre-resolution admission check against the pending cap.
 func (s *Server) admit() error {
-	max := s.cfg.Limits.MaxPending
+	max := s.maxPending()
 	if max <= 0 {
 		return nil
 	}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/broadcast"
+	"repro/internal/engine"
+)
+
+// The simulator admits every configured request regardless of the controller,
+// and the incremental prune/schedule paths are output-identical to their full
+// counterparts — so enabling the controller retunes *when* the delta paths
+// fire but must never change what goes on air. Adaptive on and off therefore
+// produce identical client and cycle statistics.
+func TestAdaptiveRunMatchesStatic(t *testing.T) {
+	c, reqs := workload(t, 15, 30, 11)
+	run := func(adaptive bool) *Result {
+		res, err := Run(Config{
+			Collection:    c,
+			Mode:          broadcast.TwoTierMode,
+			CycleCapacity: capacityFor(c),
+			Requests:      reqs,
+			Adaptive:      adaptive,
+		})
+		if err != nil {
+			t.Fatalf("Run(adaptive=%v): %v", adaptive, err)
+		}
+		return res
+	}
+	static, tuned := run(false), run(true)
+
+	if !reflect.DeepEqual(static.Clients, tuned.Clients) {
+		t.Error("adaptive run changed client stats; the controller must be plan-neutral")
+	}
+	if !reflect.DeepEqual(static.Cycles, tuned.Cycles) {
+		t.Error("adaptive run changed cycle stats; the controller must be plan-neutral")
+	}
+
+	// The telemetry side is where they differ: only the tuned run carries
+	// controller state.
+	if static.Engine.Health != "" || static.Engine.Adaptive != nil {
+		t.Errorf("static run reports adaptive state: health=%q", static.Engine.Health)
+	}
+	if tuned.Engine.Health == "" {
+		t.Error("adaptive run reports no health")
+	}
+	if tuned.Engine.Adaptive == nil {
+		t.Fatal("adaptive run carries no controller snapshot")
+	}
+	if tuned.Engine.Adaptive.Health != tuned.Engine.Health {
+		t.Errorf("snapshot health %q != metrics health %q",
+			tuned.Engine.Adaptive.Health, tuned.Engine.Health)
+	}
+	// A light simulated workload stays under target: no shedding.
+	if got := tuned.Engine.Health; got == engine.Degraded {
+		t.Errorf("light workload drove health to %q", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/broadcast"
 	"repro/internal/core"
@@ -92,6 +93,15 @@ type Config struct {
 	// engine.Config.ScheduleChurn). Schedule-path counters surface in
 	// Result.Engine.
 	ScheduleChurn float64
+	// Adaptive wires the self-tuning admission controller into the engine
+	// (see engine.AdaptiveLimiter): churn thresholds retune from measured
+	// incremental-vs-full costs and Result.Engine carries the controller's
+	// health and state. The simulator admits every configured request
+	// regardless, so results stay workload-deterministic.
+	Adaptive bool
+	// AdaptiveTarget is the controller's per-cycle assembly-latency goal;
+	// zero selects the default derivation. Ignored unless Adaptive.
+	AdaptiveTarget time.Duration
 	// ScheduleClock selects the clock unit the scheduler sees. The default
 	// ClockBytes hands it the simulator's native byte-time; ClockCycles
 	// hands it admission cycle numbers and the current cycle number,
@@ -205,6 +215,15 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	var adaptive *engine.AdaptiveLimiter
+	if cfg.Adaptive {
+		adaptive = engine.NewAdaptiveLimiter(engine.AdaptiveConfig{
+			Limits:        cfg.Limits,
+			PruneChurn:    cfg.PruneChurn,
+			ScheduleChurn: cfg.ScheduleChurn,
+			TargetLatency: cfg.AdaptiveTarget,
+		})
+	}
 	eng, err := engine.New(engine.Config{
 		Collection:    cfg.Collection,
 		Model:         cfg.Model,
@@ -216,6 +235,7 @@ func Run(cfg Config) (*Result, error) {
 		Limits:        cfg.Limits,
 		PruneChurn:    cfg.PruneChurn,
 		ScheduleChurn: cfg.ScheduleChurn,
+		Adaptive:      adaptive,
 	})
 	if err != nil {
 		return nil, err

@@ -136,6 +136,25 @@ type (
 	// pending-set cap) and per-cycle build latency; wire it through
 	// SimulationConfig.Limits or BroadcastServerConfig.Limits.
 	EngineLimits = engine.Limits
+	// EngineHealth is the adaptive admission controller's three-state load
+	// signal (EngineHealthy, EngineShedding, EngineDegraded), carried by
+	// EngineMetrics.Health and BroadcastServerStats.Health when the
+	// controller is enabled (SimulationConfig.Adaptive or
+	// BroadcastServerConfig.Adaptive).
+	EngineHealth = engine.Health
+	// EngineAdaptiveState snapshots the controller's live limits, latency
+	// estimates and shed/grow counters (EngineMetrics.Adaptive).
+	EngineAdaptiveState = engine.AdaptiveState
+)
+
+// Adaptive controller health states.
+const (
+	// EngineHealthy: latency under target, limits opening additively.
+	EngineHealthy = engine.Healthy
+	// EngineShedding: limits recently cut and held down until recovery.
+	EngineShedding = engine.Shedding
+	// EngineDegraded: cycles blowing their build budget despite shedding.
+	EngineDegraded = engine.Degraded
 )
 
 // EngineOverload is the sentinel matched (via errors.Is) by every
