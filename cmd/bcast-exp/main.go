@@ -49,6 +49,7 @@ func run(args []string) error {
 		p          = fs.Float64("p", -1, "P: wildcard probability")
 		dq         = fs.Int("dq", 0, "D_Q: maximum query depth")
 		cap        = fs.Int("capacity", 0, "cycle document budget in bytes")
+		channels   = fs.Int("channels", 0, "parallel broadcast channels K for experiment runs (two-tier legs only; -bench-engine always measures at K=1)")
 		sched      = fs.String("scheduler", "", "scheduler: leelo, fcfs, mrf or rxw")
 		docSeed    = fs.Int64("doc-seed", 0, "document generation seed")
 		qSeed      = fs.Int64("query-seed", 0, "query generation seed")
@@ -90,6 +91,9 @@ func run(args []string) error {
 	}
 	if *cap > 0 {
 		cfg.CycleCapacity = *cap
+	}
+	if *channels > 0 {
+		cfg.Channels = *channels
 	}
 	if *sched != "" {
 		cfg.Scheduler = *sched
@@ -150,6 +154,10 @@ func run(args []string) error {
 		}
 		fmt.Printf("wrote %s (GOMAXPROCS=%d, filter speedup %.2fx, merge speedup %.2fx, prune speedup %.2fx, schedule speedup %.2fx, %d cycles)\n",
 			*benchPath, res.GOMAXPROCS, res.FilterSpeedup, res.MergeSpeedup, res.PruneSpeedup, res.ScheduleSpeedup, res.Cycles)
+		if mb := res.Multichannel; mb != nil {
+			fmt.Printf("multichannel K=%d: mean access %.0f B vs K=1 %.0f B (%.1f%% reduction, %d/%d clients eavesdropped)\n",
+				mb.Channels, mb.MeanAccessBytesK, mb.MeanAccessBytesK1, mb.AccessReductionPct, mb.EavesdropClients, mb.Clients)
+		}
 		if *benchBase != "" {
 			baseData, err := os.ReadFile(*benchBase)
 			if err != nil {

@@ -41,6 +41,7 @@ func run(args []string) error {
 		docs      = fs.Int("docs", 50, "number of generated documents")
 		capacity  = fs.Int("capacity", 100_000, "cycle document budget in bytes")
 		mode      = fs.String("mode", "two-tier", "index organisation: one-tier or two-tier")
+		channels  = fs.Int("channels", 1, "parallel broadcast channels K (two-tier only; K>1 streams protocol v3)")
 		interval  = fs.Duration("interval", 100*time.Millisecond, "cycle pacing")
 		seed      = fs.Int64("seed", 1, "random seed")
 		selfdrive = fs.Bool("selfdrive", false, "submit synthetic requests continuously")
@@ -85,6 +86,7 @@ func run(args []string) error {
 	srv, err := repro.StartBroadcastServer(repro.BroadcastServerConfig{
 		Collection:    coll,
 		Mode:          bm,
+		Channels:      *channels,
 		CycleCapacity: *capacity,
 		CycleInterval: *interval,
 		UplinkAddr:    *uplink,
@@ -123,7 +125,13 @@ func run(args []string) error {
 	}
 	fmt.Printf("serving %d documents (%d bytes) in %s mode\n", coll.Len(), coll.TotalSize(), *mode)
 	fmt.Printf("uplink    %s\n", srv.UplinkAddr())
-	fmt.Printf("broadcast %s\n", srv.BroadcastAddr())
+	if addrs := srv.ChannelAddrs(); len(addrs) > 1 {
+		for ch, a := range addrs {
+			fmt.Printf("channel %d %s\n", ch, a)
+		}
+	} else {
+		fmt.Printf("broadcast %s\n", srv.BroadcastAddr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -135,7 +143,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		cl, err := repro.DialBroadcast(srv.UplinkAddr(), srv.BroadcastAddr(), repro.SizeModel{})
+		cl, err := repro.DialBroadcastChannels(srv.UplinkAddr(), srv.ChannelAddrs(), repro.SizeModel{})
 		if err != nil {
 			return err
 		}

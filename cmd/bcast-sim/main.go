@@ -26,6 +26,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("bcast-sim", flag.ContinueOnError)
 	var (
 		mode      = fs.String("mode", "two-tier", "index organisation: one-tier or two-tier")
+		channels  = fs.Int("channels", 1, "parallel broadcast channels K at fixed aggregate bandwidth (two-tier only)")
 		schema    = fs.String("schema", "nitf", "document schema: nitf or nasa")
 		dataDir   = fs.String("data", "", "directory of .xml files to broadcast (overrides -schema/-docs)")
 		docs      = fs.Int("docs", 50, "number of generated documents")
@@ -80,6 +81,7 @@ func run(args []string) error {
 	res, err := repro.Simulate(repro.SimulationConfig{
 		Collection:     coll,
 		Mode:           bm,
+		Channels:       *channels,
 		Scheduler:      scheduler,
 		CycleCapacity:  *capacity,
 		Requests:       reqs,
@@ -90,8 +92,8 @@ func run(args []string) error {
 		return err
 	}
 
-	fmt.Printf("mode=%s schema=%s docs=%d data=%dB requests=%d scheduler=%s\n",
-		*mode, *schema, coll.Len(), coll.TotalSize(), len(reqs), *sched)
+	fmt.Printf("mode=%s schema=%s docs=%d data=%dB requests=%d scheduler=%s channels=%d\n",
+		*mode, *schema, coll.Len(), coll.TotalSize(), len(reqs), *sched, *channels)
 	fmt.Printf("cycles broadcast:        %d\n", res.NumCycles())
 	fmt.Printf("mean cycle length:       %.0f B\n", res.MeanCycleBytes())
 	fmt.Printf("mean index size (L_I):   %.0f B\n", res.MeanIndexBytes())

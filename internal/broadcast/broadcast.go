@@ -8,6 +8,18 @@
 // The head carries the label catalog, root labels and segment lengths. All
 // segment sizes are real encodable bytes (package wire), so the simulator's
 // byte clock matches what a receiver would download.
+//
+// With K > 1 channels the two tiers split across parallel streams sharing the
+// aggregate bandwidth (each channel runs at 1/K of it):
+//
+//	channel 0 (index):   [head][channel directory][first-tier index]
+//	channel 1..K-1:      [second-tier offsets][documents]   (striped)
+//
+// The channel directory tags every scheduled doc ID with its carrying channel
+// and byte offset within that channel's stream, so a single-tuner client
+// makes one short index-channel read per cycle and then hops to each data
+// channel just in time. Multichannel layout requires TwoTierMode — the
+// one-tier index embeds offsets that are only meaningful in a serial stream.
 package broadcast
 
 import (
@@ -16,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataguide"
+	"repro/internal/schedule"
 	"repro/internal/wire"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
@@ -46,13 +59,62 @@ func (m Mode) String() string {
 // DocPlacement locates one document inside a cycle's document section.
 type DocPlacement struct {
 	ID xmldoc.DocID
-	// Offset is the byte offset within the document section.
+	// Offset is the byte offset within the document section (with K > 1
+	// channels: within the carrying channel's document section).
 	Offset int
 	// Size is the document's serialised size.
 	Size int
+	// Channel is the broadcast channel carrying the document: 0 in
+	// single-channel layout, 1..K-1 (a data channel) otherwise.
+	Channel int
 }
 
-// Cycle is one fully laid-out broadcast cycle.
+// ChannelRole distinguishes the index channel from the data channels.
+type ChannelRole uint8
+
+const (
+	// IndexChannelRole carries the cycle head, channel directory and the
+	// replicated first tier.
+	IndexChannelRole ChannelRole = iota
+	// DataChannelRole carries a second-tier stripe and its documents.
+	DataChannelRole
+)
+
+// String names the role.
+func (r ChannelRole) String() string {
+	switch r {
+	case IndexChannelRole:
+		return "index"
+	case DataChannelRole:
+		return "data"
+	default:
+		return fmt.Sprintf("ChannelRole(%d)", int(r))
+	}
+}
+
+// ChannelLayout is one channel's share of a multichannel cycle.
+type ChannelLayout struct {
+	// ID is the channel index (0 = index channel).
+	ID int
+	// Role is the channel's function.
+	Role ChannelRole
+	// SecondTierBytes is the channel's second-tier stripe size (data
+	// channels only).
+	SecondTierBytes int
+	// DocBytes is the channel's document-section size (data channels only).
+	DocBytes int
+	// Bytes is the channel's total payload this cycle: head + directory +
+	// index on the index channel, second tier + documents on data channels.
+	Bytes int
+	// Docs are the documents carried by this channel, in broadcast order,
+	// with Offset relative to the channel's document section. Nil on the
+	// index channel.
+	Docs []DocPlacement
+}
+
+// Cycle is one fully laid-out broadcast cycle plus the pipeline inputs it was
+// planned from. It is the single plan type shared by the assembly engine, the
+// discrete-event simulator and the networked server.
 type Cycle struct {
 	// Number is the cycle's sequence number, starting at 0.
 	Number int64
@@ -75,34 +137,206 @@ type Cycle struct {
 	// IndexBytes is the on-air size of the packed index (L_I).
 	IndexBytes int
 	// SecondTierBytes is the size of the offset list (L_O); zero in
-	// one-tier mode.
+	// one-tier mode. With K > 1 channels it is the sum of the per-channel
+	// stripes.
 	SecondTierBytes int
-	// DocBytes is the size of the document section (L_D).
+	// DirBytes is the size of the channel directory; zero in
+	// single-channel layout.
+	DirBytes int
+	// DocBytes is the size of the document section (L_D), summed across
+	// channels when K > 1.
 	DocBytes int
 
 	// Docs are the scheduled documents in broadcast order.
 	Docs []DocPlacement
 	// Offsets maps each scheduled document to its offset in the document
-	// section.
+	// section (its channel's document section when K > 1).
 	Offsets wire.DocOffsets
+
+	// HotDocs is the index channel's replication set (multichannel cycles
+	// only): a prefix of the plan in delivery order — the most-demanded
+	// documents under the on-demand policies — appended to the channel's
+	// repetition unit, [head][directory][first tier][hot docs], and re-aired
+	// with it through the cycle's slack. Offset is the byte offset within the
+	// unit's hot section, Channel is 0. Replication is air-time only: the
+	// wire stream carries each hot document once, on its data channel, where
+	// it also airs normally.
+	HotDocs []DocPlacement
+	// HotBytes is the byte length of the repetition unit's hot section.
+	HotBytes int
+
+	// Channels is the per-channel layout; nil in single-channel cycles.
+	Channels []ChannelLayout
+
+	// Queries are the distinct pending queries, in first-seen order; the
+	// index was pruned to exactly this set (unless Degraded).
+	Queries []xpath.Path
+	// NumPending is the number of pending requests the plan drew from.
+	NumPending int
+	// Degraded reports that PCI pruning blew the build budget and the
+	// cycle carries the unpruned CI instead (a strict superset of the
+	// PCI; clients decode it unchanged).
+	Degraded bool
 }
 
-// TotalBytes is the full cycle length on air.
+// TotalBytes is the cycle's aggregate payload across all channels.
 func (c *Cycle) TotalBytes() int {
-	return c.HeadBytes + c.IndexBytes + c.SecondTierBytes + c.DocBytes
+	return c.HeadBytes + c.IndexBytes + c.DirBytes + c.SecondTierBytes + c.DocBytes
 }
 
-// IndexStart is the absolute byte-time of the index segment.
-func (c *Cycle) IndexStart() int64 { return c.Start + int64(c.HeadBytes) }
+// ChannelCount reports how many parallel channels the cycle occupies.
+func (c *Cycle) ChannelCount() int {
+	if len(c.Channels) == 0 {
+		return 1
+	}
+	return len(c.Channels)
+}
+
+// channelLead is the guard prefix of a multichannel cycle, in channel bytes:
+// data channels stay idle while the index channel airs [head][directory], so
+// every listening client holds the full placement map before the first
+// document byte airs (no placement can be missed by a returning client).
+func (c *Cycle) channelLead() int { return c.HeadBytes + c.DirBytes }
+
+// Duration is the cycle's on-air length in aggregate byte-time. Each of K
+// channels runs at 1/K of the aggregate bandwidth, so one channel byte costs
+// K byte-ticks; after the guard prefix the cycle lasts until its slowest
+// channel drains (the first tier on channel 0, the heaviest stripe
+// otherwise). Single-channel cycles last exactly TotalBytes.
+func (c *Cycle) Duration() int64 {
+	if len(c.Channels) == 0 {
+		return int64(c.TotalBytes())
+	}
+	return int64(len(c.Channels)) * int64(c.channelLead()+c.maxTail())
+}
+
+// maxTail is the heaviest channel payload past the guard prefix, in channel
+// bytes: the first tier on channel 0, or the heaviest data stripe.
+func (c *Cycle) maxTail() int {
+	t := c.IndexBytes
+	for i := 1; i < len(c.Channels); i++ {
+		if c.Channels[i].Bytes > t {
+			t = c.Channels[i].Bytes
+		}
+	}
+	return t
+}
+
+// indexUnit is the index channel's repetition unit in channel bytes:
+// [head][directory][first tier][hot docs].
+func (c *Cycle) indexUnit() int {
+	return c.channelLead() + c.IndexBytes + c.HotBytes
+}
+
+// IndexRepetitions is the number of complete copies of the index channel's
+// repetition unit — [head][directory][first tier][hot docs] — aired per
+// multichannel cycle. The cycle lasts until its slowest channel drains;
+// instead of idling through that slack, channel 0 re-airs the unit back to
+// back, so a client tuning in mid-cycle syncs at the next repetition instead
+// of waiting for the next cycle (the "fast initial probe" a dedicated index
+// channel buys) and finds the hottest documents right behind the tier. The
+// wire stream carries one copy — repetitions, like channel padding, exist
+// only in the air-time model (a reliable transport never re-sends them).
+// Single-channel cycles air the index exactly once.
+func (c *Cycle) IndexRepetitions() int {
+	if len(c.Channels) <= 1 {
+		return 1
+	}
+	unit := c.indexUnit()
+	if unit <= 0 {
+		return 1
+	}
+	if r := (c.channelLead() + c.maxTail()) / unit; r > 1 {
+		return r
+	}
+	return 1
+}
+
+// ChannelRepetitions is the number of complete copies of a channel's payload
+// unit aired per multichannel cycle. Like the index channel (whose unit is
+// [head][directory][first tier]), a data channel lighter than the cycle's
+// heaviest replays its [second-tier stripe][documents] unit back to back
+// through the slack instead of idling — the broadcast-disk effect: documents
+// striped onto a light channel repeat several times per cycle, cutting the
+// expected wait for the skewed hot set far below one cycle. Repetitions are
+// air-time only; the wire stream carries one copy per cycle.
+func (c *Cycle) ChannelRepetitions(ch int) int {
+	if len(c.Channels) <= 1 {
+		return 1
+	}
+	if ch == 0 {
+		return c.IndexRepetitions()
+	}
+	unit := c.Channels[ch].Bytes
+	if unit <= 0 {
+		return 1
+	}
+	if r := c.maxTail() / unit; r > 1 {
+		return r
+	}
+	return 1
+}
+
+// SyncAfter reports when a client tuning in at absolute byte-time t next
+// holds the channel directory and first tier: the tier's end within the
+// earliest index repetition starting at or after t (the repetition's hot
+// section airs immediately afterwards, so a synced client can catch it). ok
+// is false when no complete repetition remains in the cycle (the client must
+// wait for the next cycle head) and on single-channel cycles, whose serial
+// index has already flown past any mid-cycle joiner.
+func (c *Cycle) SyncAfter(t int64) (sync int64, ok bool) {
+	k := int64(len(c.Channels))
+	if k <= 1 {
+		return 0, false
+	}
+	unit := int64(c.indexUnit())
+	if unit <= 0 {
+		return 0, false
+	}
+	r := int64(0)
+	if t > c.Start {
+		// ceil((t-Start)/(k*unit)): first repetition starting at or after t.
+		r = (t - c.Start + k*unit - 1) / (k * unit)
+	}
+	if r >= int64(c.IndexRepetitions()) {
+		return 0, false
+	}
+	return c.Start + k*(r*unit+int64(c.channelLead()+c.IndexBytes)), true
+}
+
+// IndexStart is the absolute byte-time of the index segment. In multichannel
+// cycles the index channel carries [head][directory][first tier], so the
+// segment starts after the directory, at index-channel pace (K aggregate
+// byte-ticks per channel byte).
+func (c *Cycle) IndexStart() int64 {
+	if k := len(c.Channels); k > 1 {
+		return c.Start + int64(k*(c.HeadBytes+c.DirBytes))
+	}
+	return c.Start + int64(c.HeadBytes)
+}
+
+// DirStart is the absolute byte-time of the channel directory (multichannel
+// cycles only; it equals IndexStart otherwise, since the directory is empty).
+func (c *Cycle) DirStart() int64 {
+	if k := len(c.Channels); k > 1 {
+		return c.Start + int64(k*c.HeadBytes)
+	}
+	return c.Start + int64(c.HeadBytes)
+}
 
 // SecondTierStart is the absolute byte-time of the second-tier segment.
-func (c *Cycle) SecondTierStart() int64 { return c.IndexStart() + int64(c.IndexBytes) }
+// Meaningful in single-channel cycles only (each data channel carries its own
+// stripe at its own pace otherwise).
+func (c *Cycle) SecondTierStart() int64 { return c.Start + int64(c.HeadBytes+c.IndexBytes) }
 
-// DocStart is the absolute byte-time of the document section.
-func (c *Cycle) DocStart() int64 { return c.SecondTierStart() + int64(c.SecondTierBytes) }
+// DocStart is the absolute byte-time of the document section in
+// single-channel cycles.
+func (c *Cycle) DocStart() int64 {
+	return c.Start + int64(c.HeadBytes+c.IndexBytes+c.SecondTierBytes)
+}
 
 // End is the absolute byte-time one past the cycle.
-func (c *Cycle) End() int64 { return c.Start + int64(c.TotalBytes()) }
+func (c *Cycle) End() int64 { return c.Start + c.Duration() }
 
 // Placement returns the placement of a document in this cycle, if scheduled.
 func (c *Cycle) Placement(id xmldoc.DocID) (DocPlacement, bool) {
@@ -114,6 +348,209 @@ func (c *Cycle) Placement(id xmldoc.DocID) (DocPlacement, bool) {
 	return DocPlacement{}, false
 }
 
+// ChannelStreamOffset is a document's byte offset within its carrying
+// channel's full cycle stream (second tier included) — the offset the channel
+// directory broadcasts.
+func (c *Cycle) ChannelStreamOffset(p DocPlacement) int {
+	if len(c.Channels) == 0 {
+		return p.Offset
+	}
+	return c.Channels[p.Channel].SecondTierBytes + p.Offset
+}
+
+// DirEnd is the absolute byte-time the channel directory finishes airing —
+// the earliest moment a returning client can start receiving documents.
+func (c *Cycle) DirEnd() int64 {
+	return c.Start + int64(len(c.Channels))*int64(c.channelLead())
+}
+
+// IndexEnd is the absolute byte-time the first tier finishes airing on the
+// index channel — the earliest moment a first-cycle client (which must hear
+// the tier before it knows its result documents) can start receiving them.
+func (c *Cycle) IndexEnd() int64 {
+	return c.Start + int64(len(c.Channels))*int64(c.channelLead()+c.IndexBytes)
+}
+
+// DocAirInterval is the absolute byte-time interval during which a
+// placement's first airing is on air. In multichannel cycles the carrying
+// channel airs one byte per K aggregate byte-ticks, starting after the guard
+// prefix; a single-tuner client receives the document iff it tunes the
+// channel for this whole interval. Light channels replay their unit
+// (ChannelRepetitions); later airings start one wall-clock unit apart.
+func (c *Cycle) DocAirInterval(p DocPlacement) (start, end int64) {
+	if len(c.Channels) == 0 {
+		start = c.DocStart() + int64(p.Offset)
+		return start, start + int64(p.Size)
+	}
+	k := int64(len(c.Channels))
+	off := int64(c.channelLead() + c.ChannelStreamOffset(p))
+	return c.Start + k*off, c.Start + k*(off+int64(p.Size))
+}
+
+// Commitment is one document a single-tuner client is committed to receive,
+// with the absolute byte-time interval of the chosen airing (which may be a
+// later replay of the carrying channel's unit, not its first).
+type Commitment struct {
+	DocPlacement
+	Start, End int64
+}
+
+// Receivable selects the wanted documents a single-tuner client can receive
+// from this cycle: every airing (replays included) of every wanted document
+// is a candidate interval, committed greedily by earliest end (ties to
+// earliest start, then lowest doc ID), skipping intervals that overlap a
+// commitment or that start before the client holds the directory — DirEnd
+// for a returning client, IndexEnd for one still reading the first tier
+// (firstCycle). On a single-channel cycle every wanted document is
+// receivable, since the serial layout airs all documents after the index.
+//
+// Both the simulator's client model and the networked server's request
+// retirement use this commitment, so the two drivers' pending-set evolution
+// stays identical: a document no single-tuner client could have caught is
+// rescheduled by the server instead of being counted as delivered.
+func (c *Cycle) Receivable(want map[xmldoc.DocID]struct{}, firstCycle bool) []DocPlacement {
+	cms := c.Commitments(want, firstCycle)
+	out := make([]DocPlacement, len(cms))
+	for i, cm := range cms {
+		out[i] = cm.DocPlacement
+	}
+	return out
+}
+
+// Commitments is Receivable returning the chosen airing intervals.
+func (c *Cycle) Commitments(want map[xmldoc.DocID]struct{}, firstCycle bool) []Commitment {
+	if len(c.Channels) <= 1 {
+		return c.commitSerial(want)
+	}
+	ready := c.DirEnd()
+	if firstCycle {
+		ready = c.IndexEnd()
+	}
+	return c.commit(want, ready, nil)
+}
+
+// AirInterval is one absolute byte-time span a tuner is busy receiving.
+type AirInterval struct {
+	Start, End int64
+}
+
+// CommitmentsFrom is Commitments with an explicit ready time and a set of
+// intervals during which the tuner is already busy (e.g. executing the
+// server's commitment): the greedy earliest-end selection runs over wanted
+// doc airings starting at or after ready that do not overlap busy or an
+// earlier commitment. It lets a client that synced mid-cycle on an index
+// repetition catch documents opportunistically beyond the server's
+// conservative Receivable commitment.
+func (c *Cycle) CommitmentsFrom(want map[xmldoc.DocID]struct{}, ready int64, busy []AirInterval) []Commitment {
+	if len(c.Channels) <= 1 {
+		return c.commitSerial(want)
+	}
+	return c.commit(want, ready, busy)
+}
+
+// commitSerial covers the single-channel case: a serial program airs every
+// document after the index, so all wanted documents are receivable in plan
+// order.
+func (c *Cycle) commitSerial(want map[xmldoc.DocID]struct{}) []Commitment {
+	out := make([]Commitment, 0, len(want))
+	for _, p := range c.Docs {
+		if _, ok := want[p.ID]; ok {
+			start, end := c.DocAirInterval(p)
+			out = append(out, Commitment{p, start, end})
+		}
+	}
+	return out
+}
+
+// commit runs the greedy earliest-end interval selection shared by
+// Commitments and CommitmentsFrom, over every airing of every wanted
+// document: its data-channel airing (plus replays, if the channel is light
+// enough to replay its unit) and, for the hot set, every index-channel
+// repetition's copy, all starting at or after ready.
+func (c *Cycle) commit(want map[xmldoc.DocID]struct{}, ready int64, busy []AirInterval) []Commitment {
+	k := int64(len(c.Channels))
+	cand := make([]Commitment, 0, len(want))
+	addAirings := func(p DocPlacement, s0, unit, reps int64) {
+		r := int64(0)
+		if ready > s0 && unit > 0 {
+			// First airing starting at or after ready.
+			r = (ready - s0 + unit - 1) / unit
+		}
+		for ; r < reps; r++ {
+			start := s0 + r*unit
+			if start < ready {
+				break // unit == 0 degenerate guard
+			}
+			cand = append(cand, Commitment{p, start, start + int64(p.Size)*k})
+		}
+	}
+	for _, p := range c.Docs {
+		if _, ok := want[p.ID]; !ok {
+			continue
+		}
+		s0, _ := c.DocAirInterval(p)
+		unit := k * int64(c.Channels[p.Channel].Bytes)
+		addAirings(p, s0, unit, int64(c.ChannelRepetitions(p.Channel)))
+	}
+	hotStart := int64(c.channelLead() + c.IndexBytes)
+	for _, p := range c.HotDocs {
+		if _, ok := want[p.ID]; !ok {
+			continue
+		}
+		s0 := c.Start + k*(hotStart+int64(p.Offset))
+		addAirings(p, s0, k*int64(c.indexUnit()), int64(c.IndexRepetitions()))
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].End != cand[j].End {
+			return cand[i].End < cand[j].End
+		}
+		if cand[i].Start != cand[j].Start {
+			return cand[i].Start < cand[j].Start
+		}
+		return cand[i].ID < cand[j].ID
+	})
+	committed := make([]AirInterval, 0, len(busy)+4)
+	committed = append(committed, busy...)
+	taken := make(map[xmldoc.DocID]struct{}, len(want))
+	var out []Commitment
+	for _, w := range cand {
+		if _, dup := taken[w.ID]; dup {
+			continue // an earlier airing of this doc is already committed
+		}
+		conflict := false
+		for _, cm := range committed {
+			if w.Start < cm.End && cm.Start < w.End {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue // single tuner: busy on another channel
+		}
+		committed = append(committed, AirInterval{w.Start, w.End})
+		taken[w.ID] = struct{}{}
+		out = append(out, w)
+	}
+	return out
+}
+
+// ChannelDir builds the channel-directory entries for the cycle's plan
+// (multichannel cycles only).
+func (c *Cycle) ChannelDir() []wire.ChannelDirEntry {
+	if len(c.Channels) == 0 {
+		return nil
+	}
+	entries := make([]wire.ChannelDirEntry, 0, len(c.Docs))
+	for _, p := range c.Docs {
+		entries = append(entries, wire.ChannelDirEntry{
+			Doc:     p.ID,
+			Channel: uint8(p.Channel),
+			Offset:  uint64(c.ChannelStreamOffset(p)),
+		})
+	}
+	return entries
+}
+
 // Builder assembles cycles over a document collection. The collection is
 // dynamic: documents can be added and removed between cycles (the merged
 // DataGuide is maintained incrementally) and the CI is rebuilt lazily from
@@ -121,8 +558,9 @@ func (c *Cycle) Placement(id xmldoc.DocID) (DocPlacement, bool) {
 // broadcasting from multiple goroutines (e.g. netcast.Server) serialise
 // access.
 type Builder struct {
-	model core.SizeModel
-	mode  Mode
+	model    core.SizeModel
+	mode     Mode
+	channels int // 1 = single serial stream; K > 1 = index channel + K-1 data channels
 
 	docs   map[xmldoc.DocID]*xmldoc.Document
 	forest *dataguide.Forest
@@ -142,10 +580,11 @@ func NewBuilder(c *xmldoc.Collection, m core.SizeModel, mode Mode) (*Builder, er
 		return nil, err
 	}
 	b := &Builder{
-		model:  m,
-		mode:   mode,
-		docs:   make(map[xmldoc.DocID]*xmldoc.Document, c.Len()),
-		forest: dataguide.MergeParallel(c, 0),
+		model:    m,
+		mode:     mode,
+		channels: 1,
+		docs:     make(map[xmldoc.DocID]*xmldoc.Document, c.Len()),
+		forest:   dataguide.MergeParallel(c, 0),
 	}
 	for _, d := range c.Docs() {
 		b.docs[d.ID] = d
@@ -229,6 +668,27 @@ func (b *Builder) CI() *core.Index {
 // Mode reports the builder's index organisation.
 func (b *Builder) Mode() Mode { return b.mode }
 
+// SetChannels selects the cycle layout: 1 (the default) builds the serial
+// single-channel program; k > 1 builds one index channel plus k-1 data
+// channels. Multichannel layout requires TwoTierMode, and k-1 data channels
+// must fit the directory's uint8 channel field.
+func (b *Builder) SetChannels(k int) error {
+	if k < 1 {
+		return fmt.Errorf("broadcast: channel count %d < 1", k)
+	}
+	if k > 256 {
+		return fmt.Errorf("broadcast: channel count %d exceeds 256", k)
+	}
+	if k > 1 && b.mode != TwoTierMode {
+		return fmt.Errorf("broadcast: multichannel layout requires two-tier mode")
+	}
+	b.channels = k
+	return nil
+}
+
+// Channels reports the configured channel count.
+func (b *Builder) Channels() int { return b.channels }
+
 // BuildCycle lays out one cycle: the CI is pruned to the pending query set,
 // packed under the mode's tier, and the scheduled documents are placed after
 // it. docPlan must not contain duplicates or unknown documents.
@@ -256,21 +716,27 @@ func (b *Builder) BuildCycleWithIndex(number, start int64, index *core.Index, do
 
 	// Document section layout.
 	seen := make(map[xmldoc.DocID]struct{}, len(docPlan))
-	offset := 0
 	for _, id := range docPlan {
 		if _, dup := seen[id]; dup {
 			return nil, fmt.Errorf("broadcast: duplicate document %d in plan", id)
 		}
 		seen[id] = struct{}{}
-		doc := b.docs[id]
-		if doc == nil {
+		if b.docs[id] == nil {
 			return nil, fmt.Errorf("broadcast: unknown document %d in plan", id)
 		}
-		cycle.Docs = append(cycle.Docs, DocPlacement{ID: id, Offset: offset, Size: doc.Size()})
-		cycle.Offsets[id] = uint64(offset)
-		offset += doc.Size()
 	}
-	cycle.DocBytes = offset
+	if b.channels > 1 {
+		b.layoutChannels(cycle, docPlan)
+	} else {
+		offset := 0
+		for _, id := range docPlan {
+			doc := b.docs[id]
+			cycle.Docs = append(cycle.Docs, DocPlacement{ID: id, Offset: offset, Size: doc.Size()})
+			cycle.Offsets[id] = uint64(offset)
+			offset += doc.Size()
+		}
+		cycle.DocBytes = offset
+	}
 
 	// Index segment.
 	tier := core.OneTier
@@ -279,7 +745,7 @@ func (b *Builder) BuildCycleWithIndex(number, start int64, index *core.Index, do
 	}
 	cycle.Packing = index.Pack(tier)
 	cycle.IndexBytes = cycle.Packing.AirBytes()
-	if b.mode == TwoTierMode {
+	if b.mode == TwoTierMode && b.channels == 1 {
 		cycle.SecondTierBytes = wire.SecondTierSize(len(docPlan), b.model)
 	}
 
@@ -293,7 +759,79 @@ func (b *Builder) BuildCycleWithIndex(number, start int64, index *core.Index, do
 		head += 1 + len(l)
 	}
 	cycle.HeadBytes = head
+	if b.channels > 1 {
+		cycle.Channels[0].Bytes = cycle.HeadBytes + cycle.DirBytes + cycle.IndexBytes
+		selectHotDocs(cycle)
+	}
 	return cycle, nil
+}
+
+// hotRepTarget is the minimum number of index-channel repetitions preserved
+// when hot documents extend the repetition unit: the hot budget is the slack
+// left in a quarter of the channel's span after the guard and tier, so the
+// unit — and with it every hot document — still airs at least four times per
+// cycle (the cycle head plus three mid-cycle sync points). A higher target
+// means more frequent sync points but a smaller hot section; four balances
+// the two for the skewed workloads the policy layer produces.
+const hotRepTarget = 4
+
+// selectHotDocs appends the plan's hottest prefix to the index channel's
+// repetition unit. The plan arrives in the scheduler's delivery order —
+// demand-ranked under the on-demand policies — so the prefix is the cycle's
+// most-requested content; replicating it beside the tier serves the skewed
+// head of demand within one repetition of a client's sync instead of one
+// cycle. The selection only consumes slack the index channel would otherwise
+// idle through (the cycle's duration is pinned by its heaviest data stripe),
+// so it never lengthens the cycle.
+func selectHotDocs(cycle *Cycle) {
+	span := cycle.channelLead() + cycle.maxTail()
+	budget := span/hotRepTarget - cycle.channelLead() - cycle.IndexBytes
+	off := 0
+	for _, p := range cycle.Docs {
+		if off+p.Size > budget {
+			break
+		}
+		cycle.HotDocs = append(cycle.HotDocs, DocPlacement{ID: p.ID, Offset: off, Size: p.Size, Channel: 0})
+		off += p.Size
+	}
+	cycle.HotBytes = off
+}
+
+// layoutChannels stripes a validated plan across the builder's data channels
+// and fills the cycle's per-channel layout. The index channel's Bytes is
+// completed by the caller once head and index sizes are known.
+func (b *Builder) layoutChannels(cycle *Cycle, docPlan []xmldoc.DocID) {
+	k := b.channels
+	stripes := schedule.Stripe(docPlan, func(d xmldoc.DocID) int { return b.docs[d].Size() }, k-1)
+	cycle.Channels = make([]ChannelLayout, k)
+	cycle.Channels[0] = ChannelLayout{ID: 0, Role: IndexChannelRole}
+	cycle.DirBytes = wire.ChannelDirSize(len(docPlan), b.model)
+
+	// Per-channel placements, channel-local offsets.
+	byID := make(map[xmldoc.DocID]DocPlacement, len(docPlan))
+	for ci, stripe := range stripes {
+		ch := ci + 1
+		lay := ChannelLayout{ID: ch, Role: DataChannelRole}
+		lay.SecondTierBytes = wire.SecondTierSize(len(stripe), b.model)
+		offset := 0
+		for _, id := range stripe {
+			p := DocPlacement{ID: id, Offset: offset, Size: b.docs[id].Size(), Channel: ch}
+			lay.Docs = append(lay.Docs, p)
+			byID[id] = p
+			cycle.Offsets[id] = uint64(offset)
+			offset += p.Size
+		}
+		lay.DocBytes = offset
+		lay.Bytes = lay.SecondTierBytes + lay.DocBytes
+		cycle.Channels[ch] = lay
+		cycle.SecondTierBytes += lay.SecondTierBytes
+		cycle.DocBytes += offset
+	}
+
+	// Aggregate view keeps the scheduler's broadcast order.
+	for _, id := range docPlan {
+		cycle.Docs = append(cycle.Docs, byID[id])
+	}
 }
 
 // Encode produces the real byte stream of the cycle's index and second-tier
@@ -315,8 +853,12 @@ func (b *Builder) Encode(c *Cycle) (indexSeg, secondTierSeg []byte, err error) {
 // AppendEncoded appends the cycle's index segment followed by, in two-tier
 // mode, its second-tier segment to dst and returns the extended slice. The
 // index segment occupies exactly c.Packing.StreamBytes; callers reusing
-// pooled buffers slice the segments apart at that boundary.
+// pooled buffers slice the segments apart at that boundary. Single-channel
+// cycles only; multichannel cycles encode through AppendEncodedChannels.
 func (b *Builder) AppendEncoded(dst []byte, c *Cycle) ([]byte, error) {
+	if len(c.Channels) > 1 {
+		return nil, fmt.Errorf("broadcast: AppendEncoded on a %d-channel cycle", len(c.Channels))
+	}
 	var offs wire.DocOffsets
 	if b.mode == OneTierMode {
 		offs = c.Offsets
@@ -336,4 +878,40 @@ func (b *Builder) AppendEncoded(dst []byte, c *Cycle) ([]byte, error) {
 		}
 	}
 	return dst, nil
+}
+
+// AppendEncodedChannels appends a multichannel cycle's index-and-offset
+// segments to dst: the packed first tier, the channel directory, then each
+// data channel's second-tier stripe. cuts holds the cumulative end offset of
+// every appended segment (index, directory, stripe 1, ..., stripe K-1)
+// relative to the start of this cycle's data, so callers slicing a pooled
+// buffer can take the segments apart without re-measuring them.
+func (b *Builder) AppendEncodedChannels(dst []byte, c *Cycle) (_ []byte, cuts []int, err error) {
+	if len(c.Channels) < 2 {
+		return nil, nil, fmt.Errorf("broadcast: AppendEncodedChannels on a single-channel cycle")
+	}
+	base := len(dst)
+	cuts = make([]int, 0, 1+len(c.Channels))
+	dst, err = wire.AppendIndex(dst, c.Index, c.Packing, c.Catalog, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("broadcast: encode index: %w", err)
+	}
+	cuts = append(cuts, len(dst)-base)
+	dst, err = wire.AppendChannelDir(dst, c.ChannelDir(), b.model)
+	if err != nil {
+		return nil, nil, fmt.Errorf("broadcast: encode channel dir: %w", err)
+	}
+	cuts = append(cuts, len(dst)-base)
+	for _, lay := range c.Channels[1:] {
+		entries := make([]wire.SecondTierEntry, 0, len(lay.Docs))
+		for _, p := range lay.Docs {
+			entries = append(entries, wire.SecondTierEntry{Doc: p.ID, Offset: uint64(p.Offset)})
+		}
+		dst, err = wire.AppendSecondTier(dst, entries, b.model)
+		if err != nil {
+			return nil, nil, fmt.Errorf("broadcast: encode second tier (channel %d): %w", lay.ID, err)
+		}
+		cuts = append(cuts, len(dst)-base)
+	}
+	return dst, cuts, nil
 }

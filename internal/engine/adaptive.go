@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/broadcast"
 	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/schedule"
@@ -421,6 +422,10 @@ func (a *AdaptiveLimiter) CycleDegraded() {
 	defer a.mu.Unlock()
 	a.sawDegraded = true
 }
+
+// ChannelDone implements Probe. Per-channel byte counts carry no load signal
+// the controller acts on; the cycle-level stages drive the control loop.
+func (a *AdaptiveLimiter) ChannelDone(int, broadcast.ChannelRole, int64, bool) {}
 
 // CycleDone implements Probe and runs one control step:
 //

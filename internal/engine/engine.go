@@ -75,6 +75,13 @@ type Config struct {
 	// so already-admitted work still assembles right after a shed.
 	// Optional.
 	Adaptive *AdaptiveLimiter
+	// Channels selects the broadcast layout: 0 or 1 (the default) emits the
+	// serial single-channel program; K > 1 splits each cycle across K
+	// parallel streams sharing the aggregate bandwidth — channel 0 carries
+	// the cycle head, channel directory and first tier, channels 1..K-1
+	// carry second-tier stripes and documents. Requires TwoTierMode when
+	// greater than 1.
+	Channels int
 }
 
 // Pending is one outstanding request as the scheduler sees it: the query (for
@@ -95,35 +102,34 @@ type Pending struct {
 }
 
 // Cycle is one assembled broadcast cycle plus the pipeline inputs it was
-// planned from.
-type Cycle struct {
-	*broadcast.Cycle
-	// Queries are the distinct pending queries, in first-seen order; the
-	// index was pruned to exactly this set (unless Degraded).
-	Queries []xpath.Path
-	// NumPending is the number of pending requests the plan drew from.
-	NumPending int
-	// Degraded reports that PCI pruning blew Limits.BuildBudget and the
-	// cycle carries the unpruned CI instead (a strict superset of the
-	// PCI; clients decode it unchanged).
-	Degraded bool
-}
+// planned from. The engine, the simulator and the networked server share the
+// single channel-aware plan type of package broadcast.
+type Cycle = broadcast.Cycle
 
-// Encoded holds one cycle's wire segments. Index and SecondTier share one
-// pooled backing buffer: callers that fully consume the segments may return
+// Encoded holds one cycle's wire segments. The index and offset segments
+// share one pooled backing buffer: callers that fully consume them may return
 // it with Engine.Recycle, callers that retain them (e.g. broadcast fan-out
 // queues) simply let the GC take it. Docs entries point into the engine's
 // per-document payload cache and are shared, immutable, and never recycled.
 type Encoded struct {
 	// Index is the packed index segment.
 	Index []byte
-	// SecondTier is the offset-list segment; nil in one-tier mode.
+	// SecondTier is the offset-list segment; nil in one-tier mode and in
+	// multichannel cycles (which stripe it into SecondTiers).
 	SecondTier []byte
-	// Docs holds one payload per scheduled document, in broadcast order:
-	// 2 little-endian ID bytes followed by the marshalled document.
+	// ChannelDir is the channel-directory segment; nil in single-channel
+	// cycles.
+	ChannelDir []byte
+	// SecondTiers holds each data channel's second-tier stripe (entry i is
+	// channel i+1); nil in single-channel cycles.
+	SecondTiers [][]byte
+	// Docs holds one payload per scheduled document, in broadcast order
+	// (Cycle.Docs order — in multichannel cycles entry i rides the channel
+	// of Cycle.Docs[i]): 2 little-endian ID bytes followed by the
+	// marshalled document.
 	Docs [][]byte
 
-	buf []byte // pooled backing of Index+SecondTier
+	buf []byte // pooled backing of the index and offset segments
 }
 
 // Engine owns the cycle-assembly pipeline over a dynamic collection. All
@@ -188,6 +194,11 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Channels > 1 {
+		if err := builder.SetChannels(cfg.Channels); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	}
 	schedChurn := cfg.ScheduleChurn
 	if schedChurn == 0 {
 		schedChurn = schedule.DefaultScheduleChurn
@@ -223,6 +234,9 @@ func New(cfg Config) (*Engine, error) {
 func (e *Engine) Mode() broadcast.Mode {
 	return e.builder.Mode()
 }
+
+// Channels reports the configured broadcast channel count (1 = serial).
+func (e *Engine) Channels() int { return e.builder.Channels() }
 
 // Scheduler reports the planning policy.
 func (e *Engine) Scheduler() schedule.Scheduler { return e.scheduler }
@@ -399,8 +413,15 @@ func (e *Engine) AssembleCycleAt(number, start, schedNow int64, pending []Pendin
 	if degraded {
 		e.probe.CycleDegraded()
 	}
+	cy.Queries = queries
+	cy.NumPending = len(pending)
+	cy.Degraded = degraded
+	for i := range cy.Channels {
+		lay := &cy.Channels[i]
+		e.probe.ChannelDone(lay.ID, lay.Role, int64(lay.Bytes), degraded)
+	}
 	e.probe.CycleDone()
-	return &Cycle{Cycle: cy, Queries: queries, NumPending: len(pending), Degraded: degraded}, nil
+	return cy, nil
 }
 
 // planCycle produces one cycle's document plan. With an incremental
@@ -556,10 +577,11 @@ func (e *Engine) pruneOnce(view *core.PrunedView, ci *core.Index, queries []xpat
 }
 
 // EncodeCycle produces the cycle's wire segments: the packed index, the
-// second-tier offset list (two-tier mode) and one framed payload per
-// scheduled document. Index/second-tier bytes come from a buffer pool;
-// document payloads are cached across cycles, so rebroadcasting a document
-// costs no allocation. See Encoded for the buffer ownership rules.
+// second-tier offset list (two-tier mode; one stripe per data channel in
+// multichannel cycles, plus the channel directory) and one framed payload per
+// scheduled document. Index/offset bytes come from a buffer pool; document
+// payloads are cached across cycles, so rebroadcasting a document costs no
+// allocation. See Encoded for the buffer ownership rules.
 func (e *Engine) EncodeCycle(c *Cycle) (_ *Encoded, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -575,20 +597,37 @@ func (e *Engine) EncodeCycle(c *Cycle) (_ *Encoded, err error) {
 			e.segPool.Put(bufp)
 		}
 	}()
-	buf, err = e.builder.AppendEncoded(buf, c.Cycle)
-	if err != nil {
-		return nil, err
-	}
-	enc := &Encoded{buf: buf}
-	indexLen := c.Packing.StreamBytes
-	enc.Index = buf[:indexLen:indexLen]
-	if len(buf) > indexLen {
-		enc.SecondTier = buf[indexLen:len(buf):len(buf)]
-	}
-
+	enc := &Encoded{}
 	segments := 1 + len(c.Docs)
-	if enc.SecondTier != nil {
-		segments++
+	if len(c.Channels) > 1 {
+		var cuts []int
+		buf, cuts, err = e.builder.AppendEncodedChannels(buf, c)
+		if err != nil {
+			return nil, err
+		}
+		enc.buf = buf
+		segs := make([][]byte, len(cuts))
+		prev := 0
+		for i, cut := range cuts {
+			segs[i] = buf[prev:cut:cut]
+			prev = cut
+		}
+		enc.Index = segs[0]
+		enc.ChannelDir = segs[1]
+		enc.SecondTiers = segs[2:]
+		segments += 1 + len(enc.SecondTiers)
+	} else {
+		buf, err = e.builder.AppendEncoded(buf, c)
+		if err != nil {
+			return nil, err
+		}
+		enc.buf = buf
+		indexLen := c.Packing.StreamBytes
+		enc.Index = buf[:indexLen:indexLen]
+		if len(buf) > indexLen {
+			enc.SecondTier = buf[indexLen:len(buf):len(buf)]
+			segments++
+		}
 	}
 	total := len(buf)
 	enc.Docs = make([][]byte, 0, len(c.Docs))
@@ -616,14 +655,15 @@ func (e *Engine) EncodeCycle(c *Cycle) (_ *Encoded, err error) {
 }
 
 // Recycle returns an Encoded's pooled buffer for reuse. Only call it when the
-// Index and SecondTier slices are fully consumed; the Docs payloads are cache
-// entries and remain valid.
+// index and offset segment slices are fully consumed; the Docs payloads are
+// cache entries and remain valid.
 func (e *Engine) Recycle(enc *Encoded) {
 	if enc == nil || enc.buf == nil {
 		return
 	}
 	buf := enc.buf
 	enc.buf, enc.Index, enc.SecondTier = nil, nil, nil
+	enc.ChannelDir, enc.SecondTiers = nil, nil
 	e.segPool.Put(&buf)
 }
 

@@ -3,6 +3,7 @@ package engine_test
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -19,11 +20,50 @@ import (
 )
 
 // capturedCycle is one cycle's wire image, deep-copied out of the pipeline.
+// Multichannel cycles also carry the channel directory and each data
+// channel's second-tier stripe and documents (stripe order).
 type capturedCycle struct {
 	number     int64
 	index      []byte
 	secondTier []byte
 	docs       [][]byte
+
+	channelDir  []byte
+	secondTiers [][]byte
+	chanDocs    [][][]byte
+}
+
+// captureSink returns a Config.CycleSink that deep-copies every cycle's
+// encoded segments — including, for multichannel cycles, the per-channel
+// stripes and doc payloads — into out.
+func captureSink(out *[]capturedCycle) func(*engine.Cycle, *engine.Encoded) {
+	return func(cy *engine.Cycle, enc *engine.Encoded) {
+		cc := capturedCycle{
+			number:     cy.Number,
+			index:      append([]byte(nil), enc.Index...),
+			secondTier: append([]byte(nil), enc.SecondTier...),
+			channelDir: append([]byte(nil), enc.ChannelDir...),
+		}
+		for _, d := range enc.Docs {
+			cc.docs = append(cc.docs, append([]byte(nil), d...))
+		}
+		for _, st := range enc.SecondTiers {
+			cc.secondTiers = append(cc.secondTiers, append([]byte(nil), st...))
+		}
+		if len(cy.Channels) > 1 {
+			byID := make(map[xmldoc.DocID][]byte, len(cy.Docs))
+			for i, p := range cy.Docs {
+				byID[p.ID] = cc.docs[i]
+			}
+			cc.chanDocs = make([][][]byte, len(cy.Channels))
+			for c := 1; c < len(cy.Channels); c++ {
+				for _, p := range cy.Channels[c].Docs {
+					cc.chanDocs[c] = append(cc.chanDocs[c], byID[p.ID])
+				}
+			}
+		}
+		*out = append(*out, cc)
+	}
 }
 
 // TestSimNetcastCycleEquivalence drives the same collection and query set
@@ -112,12 +152,26 @@ func TestSimNetcastStaggeredEquivalence(t *testing.T) {
 		{"rxw", sim.ClockCycles},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			testStaggeredEquivalence(t, tc.name, tc.clock)
+			testStaggeredEquivalence(t, tc.name, tc.clock, 1)
 		})
 	}
 }
 
-func testStaggeredEquivalence(t *testing.T, policy string, clock sim.ClockUnit) {
+// TestSimNetcastMultichannelEquivalence extends the staggered-arrival
+// equivalence suite across channel counts: for every K the simulator's
+// per-channel segments (index, channel directory, second-tier stripes and
+// striped documents) must be byte-identical to what the server's K broadcast
+// listeners put on their wires. K=1 pins the degenerate case to the classic
+// v2 stream.
+func TestSimNetcastMultichannelEquivalence(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("k%d", k), func(t *testing.T) {
+			testStaggeredEquivalence(t, "leelo", sim.ClockBytes, k)
+		})
+	}
+}
+
+func testStaggeredEquivalence(t *testing.T, policy string, clock sim.ClockUnit, channels int) {
 	c, err := gen.Documents(gen.DocConfig{Schema: dtd.NITF(), NumDocs: 15, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
@@ -146,7 +200,7 @@ func testStaggeredEquivalence(t *testing.T, policy string, clock sim.ClockUnit) 
 	arrivals := make([]int64, len(queries))
 	for w := 1; w < numWaves; w++ {
 		n := w * waveSize
-		_, stats := runStaggeredSim(t, c, queries[:n], arrivals[:n], capacity, policy, clock)
+		_, stats := runStaggeredSim(t, c, queries[:n], arrivals[:n], capacity, policy, clock, channels)
 		if len(stats) <= w {
 			t.Fatalf("waves 0..%d drained in %d cycles; fixture cannot stagger wave %d", w-1, len(stats), w)
 		}
@@ -155,17 +209,71 @@ func testStaggeredEquivalence(t *testing.T, policy string, clock sim.ClockUnit) 
 		}
 	}
 
-	simCycles, _ := runStaggeredSim(t, c, queries, arrivals, capacity, policy, clock)
+	simCycles, _ := runStaggeredSim(t, c, queries, arrivals, capacity, policy, clock, channels)
 	if len(simCycles) <= numWaves {
 		t.Fatalf("staggered fixture produced %d cycles; want more than %d", len(simCycles), numWaves)
 	}
-	netCycles := runStaggeredNetcast(t, c, queries, waveSize, capacity, len(simCycles), policy)
-	compareCycles(t, simCycles, netCycles)
+	netChans := runStaggeredNetcast(t, c, queries, waveSize, capacity, len(simCycles), policy, channels)
+	if channels == 1 {
+		compareCycles(t, simCycles, netChans[0])
+		return
+	}
+	compareMultiCycles(t, simCycles, netChans)
+}
+
+// compareMultiCycles asserts each of the server's K channel streams is a
+// byte-identical replay of the simulator's per-channel cycle shares.
+func compareMultiCycles(t *testing.T, simCycles []capturedCycle, netChans [][]netcast.CycleRecord) {
+	t.Helper()
+	for ch, records := range netChans {
+		if len(records) < len(simCycles) {
+			t.Fatalf("channel %d captured %d cycles, sim broadcast %d", ch, len(records), len(simCycles))
+		}
+		if len(records) > len(simCycles) {
+			t.Errorf("channel %d captured %d extra cycles after the sim's pending set drained", ch, len(records)-len(simCycles))
+		}
+	}
+	for i, want := range simCycles {
+		ix := netChans[0][i]
+		if int64(ix.Number) != want.number {
+			t.Errorf("cycle %d: netcast number %d, sim number %d", i, ix.Number, want.number)
+		}
+		if ix.IsData || int(ix.Channels) != len(netChans) {
+			t.Errorf("cycle %d: index-channel head misdescribes the stream: %+v", i, ix)
+		}
+		if !bytes.Equal(ix.IndexSeg, want.index) {
+			t.Errorf("cycle %d: index segments differ (%d vs %d bytes)", i, len(ix.IndexSeg), len(want.index))
+		}
+		if !bytes.Equal(ix.DirSeg, want.channelDir) {
+			t.Errorf("cycle %d: channel directories differ (%d vs %d bytes)", i, len(ix.DirSeg), len(want.channelDir))
+		}
+		for ch := 1; ch < len(netChans); ch++ {
+			got := netChans[ch][i]
+			if int64(got.Number) != want.number || !got.IsData {
+				t.Errorf("cycle %d channel %d: head %+v does not match sim cycle %d", i, ch, got, want.number)
+			}
+			if !bytes.Equal(got.SecondTierSeg, want.secondTiers[ch-1]) {
+				t.Errorf("cycle %d channel %d: second-tier stripes differ (%d vs %d bytes)", i, ch, len(got.SecondTierSeg), len(want.secondTiers[ch-1]))
+			}
+			var wantDocs [][]byte
+			if want.chanDocs != nil {
+				wantDocs = want.chanDocs[ch]
+			}
+			if len(got.Docs) != len(wantDocs) {
+				t.Fatalf("cycle %d channel %d: netcast carried %d documents, sim %d", i, ch, len(got.Docs), len(wantDocs))
+			}
+			for j := range wantDocs {
+				if !bytes.Equal(got.Docs[j], wantDocs[j]) {
+					t.Errorf("cycle %d channel %d doc %d: payloads differ", i, ch, j)
+				}
+			}
+		}
+	}
 }
 
 // runStaggeredSim runs the simulator with per-request byte-time arrivals and
 // returns the captured cycles alongside their stats (for Start times).
-func runStaggeredSim(t *testing.T, c *xmldoc.Collection, queries []xpath.Path, arrivals []int64, capacity int, policy string, clock sim.ClockUnit) ([]capturedCycle, []sim.CycleStats) {
+func runStaggeredSim(t *testing.T, c *xmldoc.Collection, queries []xpath.Path, arrivals []int64, capacity int, policy string, clock sim.ClockUnit, channels int) ([]capturedCycle, []sim.CycleStats) {
 	t.Helper()
 	sched, err := schedule.New(policy)
 	if err != nil {
@@ -181,19 +289,10 @@ func runStaggeredSim(t *testing.T, c *xmldoc.Collection, queries []xpath.Path, a
 		Mode:          broadcast.TwoTierMode,
 		Scheduler:     sched,
 		ScheduleClock: clock,
+		Channels:      channels,
 		CycleCapacity: capacity,
 		Requests:      reqs,
-		CycleSink: func(cy *engine.Cycle, enc *engine.Encoded) {
-			cc := capturedCycle{
-				number:     cy.Number,
-				index:      append([]byte(nil), enc.Index...),
-				secondTier: append([]byte(nil), enc.SecondTier...),
-			}
-			for _, d := range enc.Docs {
-				cc.docs = append(cc.docs, append([]byte(nil), d...))
-			}
-			out = append(out, cc)
-		},
+		CycleSink:     captureSink(&out),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -205,7 +304,7 @@ func runStaggeredSim(t *testing.T, c *xmldoc.Collection, queries []xpath.Path, a
 // wave until the server has broadcast exactly one cycle per earlier wave, and
 // asserts every ack's covered cycle equals the wave number — the explicit
 // cycle-number half of the arrival-clock mapping.
-func runStaggeredNetcast(t *testing.T, c *xmldoc.Collection, queries []xpath.Path, waveSize, capacity, wantCycles int, policy string) []netcast.CycleRecord {
+func runStaggeredNetcast(t *testing.T, c *xmldoc.Collection, queries []xpath.Path, waveSize, capacity, wantCycles int, policy string, channels int) [][]netcast.CycleRecord {
 	t.Helper()
 	sched, err := schedule.New(policy)
 	if err != nil {
@@ -215,6 +314,7 @@ func runStaggeredNetcast(t *testing.T, c *xmldoc.Collection, queries []xpath.Pat
 		Collection:    c,
 		Mode:          broadcast.TwoTierMode,
 		Scheduler:     sched,
+		Channels:      channels,
 		CycleCapacity: capacity,
 		CycleInterval: 250 * time.Millisecond, // wide enough to land a whole wave between ticks
 	})
@@ -225,13 +325,16 @@ func runStaggeredNetcast(t *testing.T, c *xmldoc.Collection, queries []xpath.Pat
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	var buf bytes.Buffer
-	recDone := make(chan error, 1)
-	go func() {
-		_, err := netcast.Record(ctx, srv.BroadcastAddr(), wantCycles+1, &buf)
-		recDone <- err
-	}()
-	waitFor(t, ctx, "recorder subscription", func() bool { return srv.Stats().Subscribers >= 1 })
+	addrs := srv.ChannelAddrs()
+	bufs := make([]bytes.Buffer, len(addrs))
+	recDone := make(chan error, len(addrs))
+	for i, addr := range addrs {
+		go func(i int, addr string) {
+			_, err := netcast.Record(ctx, addr, wantCycles+1, &bufs[i])
+			recDone <- err
+		}(i, addr)
+	}
+	waitFor(t, ctx, "recorder subscriptions", func() bool { return srv.Stats().Subscribers >= len(addrs) })
 
 	cl, err := netcast.Dial(srv.UplinkAddr(), srv.BroadcastAddr(), core.SizeModel{})
 	if err != nil {
@@ -256,15 +359,21 @@ func runStaggeredNetcast(t *testing.T, c *xmldoc.Collection, queries []xpath.Pat
 		return st.Pending == 0 && st.Cycles >= int64(wantCycles)
 	})
 	srv.Shutdown()
-	if err := <-recDone; err == nil {
-		t.Fatal("recorder finished early: server emitted more cycles than the sim")
+	for range addrs {
+		if err := <-recDone; err == nil {
+			t.Fatal("recorder finished early: server emitted more cycles than the sim")
+		}
 	}
 
-	records, err := netcast.ReadCapture(bytes.NewReader(buf.Bytes()))
-	if err != nil {
-		t.Fatal(err)
+	out := make([][]netcast.CycleRecord, len(addrs))
+	for i := range bufs {
+		records, err := netcast.ReadCapture(bytes.NewReader(bufs[i].Bytes()))
+		if err != nil {
+			t.Fatalf("channel %d capture: %v", i, err)
+		}
+		out[i] = records
 	}
-	return records
+	return out
 }
 
 // runSimCapture runs the simulator with every request arriving at time 0 and
@@ -281,17 +390,7 @@ func runSimCapture(t *testing.T, c *xmldoc.Collection, queries []xpath.Path, cap
 		Mode:          broadcast.TwoTierMode,
 		CycleCapacity: capacity,
 		Requests:      reqs,
-		CycleSink: func(cy *engine.Cycle, enc *engine.Encoded) {
-			cc := capturedCycle{
-				number:     cy.Number,
-				index:      append([]byte(nil), enc.Index...),
-				secondTier: append([]byte(nil), enc.SecondTier...),
-			}
-			for _, d := range enc.Docs {
-				cc.docs = append(cc.docs, append([]byte(nil), d...))
-			}
-			out = append(out, cc)
-		},
+		CycleSink:     captureSink(&out),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/broadcast"
 )
 
 // Pipeline stage names reported through Probe. Each AssembleCycle runs
@@ -103,6 +105,11 @@ type Probe interface {
 	// CycleDegraded reports one cycle whose build stage blew its
 	// Limits.BuildBudget and fell back to broadcasting the unpruned CI.
 	CycleDegraded()
+	// ChannelDone reports one channel's share of an assembled multichannel
+	// cycle: its payload bytes this cycle and whether the cycle was
+	// degraded. Single-channel cycles do not report it (their figures are
+	// the cycle aggregates already carried by StageDone and CycleDone).
+	ChannelDone(channel int, role broadcast.ChannelRole, bytes int64, degraded bool)
 	// CycleDone reports one fully assembled broadcast cycle.
 	CycleDone()
 }
@@ -130,6 +137,9 @@ func (NopProbe) ScheduleDone(string) {}
 
 // CycleDegraded implements Probe.
 func (NopProbe) CycleDegraded() {}
+
+// ChannelDone implements Probe.
+func (NopProbe) ChannelDone(int, broadcast.ChannelRole, int64, bool) {}
 
 // CycleDone implements Probe.
 func (NopProbe) CycleDone() {}
@@ -172,12 +182,32 @@ type Metrics struct {
 	// from-scratch demand aggregation (cold start, churn fallback, or
 	// incremental scheduling disabled).
 	IncrementalSchedules, FullSchedules int64
+	// Channels holds per-channel aggregates, indexed by channel ID; empty
+	// on single-channel runs.
+	Channels []ChannelMetrics
 	// Health is the adaptive admission controller's three-state load
 	// signal; empty when no controller is wired (see Config.Adaptive).
 	Health Health
 	// Adaptive snapshots the controller's live limits and estimators; nil
 	// when no controller is wired.
 	Adaptive *AdaptiveState
+}
+
+// ChannelMetrics accumulates one broadcast channel's share of the
+// multichannel cycles assembled so far.
+type ChannelMetrics struct {
+	// Role names the channel's function: "index" or "data".
+	Role string `json:"role"`
+	// Cycles counts the cycles this channel took part in.
+	Cycles int64 `json:"cycles"`
+	// Bytes is the channel's cumulative payload.
+	Bytes int64 `json:"bytes"`
+	// LastCycleBytes and MaxCycleBytes track the channel's per-cycle
+	// payload (its cycle length at channel pace).
+	LastCycleBytes int64 `json:"last_cycle_bytes"`
+	MaxCycleBytes  int64 `json:"max_cycle_bytes"`
+	// DegradedCycles counts the channel's share of degraded cycles.
+	DegradedCycles int64 `json:"degraded_cycles"`
 }
 
 // CacheHitRate is the fraction of answer-cache lookups that hit, or 0 when
@@ -209,6 +239,16 @@ func (m Metrics) String() string {
 	}
 	if m.IncrementalSchedules > 0 || m.FullSchedules > 0 {
 		fmt.Fprintf(&b, " scheds=%d incr/%d full", m.IncrementalSchedules, m.FullSchedules)
+	}
+	if len(m.Channels) > 0 {
+		b.WriteString(" channels=[")
+		for i, ch := range m.Channels {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d:%s %dB/cycle", i, ch.Role, ch.LastCycleBytes)
+		}
+		b.WriteByte(']')
 	}
 	if m.Health != "" {
 		fmt.Fprintf(&b, " health=%s", m.Health)
@@ -317,6 +357,26 @@ func (c *Collector) CycleDegraded() {
 	c.m.DegradedCycles++
 }
 
+// ChannelDone implements Probe.
+func (c *Collector) ChannelDone(channel int, role broadcast.ChannelRole, bytes int64, degraded bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.m.Channels) <= channel {
+		c.m.Channels = append(c.m.Channels, ChannelMetrics{})
+	}
+	ch := &c.m.Channels[channel]
+	ch.Role = role.String()
+	ch.Cycles++
+	ch.Bytes += bytes
+	ch.LastCycleBytes = bytes
+	if bytes > ch.MaxCycleBytes {
+		ch.MaxCycleBytes = bytes
+	}
+	if degraded {
+		ch.DegradedCycles++
+	}
+}
+
 // CycleDone implements Probe.
 func (c *Collector) CycleDone() {
 	c.mu.Lock()
@@ -333,6 +393,7 @@ func (c *Collector) Metrics() Metrics {
 	for k, v := range c.m.Stages {
 		out.Stages[k] = v
 	}
+	out.Channels = append([]ChannelMetrics(nil), c.m.Channels...)
 	return out
 }
 
@@ -379,6 +440,12 @@ func (p probes) ScheduleDone(kind string) {
 func (p probes) CycleDegraded() {
 	for _, pr := range p {
 		pr.CycleDegraded()
+	}
+}
+
+func (p probes) ChannelDone(channel int, role broadcast.ChannelRole, bytes int64, degraded bool) {
+	for _, pr := range p {
+		pr.ChannelDone(channel, role, bytes, degraded)
 	}
 }
 

@@ -65,6 +65,12 @@ type Config struct {
 	// CycleCapacity is the per-cycle document budget in bytes (the paper's
 	// ~100 KB average broadcast cycle).
 	CycleCapacity int
+	// Channels is the number of parallel broadcast channels K at fixed
+	// aggregate bandwidth (sim.Config.Channels). Zero or one keeps the
+	// paper's single-channel model; K > 1 applies to two-tier runs only.
+	// The engine benchmark ignores this and always measures at K=1 so
+	// BENCH_engine.json baselines stay comparable across machines.
+	Channels int
 	// Scheduler names the scheduling policy (default "leelo", the paper's
 	// choice [8]).
 	Scheduler string

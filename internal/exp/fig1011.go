@@ -22,10 +22,17 @@ func (c Config) modeRun(mode broadcast.Mode, nq int, p float64, dq int) (*sim.Re
 	if err != nil {
 		return nil, err
 	}
+	channels := 0
+	if mode == broadcast.TwoTierMode {
+		// The one-tier organisation has no channel directory to hop with;
+		// multichannel sweeps apply to two-tier runs only.
+		channels = c.Channels
+	}
 	return sim.Run(sim.Config{
 		Collection:     coll,
 		Model:          c.Model,
 		Mode:           mode,
+		Channels:       channels,
 		Scheduler:      sched,
 		CycleCapacity:  c.CycleCapacity,
 		Requests:       c.requests(queries),

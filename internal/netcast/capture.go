@@ -43,6 +43,7 @@ func Record(ctx context.Context, broadcastAddr string, numCycles int, w io.Write
 	var (
 		recorded int
 		inCycle  bool
+		multi    bool // stream carries channel heads (multichannel, v3)
 	)
 	for recorded < numCycles {
 		if err := ctx.Err(); err != nil {
@@ -52,7 +53,16 @@ func Record(ctx context.Context, broadcastAddr string, numCycles int, w io.Write
 		if err != nil {
 			return recorded, fmt.Errorf("netcast: record read: %w", err)
 		}
-		if t == FrameCycleHead {
+		// The cycle boundary is the channel head on a multichannel stream
+		// (every channel's share opens with one), the cycle head otherwise.
+		// A stream is known multichannel from its first channel head; a
+		// cycle head only bounds cycles until then, so on the index channel
+		// — where the channel head precedes the cycle head — the cycle head
+		// never double-counts.
+		if t == FrameChannelHead {
+			multi = true
+		}
+		if t == FrameChannelHead || (t == FrameCycleHead && !multi) {
 			if inCycle {
 				recorded++
 				if recorded == numCycles {
@@ -71,20 +81,53 @@ func Record(ctx context.Context, broadcastAddr string, numCycles int, w io.Write
 	return recorded, nil
 }
 
-// CycleRecord is one captured cycle.
+// CycleRecord is one captured cycle — on a multichannel stream, one
+// channel's share of one cycle.
 type CycleRecord struct {
 	// Number is the cycle sequence number from the head.
 	Number uint32
 	// TwoTier reports the broadcast mode.
 	TwoTier bool
+	// Channel and Channels identify a multichannel capture's stream: this
+	// record holds cycle Number's share on channel Channel of Channels.
+	// Both are zero in a single-channel capture.
+	Channel, Channels uint8
+	// IsData reports a data channel's record (second-tier stripe plus
+	// documents, no index segment).
+	IsData bool
+	// NumDocs is the document count promised by the channel head
+	// (multichannel only; used to detect truncated trailing records).
+	NumDocs uint16
 	// IndexSeg is the raw packed index segment.
 	IndexSeg []byte
 	// SecondTierSeg is the raw second-tier segment (two-tier mode only).
 	SecondTierSeg []byte
+	// DirSeg is the raw channel-directory segment (multichannel index
+	// channel only).
+	DirSeg []byte
 	// Docs holds each document frame's payload: 2 ID bytes then XML.
 	Docs [][]byte
 
 	head *cycleHead
+}
+
+// ChannelDir decodes the captured channel directory; nil for single-channel
+// captures and data-channel records.
+func (r *CycleRecord) ChannelDir(m core.SizeModel) ([]wire.ChannelDirEntry, error) {
+	if r.DirSeg == nil {
+		return nil, nil
+	}
+	return wire.DecodeChannelDir(r.DirSeg, m)
+}
+
+// complete reports whether the record captured its cycle's whole share:
+// single-channel and index-channel records need the index segment, data
+// channels every promised document.
+func (r *CycleRecord) complete() bool {
+	if r.IsData {
+		return len(r.Docs) == int(r.NumDocs)
+	}
+	return r.IndexSeg != nil
 }
 
 // DocID extracts the document ID of a captured document payload.
@@ -95,6 +138,9 @@ func (r *CycleRecord) DocID(i int) xmldoc.DocID {
 
 // DecodeIndex reconstructs the cycle's air index from the captured bytes.
 func (r *CycleRecord) DecodeIndex(m core.SizeModel) (*core.Index, error) {
+	if r.head == nil {
+		return nil, fmt.Errorf("netcast: record carries no index (data channel capture)")
+	}
 	cat, err := wire.DecodeCatalog(r.head.Catalog)
 	if err != nil {
 		return nil, err
@@ -154,15 +200,41 @@ func ReadCapture(r io.Reader) ([]CycleRecord, error) {
 			return nil, err
 		}
 		switch t {
-		case FrameCycleHead:
+		case FrameChannelHead:
 			if cur != nil {
 				records = append(records, *cur)
 			}
+			ch, err := decodeChannelHead(payload)
+			if err != nil {
+				return nil, err
+			}
+			cur = &CycleRecord{
+				Number:   ch.Number,
+				Channel:  ch.Channel,
+				Channels: ch.Channels,
+				IsData:   ch.Role == channelRoleData,
+				NumDocs:  ch.NumDocs,
+			}
+		case FrameCycleHead:
 			head, err := decodeCycleHead(payload)
 			if err != nil {
 				return nil, err
 			}
+			if cur != nil && cur.Channels > 0 {
+				// Multichannel index channel: the cycle head rides inside
+				// the channel-head-bounded record.
+				cur.TwoTier = head.TwoTier
+				cur.head = head
+				continue
+			}
+			if cur != nil {
+				records = append(records, *cur)
+			}
 			cur = &CycleRecord{Number: head.Number, TwoTier: head.TwoTier, head: head}
+		case FrameChannelDir:
+			if cur != nil {
+				cur.DirSeg = payload
+			}
 		case FrameIndex:
 			if cur != nil {
 				cur.IndexSeg = payload
@@ -182,7 +254,7 @@ func ReadCapture(r io.Reader) ([]CycleRecord, error) {
 			return nil, fmt.Errorf("netcast: unexpected frame type %d in capture", t)
 		}
 	}
-	if cur != nil && cur.IndexSeg != nil {
+	if cur != nil && cur.complete() {
 		records = append(records, *cur)
 	}
 	return records, nil

@@ -90,6 +90,11 @@ type Client struct {
 
 	upAddr, downAddr string // redial targets for recovery
 
+	// chans holds the per-channel downlink streams of a multichannel client
+	// (DialChannels); nil on a classic single-stream client. chans[0] is the
+	// index channel.
+	chans []*chanStream
+
 	// AckTimeout bounds how long Submit waits for the server's ack before
 	// failing instead of hanging on a stalled server. Zero disables the
 	// deadline. Dial sets it to 10 s.
@@ -132,10 +137,17 @@ func Dial(uplinkAddr, broadcastAddr string, model core.SizeModel) (*Client, erro
 	}, nil
 }
 
-// Close releases both connections.
+// Close releases every connection.
 func (c *Client) Close() {
-	c.up.Close()
-	c.down.Close()
+	if c.up != nil {
+		c.up.Close()
+	}
+	if c.down != nil {
+		c.down.Close()
+	}
+	for _, cs := range c.chans {
+		cs.conn.Close()
+	}
 }
 
 // Submit sends one query over the uplink and waits for the server's ack,
@@ -228,6 +240,9 @@ func backoffWait(hint time.Duration) time.Duration {
 // server rebroadcasts anything the client may have missed (the server
 // retires a request once its documents have been *sent*, not received).
 func (c *Client) Retrieve(ctx context.Context, q xpath.Path) ([]*xmldoc.Document, ClientStats, error) {
+	if len(c.chans) > 1 {
+		return c.retrieveMulti(ctx, q)
+	}
 	var (
 		stats     ClientStats
 		nav       = core.NewNavigator(q)

@@ -45,8 +45,17 @@ const (
 	// 4-byte little-endian retry-after hint in milliseconds followed by a
 	// human-readable reason. Sent on the uplink in place of FrameAck.
 	FrameReject
+	// FrameChannelHead starts one channel's share of a multichannel cycle
+	// (protocol version 3): payload is the encoded channelHead. Emitted only
+	// when the server runs K > 1 channels, so single-channel streams remain
+	// byte-identical v2.
+	FrameChannelHead
+	// FrameChannelDir carries the channel directory (index channel of a
+	// multichannel cycle): the wire.ChannelDir encoding tagging every
+	// scheduled doc ID with its carrying channel and stream offset.
+	FrameChannelDir
 
-	frameTypeMax = FrameReject
+	frameTypeMax = FrameChannelDir
 )
 
 // Frame sync bytes: every v2 frame starts with this pair so receivers can
@@ -239,6 +248,65 @@ func decodeReject(payload []byte) (retryAfter time.Duration, reason string, err 
 		retryAfter = maxRetryAfter
 	}
 	return retryAfter, string(payload[rejectHdrLen:]), nil
+}
+
+// channelHead is the decoded per-channel stream header of a multichannel
+// cycle (protocol version 3). Every channel's share of every cycle starts
+// with one: `uint32` cycle number, `uint8` channel ID, `uint8` channel
+// count, `uint8` role (0 = index, 1 = data), `uint16` doc count carried by
+// this channel this cycle.
+type channelHead struct {
+	Number   uint32
+	Channel  uint8
+	Channels uint8
+	Role     uint8
+	NumDocs  uint16
+}
+
+// Channel head role values.
+const (
+	channelRoleIndex uint8 = 0
+	channelRoleData  uint8 = 1
+)
+
+const channelHeadLen = 9
+
+// encode serialises the channel head.
+func (h *channelHead) encode() []byte {
+	out := make([]byte, channelHeadLen)
+	binary.LittleEndian.PutUint32(out, h.Number)
+	out[4] = h.Channel
+	out[5] = h.Channels
+	out[6] = h.Role
+	binary.LittleEndian.PutUint16(out[7:], h.NumDocs)
+	return out
+}
+
+// decodeChannelHead is the inverse of encode.
+func decodeChannelHead(data []byte) (*channelHead, error) {
+	if len(data) != channelHeadLen {
+		return nil, fmt.Errorf("netcast: channel head has %d bytes, want %d", len(data), channelHeadLen)
+	}
+	h := &channelHead{
+		Number:   binary.LittleEndian.Uint32(data),
+		Channel:  data[4],
+		Channels: data[5],
+		Role:     data[6],
+		NumDocs:  binary.LittleEndian.Uint16(data[7:]),
+	}
+	if h.Channels < 2 {
+		return nil, fmt.Errorf("netcast: channel head claims %d channels", h.Channels)
+	}
+	if h.Channel >= h.Channels {
+		return nil, fmt.Errorf("netcast: channel head for channel %d of %d", h.Channel, h.Channels)
+	}
+	if h.Role != channelRoleIndex && h.Role != channelRoleData {
+		return nil, fmt.Errorf("netcast: channel head role %d invalid", h.Role)
+	}
+	if (h.Role == channelRoleIndex) != (h.Channel == 0) {
+		return nil, fmt.Errorf("netcast: channel %d with role %d", h.Channel, h.Role)
+	}
+	return h, nil
 }
 
 // cycleHead is the decoded head segment of one cycle.

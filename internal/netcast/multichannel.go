@@ -1,0 +1,331 @@
+package netcast
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// chanStream is one channel's downlink: the connection, its buffered reader,
+// the redial target, and at most one channel head that was read off the
+// stream but whose share has not been consumed yet (a data channel can run
+// ahead of the cycle the client is working on).
+type chanStream struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	addr    string
+	pending *channelHead
+}
+
+// DialChannels connects to a multichannel server: one uplink plus one
+// downlink per broadcast channel, in the order reported by
+// Server.ChannelAddrs (entry 0 must be the index channel). With a single
+// address it is equivalent to Dial.
+func DialChannels(uplinkAddr string, channelAddrs []string, model core.SizeModel) (*Client, error) {
+	if len(channelAddrs) == 0 {
+		return nil, fmt.Errorf("netcast: DialChannels needs at least one broadcast address")
+	}
+	if len(channelAddrs) == 1 {
+		return Dial(uplinkAddr, channelAddrs[0], model)
+	}
+	if model == (core.SizeModel{}) {
+		model = core.DefaultSizeModel()
+	}
+	up, err := net.DialTimeout("tcp", uplinkAddr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("netcast: dial uplink: %w", err)
+	}
+	chans := make([]*chanStream, 0, len(channelAddrs))
+	closeAll := func() {
+		up.Close()
+		for _, cs := range chans {
+			cs.conn.Close()
+		}
+	}
+	for i, addr := range channelAddrs {
+		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("netcast: dial broadcast channel %d: %w", i, err)
+		}
+		chans = append(chans, &chanStream{conn: conn, br: bufio.NewReaderSize(conn, downlinkBufSize), addr: addr})
+	}
+	return &Client{
+		model:      model,
+		up:         up,
+		chans:      chans,
+		upAddr:     uplinkAddr,
+		AckTimeout: defaultAckTimeout,
+	}, nil
+}
+
+// retrieveMulti is Retrieve over a multichannel subscription: per cycle, one
+// short read of the index channel (channel head, cycle head, channel
+// directory, and — first cycle only — the first tier), then a hop to each
+// data channel carrying a wanted document. Streams the client runs ahead of
+// are drained as doze; recovery resyncs the failing channel to its next
+// channel head (or redials it) and re-registers the query, mirroring the
+// single-channel protocol's guarantees per stream.
+func (c *Client) retrieveMulti(ctx context.Context, q xpath.Path) ([]*xmldoc.Document, ClientStats, error) {
+	var (
+		stats     ClientStats
+		nav       = core.NewNavigator(q)
+		knowsDocs bool
+		remaining = make(map[xmldoc.DocID]struct{})
+		got       = make(map[xmldoc.DocID]*xmldoc.Document)
+	)
+	applyDeadlines := func() {
+		if deadline, ok := ctx.Deadline(); ok {
+			for _, cs := range c.chans {
+				_ = cs.conn.SetReadDeadline(deadline)
+			}
+		}
+	}
+	applyDeadlines()
+	defer func() {
+		for _, cs := range c.chans {
+			_ = cs.conn.SetReadDeadline(time.Time{})
+		}
+	}()
+
+	// recover routes one channel's failure: resync within the stream for
+	// detected corruption, redial for connection loss. Either way the query
+	// is re-registered and the current cycle abandoned by the caller.
+	recover := func(ch int, err error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		cs := c.chans[ch]
+		cs.pending = nil
+		if isCorrupt(err) {
+			stats.Resyncs++
+			c.resubmit(q)
+			return nil // the next head scan realigns the stream
+		}
+		stats.Reconnects++
+		cs.conn.Close()
+		delay := reconnectBaseDelay
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			conn, derr := net.DialTimeout("tcp", cs.addr, 5*time.Second)
+			if derr == nil {
+				cs.conn = conn
+				cs.br = bufio.NewReaderSize(conn, downlinkBufSize)
+				applyDeadlines()
+				c.resubmit(q)
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoffWait(delay)):
+			}
+			if delay *= 2; delay > reconnectMaxDelay {
+				delay = reconnectMaxDelay
+			}
+		}
+	}
+
+cycles:
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		// Phase 1: the index channel. Take the next cycle's share: channel
+		// head, then cycle head, channel directory and first tier in order.
+		head, dir, err := c.readIndexShare(nav, &knowsDocs, remaining, got, &stats)
+		if err != nil {
+			if err := recover(0, err); err != nil {
+				return nil, stats, err
+			}
+			continue
+		}
+		if knowsDocs && len(remaining) == 0 {
+			return collect(got), stats, nil
+		}
+		if !knowsDocs {
+			// This cycle's index predates the submission (or was dozed);
+			// wait for a covering cycle.
+			continue
+		}
+		// Phase 2: hop to each data channel carrying a wanted document, in
+		// channel order (single-tuner: one stream at a time).
+		want := make(map[uint8][]wire.ChannelDirEntry)
+		for _, e := range dir {
+			if _, need := remaining[e.Doc]; need {
+				want[e.Channel] = append(want[e.Channel], e)
+			}
+		}
+		for ch := 1; ch < len(c.chans); ch++ {
+			if len(want[uint8(ch)]) == 0 {
+				continue
+			}
+			if err := c.drainDataShare(ch, head.Number, remaining, got, &stats); err != nil {
+				if err := recover(ch, err); err != nil {
+					return nil, stats, err
+				}
+				continue cycles
+			}
+		}
+		if len(remaining) == 0 {
+			return collect(got), stats, nil
+		}
+	}
+}
+
+// nextHead returns the stream's next channel head: the stashed one if a
+// previous drain ran into it, otherwise the next one off the wire (dozing
+// frames before it, which belong to shares the client skipped).
+func (c *Client) nextHead(ch int, stats *ClientStats) (*channelHead, error) {
+	cs := c.chans[ch]
+	if h := cs.pending; h != nil {
+		cs.pending = nil
+		return h, nil
+	}
+	for {
+		t, payload, err := readFrame(cs.br)
+		if err != nil {
+			return nil, err
+		}
+		if t != FrameChannelHead {
+			stats.DozeBytes += int64(len(payload))
+			continue
+		}
+		h, derr := decodeChannelHead(payload)
+		if derr != nil {
+			return nil, errFrameCorrupt
+		}
+		if int(h.Channel) != ch {
+			return nil, errFrameCorrupt // stream/channel mismatch
+		}
+		return h, nil
+	}
+}
+
+// readIndexShare consumes one full cycle share off the index channel. The
+// channel directory is read every cycle; the first tier only until the
+// result set is known (and only from a cycle covering the submission).
+func (c *Client) readIndexShare(nav *core.Navigator, knowsDocs *bool, remaining map[xmldoc.DocID]struct{}, got map[xmldoc.DocID]*xmldoc.Document, stats *ClientStats) (*channelHead, []wire.ChannelDirEntry, error) {
+	chead, err := c.nextHead(0, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	if chead.Role != channelRoleIndex {
+		return nil, nil, errFrameCorrupt
+	}
+	stats.Cycles++
+	var (
+		head *cycleHead
+		dir  []wire.ChannelDirEntry
+	)
+	for {
+		t, payload, err := readFrame(c.chans[0].br)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch t {
+		case FrameCycleHead:
+			h, derr := decodeCycleHead(payload)
+			if derr != nil {
+				return nil, nil, errFrameCorrupt
+			}
+			head = h
+		case FrameChannelDir:
+			stats.TuningBytes += int64(len(payload))
+			entries, derr := wire.DecodeChannelDir(payload, c.model)
+			if derr != nil {
+				return nil, nil, errFrameCorrupt
+			}
+			dir = entries
+		case FrameIndex:
+			// The index share ends with the first tier; decode it only
+			// while the result set is unknown and the cycle covers the
+			// submission.
+			if *knowsDocs || head == nil || chead.Number < c.coveredFrom {
+				stats.DozeBytes += int64(len(payload))
+				return chead, dir, nil
+			}
+			stats.TuningBytes += int64(len(payload))
+			docs, _, derr := c.decodeAndNavigate(payload, head, nav, head.TwoTier)
+			if derr != nil {
+				return nil, nil, errFrameCorrupt
+			}
+			for _, d := range docs {
+				if _, done := got[d]; !done {
+					remaining[d] = struct{}{}
+				}
+			}
+			*knowsDocs = true
+			return chead, dir, nil
+		case FrameChannelHead:
+			// The next cycle began without an index frame: corrupt share.
+			return nil, nil, errFrameCorrupt
+		default:
+			stats.DozeBytes += int64(len(payload))
+		}
+	}
+}
+
+// drainDataShare reads data channel ch up to and through cycle num's share,
+// keeping the documents still in remaining. Shares of earlier cycles are
+// drained as doze; if the stream is already past num (it reconnected ahead),
+// the head is stashed for the next cycle and the wanted documents stay in
+// remaining for a later rebroadcast.
+func (c *Client) drainDataShare(ch int, num uint32, remaining map[xmldoc.DocID]struct{}, got map[xmldoc.DocID]*xmldoc.Document, stats *ClientStats) error {
+	for {
+		h, err := c.nextHead(ch, stats)
+		if err != nil {
+			return err
+		}
+		if h.Number > num {
+			c.chans[ch].pending = h
+			return nil
+		}
+		take := h.Number == num
+		for docs := 0; docs < int(h.NumDocs); {
+			t, payload, err := readFrame(c.chans[ch].br)
+			if err != nil {
+				return err
+			}
+			switch t {
+			case FrameSecondTier:
+				stats.DozeBytes += int64(len(payload))
+			case FrameDoc:
+				docs++
+				if len(payload) < 2 {
+					return errFrameCorrupt
+				}
+				id := xmldoc.DocID(binary.LittleEndian.Uint16(payload))
+				if _, need := remaining[id]; !need || !take {
+					stats.DozeBytes += int64(len(payload))
+					continue
+				}
+				stats.TuningBytes += int64(len(payload) - 2)
+				root, derr := xmldoc.Parse(bytes.NewReader(payload[2:]))
+				if derr != nil {
+					return errFrameCorrupt
+				}
+				got[id] = xmldoc.NewDocument(id, root)
+				delete(remaining, id)
+			case FrameChannelHead:
+				return errFrameCorrupt // share ended short of its doc count
+			default:
+				stats.DozeBytes += int64(len(payload))
+			}
+		}
+		if take {
+			return nil
+		}
+	}
+}

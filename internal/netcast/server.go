@@ -30,6 +30,13 @@ type ServerConfig struct {
 	Mode broadcast.Mode
 	// Scheduler plans cycles. Nil selects schedule.LeeLo.
 	Scheduler schedule.Scheduler
+	// Channels is the number of parallel broadcast streams (K). Zero or one
+	// selects the classic single-channel broadcast. With K > 1 (two-tier
+	// mode only) the server binds K broadcast listeners — channel 0 carries
+	// the cycle head, channel directory and first tier, channels 1..K-1
+	// carry striped second tiers and documents — and each cycle is fanned
+	// out channel by channel (protocol version 3; see ChannelAddrs).
+	Channels int
 	// CycleCapacity is the per-cycle document budget in bytes. Required.
 	CycleCapacity int
 	// CycleInterval paces cycles in wall-clock time; the server also emits
@@ -111,7 +118,10 @@ type Server struct {
 	// static config at every admission decision.
 	adaptive *engine.AdaptiveLimiter
 
-	upLn, bcLn net.Listener
+	upLn net.Listener
+	// bcLns holds one broadcast listener per channel; single-channel servers
+	// have exactly one.
+	bcLns []net.Listener
 
 	mu      sync.Mutex
 	subs    map[*subscriber]struct{}
@@ -156,8 +166,11 @@ type ServerStats struct {
 // channel and written by a dedicated goroutine, so one stalled connection
 // cannot delay the cycle loop or the other subscribers.
 type subscriber struct {
-	conn     net.Conn
-	ch       chan outFrame
+	conn net.Conn
+	ch   chan outFrame
+	// channel is the broadcast channel this listener subscribed to (by
+	// dialing its address); always 0 on a single-channel server.
+	channel  int
 	quitOnce sync.Once
 }
 
@@ -198,6 +211,15 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.Scheduler == nil {
 		cfg.Scheduler = schedule.LeeLo{}
+	}
+	if cfg.Channels == 0 {
+		cfg.Channels = 1
+	}
+	if cfg.Channels < 1 || cfg.Channels > 256 {
+		return nil, fmt.Errorf("netcast: ServerConfig.Channels must be in [1, 256], got %d", cfg.Channels)
+	}
+	if cfg.Channels > 1 && cfg.Mode != broadcast.TwoTierMode {
+		return nil, fmt.Errorf("netcast: multichannel broadcast requires two-tier mode")
 	}
 	if cfg.CycleInterval == 0 {
 		cfg.CycleInterval = 50 * time.Millisecond
@@ -240,6 +262,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		Model:         cfg.Model,
 		Mode:          cfg.Mode,
 		Scheduler:     cfg.Scheduler,
+		Channels:      cfg.Channels,
 		CycleCapacity: cfg.CycleCapacity,
 		Probe:         cfg.Probe,
 		Limits:        cfg.Limits,
@@ -254,10 +277,32 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netcast: uplink listen: %w", err)
 	}
-	bcLn, err := net.Listen("tcp", cfg.BroadcastAddr)
-	if err != nil {
+	// One broadcast listener per channel: channel 0 binds the configured
+	// address, data channels bind ephemeral ports on the same host (a fixed
+	// configured port cannot be shared by K listeners).
+	bcLns := make([]net.Listener, 0, cfg.Channels)
+	closeAll := func() {
 		upLn.Close()
-		return nil, fmt.Errorf("netcast: broadcast listen: %w", err)
+		for _, ln := range bcLns {
+			ln.Close()
+		}
+	}
+	for c := 0; c < cfg.Channels; c++ {
+		addr := cfg.BroadcastAddr
+		if c > 0 {
+			host, _, err := net.SplitHostPort(bcLns[0].Addr().String())
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("netcast: broadcast listen: %w", err)
+			}
+			addr = net.JoinHostPort(host, "0")
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("netcast: broadcast listen (channel %d): %w", c, err)
+		}
+		bcLns = append(bcLns, ln)
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -265,16 +310,18 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		adaptive: adaptive,
 		eng:      eng,
 		upLn:     upLn,
-		bcLn:     bcLn,
+		bcLns:    bcLns,
 		subs:     make(map[*subscriber]struct{}),
 		uplinks:  make(map[net.Conn]struct{}),
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 		done:     make(chan struct{}),
 	}
-	s.wg.Add(3)
+	s.wg.Add(2 + len(bcLns))
 	go s.acceptUplink()
-	go s.acceptSubscribers()
+	for c, ln := range bcLns {
+		go s.acceptSubscribers(ln, c)
+	}
 	go s.cycleLoop()
 	go func() {
 		s.wg.Wait()
@@ -286,8 +333,23 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 // UplinkAddr is the bound uplink address.
 func (s *Server) UplinkAddr() string { return s.upLn.Addr().String() }
 
-// BroadcastAddr is the bound broadcast address.
-func (s *Server) BroadcastAddr() string { return s.bcLn.Addr().String() }
+// BroadcastAddr is the bound broadcast address (channel 0: the only stream
+// on a single-channel server, the index channel otherwise).
+func (s *Server) BroadcastAddr() string { return s.bcLns[0].Addr().String() }
+
+// ChannelAddrs lists every channel's bound broadcast address in channel
+// order: entry 0 is the index channel (same as BroadcastAddr), entries
+// 1..K-1 the data channels. Single-channel servers return one address.
+func (s *Server) ChannelAddrs() []string {
+	out := make([]string, len(s.bcLns))
+	for i, ln := range s.bcLns {
+		out[i] = ln.Addr().String()
+	}
+	return out
+}
+
+// Channels reports the number of broadcast channels.
+func (s *Server) Channels() int { return len(s.bcLns) }
 
 // Cycles reports how many cycles have been broadcast.
 func (s *Server) Cycles() int64 {
@@ -332,7 +394,9 @@ func (s *Server) Shutdown() {
 		// before the subscriber queues are closed.
 		<-s.loopDone
 		s.upLn.Close()
-		s.bcLn.Close()
+		for _, ln := range s.bcLns {
+			ln.Close()
+		}
 		s.mu.Lock()
 		subs := make([]*subscriber, 0, len(s.subs))
 		for sub := range s.subs {
@@ -532,16 +596,16 @@ func (s *Server) admit() error {
 	return nil
 }
 
-// acceptSubscribers registers broadcast listeners, each with its own
-// buffered writer goroutine.
-func (s *Server) acceptSubscribers() {
+// acceptSubscribers registers broadcast listeners on one channel's listener,
+// each with its own buffered writer goroutine.
+func (s *Server) acceptSubscribers(ln net.Listener, channel int) {
 	defer s.wg.Done()
 	for {
-		conn, err := s.bcLn.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			return
 		}
-		sub := &subscriber{conn: conn, ch: make(chan outFrame, s.cfg.SubscriberQueue)}
+		sub := &subscriber{conn: conn, ch: make(chan outFrame, s.cfg.SubscriberQueue), channel: channel}
 		s.mu.Lock()
 		s.subs[sub] = struct{}{}
 		s.mu.Unlock()
@@ -650,13 +714,43 @@ func (s *Server) broadcastCycle() error {
 
 	// The encoded segments are retained by subscriber queues, so they are
 	// never recycled here; the GC reclaims them once every writer is done.
-	s.fanOut(FrameCycleHead, headBytes)
-	s.fanOut(FrameIndex, enc.Index)
-	if enc.SecondTier != nil {
-		s.fanOut(FrameSecondTier, enc.SecondTier)
-	}
-	for _, payload := range enc.Docs {
-		s.fanOut(FrameDoc, payload)
+	if len(cy.Channels) > 1 {
+		// Multichannel cycle (protocol v3): each channel's share opens with
+		// a channel head. Channel 0 carries the cycle head, channel
+		// directory and first tier; data channel c carries its second-tier
+		// stripe and its documents in stripe order.
+		k := uint8(len(cy.Channels))
+		ch0 := &channelHead{Number: uint32(num), Channel: 0, Channels: k,
+			Role: channelRoleIndex, NumDocs: uint16(len(cy.Docs))}
+		s.fanOut(0, FrameChannelHead, ch0.encode())
+		s.fanOut(0, FrameCycleHead, headBytes)
+		s.fanOut(0, FrameChannelDir, enc.ChannelDir)
+		s.fanOut(0, FrameIndex, enc.Index)
+		// enc.Docs is in aggregate plan order (cy.Docs order); map IDs back
+		// to payloads so each stripe fans out in its own channel order.
+		byID := make(map[xmldoc.DocID][]byte, len(cy.Docs))
+		for i, p := range cy.Docs {
+			byID[p.ID] = enc.Docs[i]
+		}
+		for c := 1; c < len(cy.Channels); c++ {
+			lay := cy.Channels[c]
+			chc := &channelHead{Number: uint32(num), Channel: uint8(c), Channels: k,
+				Role: channelRoleData, NumDocs: uint16(len(lay.Docs))}
+			s.fanOut(c, FrameChannelHead, chc.encode())
+			s.fanOut(c, FrameSecondTier, enc.SecondTiers[c-1])
+			for _, p := range lay.Docs {
+				s.fanOut(c, FrameDoc, byID[p.ID])
+			}
+		}
+	} else {
+		s.fanOut(0, FrameCycleHead, headBytes)
+		s.fanOut(0, FrameIndex, enc.Index)
+		if enc.SecondTier != nil {
+			s.fanOut(0, FrameSecondTier, enc.SecondTier)
+		}
+		for _, payload := range enc.Docs {
+			s.fanOut(0, FrameDoc, payload)
+		}
 	}
 
 	// Mark deliveries on the snapshotted requests only (requests submitted
@@ -670,7 +764,12 @@ func (s *Server) broadcastCycle() error {
 	var live []*srvRequest
 	for _, r := range s.pending {
 		if _, ok := inSnapshot[r.id]; ok {
-			for _, p := range cy.Docs {
+			// Multichannel cycles retire only what a single-tuner client
+			// could actually have received (the Receivable commitment); the
+			// rest stays pending and is rescheduled. The request's admission
+			// cycle is its first covering cycle, where the client is still
+			// reading the first tier.
+			for _, p := range cy.Receivable(r.remaining, num == r.arrival) {
 				delete(r.remaining, p.ID)
 			}
 		}
@@ -683,14 +782,16 @@ func (s *Server) broadcastCycle() error {
 	return nil
 }
 
-// fanOut enqueues one frame to every subscriber's writer. A subscriber
+// fanOut enqueues one frame to every subscriber of one channel. A subscriber
 // whose queue is full has stalled past what its buffer and write deadline
 // absorb; it is dropped so the broadcast never blocks on one receiver.
-func (s *Server) fanOut(t FrameType, payload []byte) {
+func (s *Server) fanOut(channel int, t FrameType, payload []byte) {
 	s.mu.Lock()
 	subs := make([]*subscriber, 0, len(s.subs))
 	for sub := range s.subs {
-		subs = append(subs, sub)
+		if sub.channel == channel {
+			subs = append(subs, sub)
+		}
 	}
 	s.mu.Unlock()
 	for _, sub := range subs {

@@ -1,0 +1,83 @@
+package schedule
+
+import "repro/internal/xmldoc"
+
+// Stripe partitions a cycle's document plan across k parallel data channels.
+// The plan arrives in the policy's broadcast order (LeeLo, FCFS, MRF, RxW —
+// whatever produced it) and that order is preserved within every stripe, so
+// each channel broadcasts its share under the same policy semantics; the
+// striping only decides which channel carries which document.
+//
+// Assignment is greedy least-loaded by accumulated bytes, walking the plan in
+// delivery order and placing each document on the channel with the fewest
+// bytes so far (ties break to the lowest channel index). This keeps channel
+// loads within one document of each other — the multichannel cycle length is
+// k times the heaviest channel, so balance is directly cycle length — and is
+// fully deterministic, which the sim-vs-netcast byte-equivalence tests
+// require.
+//
+// k <= 1 returns the plan as a single stripe.
+func Stripe(plan []xmldoc.DocID, size func(xmldoc.DocID) int, k int) [][]xmldoc.DocID {
+	if k <= 1 {
+		return [][]xmldoc.DocID{plan}
+	}
+	stripes := make([][]xmldoc.DocID, k)
+	loads := make([]int, k)
+	for _, d := range plan {
+		best := 0
+		for c := 1; c < k; c++ {
+			if loads[c] < loads[best] {
+				best = c
+			}
+		}
+		stripes[best] = append(stripes[best], d)
+		loads[best] += size(d)
+	}
+	return stripes
+}
+
+// StripeSkewed partitions a plan across k data channels with deliberately
+// unequal byte budgets: stripe 0 gets weight 1 and every other stripe weight
+// k, so stripe 0 carries roughly 1/(1+k(k-1)) of the cycle's bytes. The plan
+// arrives in the policy's delivery order — demand-ranked first under the
+// on-demand policies — and the split is contiguous, so the hottest documents
+// land together on the small stripe. In the air-time model a channel lighter
+// than the cycle's heaviest replays its unit through the slack
+// (broadcast.Cycle.ChannelRepetitions), so the small hot stripe repeats
+// several times per cycle: the broadcast-disk allocation, with repetition
+// frequency skewed toward demand. The deliberate imbalance lengthens the
+// cycle (k times the heaviest stripe), which the repetitions of the hot set
+// must buy back; a skewed workload is what makes the trade profitable.
+//
+// k <= 1 returns the plan as a single stripe; k == 2 degenerates to a
+// contiguous half split.
+func StripeSkewed(plan []xmldoc.DocID, size func(xmldoc.DocID) int, k int) [][]xmldoc.DocID {
+	if k <= 1 {
+		return [][]xmldoc.DocID{plan}
+	}
+	total := 0
+	for _, d := range plan {
+		total += size(d)
+	}
+	weights := make([]int, k)
+	sum := 0
+	for c := range weights {
+		weights[c] = k
+		if c == 0 {
+			weights[c] = 1
+		}
+		sum += weights[c]
+	}
+	stripes := make([][]xmldoc.DocID, k)
+	c, load := 0, 0
+	for _, d := range plan {
+		// Advance to the next stripe once this one's budget is filled; the
+		// last stripe takes the remainder.
+		for c < k-1 && load >= total*weights[c]/sum {
+			c, load = c+1, 0
+		}
+		stripes[c] = append(stripes[c], d)
+		load += size(d)
+	}
+	return stripes
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/broadcast"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// singleDocWorkload builds numDocs documents with unique two-level paths and
+// one exact query per document, then draws nreq requests Zipf-distributed
+// over the documents with arrivals spaced gap byte-ticks apart. Each request
+// resolves to exactly one document, which makes per-client accounting in the
+// multichannel comparisons exact.
+func singleDocWorkload(t *testing.T, numDocs, pad int, zipfS float64, nreq int, gap int64, seed int64) (*xmldoc.Collection, []ClientRequest) {
+	t.Helper()
+	docs := make([]*xmldoc.Document, numDocs)
+	queries := make([]xpath.Path, numDocs)
+	for i := 0; i < numDocs; i++ {
+		a, b := fmt.Sprintf("r%d", i), fmt.Sprintf("s%d", i)
+		leaf := &xmldoc.Node{Label: b, Text: strings.Repeat("x", pad)}
+		root := &xmldoc.Node{Label: a, Children: []*xmldoc.Node{leaf}}
+		docs[i] = xmldoc.NewDocument(xmldoc.DocID(i+1), root)
+		queries[i] = xpath.MustParse("/" + a + "/" + b)
+	}
+	c, err := xmldoc.NewCollection(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, zipfS, 1, uint64(numDocs-1))
+	reqs := make([]ClientRequest, nreq)
+	for i := range reqs {
+		reqs[i] = ClientRequest{Query: queries[z.Uint64()], Arrival: int64(i) * gap}
+	}
+	return c, reqs
+}
+
+// TestMultichannelReducesAccessTime pins the multichannel win the channel
+// plan is built for: at fixed aggregate bandwidth, splitting the broadcast
+// across four channels reduces mean access time versus a single channel.
+//
+// The fixture is the regime the two-tier air model favors for K > 1:
+// saturated steady state (every cycle carries the whole collection, so the
+// queue-feedback loop that otherwise inflates multichannel cycles is capped),
+// large documents (the per-channel guard prefix is small relative to
+// payload), and skewed demand (the index channel's repetition unit carries
+// the hottest plan prefix, so clients that sync mid-cycle — including
+// eavesdroppers not yet admitted — catch the head of demand within one
+// repetition instead of one cycle). The win must hold on every seed, not on
+// average: the mechanism is structural, not statistical.
+func TestMultichannelReducesAccessTime(t *testing.T) {
+	const (
+		numDocs = 80
+		pad     = 1600
+		nreq    = 4000
+		zipfS   = 1.6
+		gap     = 40
+	)
+	for seed := int64(1); seed <= 3; seed++ {
+		c, reqs := singleDocWorkload(t, numDocs, pad, zipfS, nreq, gap, seed)
+		capacity := c.TotalSize()
+		run := func(k int) *Result {
+			res, err := Run(Config{
+				Collection:    c,
+				Mode:          broadcast.TwoTierMode,
+				CycleCapacity: capacity,
+				Requests:      reqs,
+				Channels:      k,
+			})
+			if err != nil {
+				t.Fatalf("seed %d K=%d: %v", seed, k, err)
+			}
+			return res
+		}
+		serial, multi := run(1), run(4)
+
+		if s, m := serial.MeanAccessBytes(), multi.MeanAccessBytes(); m >= s {
+			t.Errorf("seed %d: K=4 mean access %.0f, not below K=1 %.0f", seed, m, s)
+		} else {
+			t.Logf("seed %d: mean access K=1 %.0f, K=4 %.0f (%.1f%% reduction)",
+				seed, s, m, 100*(1-m/s))
+		}
+
+		// The reduction comes from mid-cycle sync points: pre-admission
+		// clients eavesdrop on repetitions and catch hot documents early.
+		// If no client ever catches one, the mechanism is broken even if
+		// the headline number happens to hold.
+		if multi.EavesdropClients() == 0 {
+			t.Errorf("seed %d: no K=4 client caught a document by eavesdropping", seed)
+		}
+		if reps := multi.MeanIndexRepetitions(); reps <= 1 {
+			t.Errorf("seed %d: index channel aired %.1f repetitions per cycle; expected replication", seed, reps)
+		}
+	}
+}

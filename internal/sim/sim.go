@@ -114,6 +114,13 @@ type Config struct {
 	// them. Encoding is skipped when nil, so plain simulations pay no wire
 	// cost. The Encoded's segments are only valid during the call.
 	CycleSink func(*engine.Cycle, *engine.Encoded)
+	// Channels splits each cycle across K parallel broadcast channels
+	// sharing the aggregate bandwidth (each channel airs one byte per K
+	// byte-ticks): channel 0 carries the head, channel directory and first
+	// tier, channels 1..K-1 carry second-tier stripes and documents, and
+	// clients hop channels with a single tuner. 0 or 1 (the default) is the
+	// serial single-channel program. Requires TwoTierMode when > 1.
+	Channels int
 }
 
 func (c *Config) applyDefaults() {
@@ -144,6 +151,12 @@ func (c *Config) validate() error {
 	if c.LossProb < 0 || c.LossProb >= 1 {
 		return fmt.Errorf("sim: Config.LossProb must be in [0, 1), got %g", c.LossProb)
 	}
+	if c.Channels < 0 {
+		return fmt.Errorf("sim: Config.Channels must be >= 0, got %d", c.Channels)
+	}
+	if c.Channels > 1 && c.Mode != broadcast.TwoTierMode {
+		return fmt.Errorf("sim: Config.Channels > 1 requires TwoTierMode")
+	}
 	return c.Model.Validate()
 }
 
@@ -165,6 +178,11 @@ type ClientStats struct {
 	DocTuningBytes int64
 	// CyclesListened is n in Eq. 1: the cycles the client attended.
 	CyclesListened int
+	// EavesdropDocs counts result documents caught before admission: the
+	// client synced on an index-channel repetition of its arrival cycle and
+	// received documents that earlier demand had already put on air
+	// (multichannel runs only).
+	EavesdropDocs int
 	// Docs is the query's result set.
 	Docs []xmldoc.DocID
 }
@@ -176,10 +194,20 @@ type CycleStats struct {
 	HeadBytes       int
 	IndexBytes      int
 	SecondTierBytes int
-	DocBytes        int
-	NumDocs         int
-	IndexNodes      int
-	Pending         int
+	// DirBytes is the channel-directory size; zero on single-channel runs.
+	DirBytes int
+	DocBytes int
+	// DurationBytes is the cycle's on-air length in aggregate byte-time
+	// (TotalBytes on one channel, K × the heaviest channel otherwise).
+	DurationBytes int64
+	// ChannelBytes is the per-channel payload; nil on single-channel runs.
+	ChannelBytes []int
+	// IndexRepetitions is how many complete [head][directory][first tier]
+	// copies the index channel aired this cycle (1 on single-channel runs).
+	IndexRepetitions int
+	NumDocs          int
+	IndexNodes       int
+	Pending          int
 }
 
 // Result is the outcome of a run.
@@ -195,17 +223,37 @@ type Result struct {
 	Engine engine.Metrics
 }
 
-// client is the in-flight state of one request.
+// client is the in-flight state of one request. Two outstanding-document sets
+// evolve side by side: remaining is the server's belief (retired by the same
+// Receivable commitment the networked server applies, so scheduling matches
+// the netcast driver cycle for cycle), while needed is what the client has
+// actually downloaded. On multichannel runs a client that synced mid-cycle on
+// an index repetition can catch documents beyond the server's conservative
+// commitment, so needed can drain ahead of remaining; the server keeps a
+// request active until its belief drains, exactly as the networked server
+// does for a subscriber it cannot observe.
 type client struct {
 	id        int64
 	req       ClientRequest
 	nav       *core.Navigator
 	docs      []xmldoc.DocID // full result set, known after first index read
 	remaining map[xmldoc.DocID]struct{}
+	needed    map[xmldoc.DocID]struct{}
 	admit     int64 // cycle number that first covered the request
 	knowsDocs bool  // two-tier: first-tier already read
 	stats     ClientStats
-	done      bool
+	done      bool // server belief drained; request leaves the pending set
+}
+
+// receive records one successful document download.
+func (cl *client) receive(id xmldoc.DocID, end int64) {
+	delete(cl.needed, id)
+	if end > cl.stats.Completed {
+		cl.stats.Completed = end
+	}
+	if len(cl.needed) == 0 {
+		cl.stats.AccessBytes = cl.stats.Completed - cl.stats.Arrival
+	}
 }
 
 // Run executes the simulation until every request completes.
@@ -236,6 +284,7 @@ func Run(cfg Config) (*Result, error) {
 		PruneChurn:    cfg.PruneChurn,
 		ScheduleChurn: cfg.ScheduleChurn,
 		Adaptive:      adaptive,
+		Channels:      cfg.Channels,
 	})
 	if err != nil {
 		return nil, err
@@ -253,8 +302,10 @@ func Run(cfg Config) (*Result, error) {
 	for i, r := range cfg.Requests {
 		docs := answers[r.Query.String()]
 		rem := make(map[xmldoc.DocID]struct{}, len(docs))
+		need := make(map[xmldoc.DocID]struct{}, len(docs))
 		for _, d := range docs {
 			rem[d] = struct{}{}
+			need[d] = struct{}{}
 		}
 		clients[i] = &client{
 			id:        int64(i),
@@ -262,6 +313,7 @@ func Run(cfg Config) (*Result, error) {
 			nav:       core.NewNavigator(r.Query),
 			docs:      docs,
 			remaining: rem,
+			needed:    need,
 			stats:     ClientStats{Query: r.Query, Arrival: r.Arrival, Docs: docs},
 		}
 	}
@@ -330,18 +382,25 @@ func Run(cfg Config) (*Result, error) {
 			cfg.CycleSink(ecy, enc)
 			eng.Recycle(enc)
 		}
-		cy := ecy.Cycle
-		res.Cycles = append(res.Cycles, CycleStats{
+		cy := ecy
+		st := CycleStats{
 			Number:          cy.Number,
 			Start:           cy.Start,
 			HeadBytes:       cy.HeadBytes,
 			IndexBytes:      cy.IndexBytes,
 			SecondTierBytes: cy.SecondTierBytes,
+			DirBytes:        cy.DirBytes,
 			DocBytes:        cy.DocBytes,
+			DurationBytes:   cy.Duration(),
 			NumDocs:         len(cy.Docs),
 			IndexNodes:      cy.Index.NumNodes(),
 			Pending:         len(pending),
-		})
+		}
+		st.IndexRepetitions = cy.IndexRepetitions()
+		for i := range cy.Channels {
+			st.ChannelBytes = append(st.ChannelBytes, cy.Channels[i].Bytes)
+		}
+		res.Cycles = append(res.Cycles, st)
 
 		// Clients: attend the cycle.
 		stillActive := active[:0]
@@ -354,6 +413,17 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		active = append([]*client(nil), stillActive...)
+
+		// Clients whose requests arrive while this cycle is on air eavesdrop
+		// on the index channel: they sync at the next index repetition and
+		// may catch documents already airing for earlier requests, before the
+		// server has even admitted them.
+		for i := admitted; i < len(byArrival); i++ {
+			if byArrival[i].req.Arrival >= cy.End() {
+				break
+			}
+			eavesdropCycle(byArrival[i], cy, cfg, loss)
+		}
 
 		now = cy.End()
 		cycleNum++
@@ -384,6 +454,10 @@ func (l *lossProcess) fail() bool {
 // this cycle's documents, and a lost document stays in the remaining set and
 // is rescheduled by the server.
 func attendCycle(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossProcess) {
+	if len(cy.Channels) > 1 {
+		attendMultichannel(cl, cy, cfg, loss)
+		return
+	}
 	cl.stats.CyclesListened++
 	indexOK := true
 	switch cfg.Mode {
@@ -425,14 +499,118 @@ func attendCycle(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossProcess)
 				continue // stays remaining; the server reschedules it
 			}
 			delete(cl.remaining, p.ID)
-			if end := cy.DocStart() + int64(p.Offset+p.Size); end > cl.stats.Completed {
-				cl.stats.Completed = end
-			}
+			cl.receive(p.ID, cy.DocStart()+int64(p.Offset+p.Size))
 		}
 	}
-	if len(cl.remaining) == 0 {
-		cl.done = true
-		cl.stats.AccessBytes = cl.stats.Completed - cl.stats.Arrival
+	cl.done = len(cl.remaining) == 0
+}
+
+// attendMultichannel plays one client's protocol over a K-channel cycle with
+// a single tuner. The server's belief (cl.remaining) retires by the cycle's
+// Receivable commitment — the same rule the networked server applies, keyed
+// on the admission cycle — so the pending view driving the scheduler evolves
+// identically across drivers. The client executes that commitment for the
+// documents it still needs (no commitment is ever starved) and then fills
+// the tuner's gaps with opportunistic catches: documents the conservative
+// commitment skipped but that a client already holding the directory — e.g.
+// one that synced mid-cycle on an index repetition — can still receive.
+func attendMultichannel(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossProcess) {
+	commit := cy.Commitments(cl.remaining, cy.Number == cl.admit)
+	for _, p := range commit {
+		delete(cl.remaining, p.ID)
+	}
+	defer func() { cl.done = len(cl.remaining) == 0 }()
+
+	if len(cl.needed) == 0 {
+		return // already complete; the server drains its belief unattended
+	}
+	cl.stats.CyclesListened++
+	firstListen := !cl.knowsDocs
+	cl.stats.IndexTuningBytes += int64(cy.DirBytes)
+	indexOK := !loss.fail()
+	if firstListen {
+		cl.stats.IndexTuningBytes += int64(indexReadBytes(cl, cy, cfg))
+		if loss.fail() {
+			indexOK = false
+		} else {
+			cl.knowsDocs = true
+		}
+	}
+	ready := cy.DirEnd()
+	if firstListen {
+		ready = cy.IndexEnd()
+	}
+	if !indexOK {
+		// Lost the directory: nothing received this cycle. Still-needed
+		// committed documents are re-requested over the uplink.
+		for _, p := range commit {
+			if _, need := cl.needed[p.ID]; need {
+				cl.remaining[p.ID] = struct{}{}
+			}
+		}
+		return
+	}
+
+	var busy []broadcast.AirInterval
+	download := func(cm broadcast.Commitment) {
+		busy = append(busy, broadcast.AirInterval{Start: cm.Start, End: cm.End})
+		cl.stats.DocTuningBytes += int64(cm.Size)
+		if loss.fail() {
+			cl.remaining[cm.ID] = struct{}{} // re-requested; rescheduled
+			return
+		}
+		cl.receive(cm.ID, cm.End)
+	}
+	extra := make(map[xmldoc.DocID]struct{}, len(cl.needed))
+	for d := range cl.needed {
+		extra[d] = struct{}{}
+	}
+	for _, cm := range commit {
+		if _, need := cl.needed[cm.ID]; !need {
+			continue // already caught earlier; the tuner stays free
+		}
+		delete(extra, cm.ID)
+		if cm.Start < ready {
+			// Committed before this client could actually act on the
+			// directory (a lost earlier first-tier read); re-requested.
+			cl.remaining[cm.ID] = struct{}{}
+			continue
+		}
+		download(cm)
+	}
+	for _, cm := range cy.CommitmentsFrom(extra, ready, busy) {
+		download(cm)
+	}
+}
+
+// eavesdropCycle models a client whose request arrives while a multichannel
+// cycle is already on air: it tunes the index channel, syncs at the next
+// complete [head][directory][first tier] repetition, and catches whatever
+// still-airing documents of its result set earlier demand put on this cycle
+// — all before the server has admitted the request. This is the access-time
+// payoff of replicating the first tier on a dedicated channel: a serial
+// program's index has already flown past a mid-cycle joiner.
+func eavesdropCycle(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossProcess) {
+	if cl.knowsDocs {
+		return
+	}
+	sync, ok := cy.SyncAfter(cl.req.Arrival)
+	if !ok {
+		return
+	}
+	cl.stats.CyclesListened++
+	cl.stats.IndexTuningBytes += int64(cy.DirBytes) + int64(indexReadBytes(cl, cy, cfg))
+	if loss.fail() {
+		return
+	}
+	cl.knowsDocs = true
+	for _, cm := range cy.CommitmentsFrom(cl.needed, sync, nil) {
+		cl.stats.DocTuningBytes += int64(cm.Size)
+		if loss.fail() {
+			continue // still in the server's belief; rescheduled
+		}
+		cl.stats.EavesdropDocs++
+		cl.receive(cm.ID, cm.End)
 	}
 }
 

@@ -34,11 +34,10 @@ func (r *Result) MeanCyclesListened() float64 {
 	return meanOver(r.Clients, func(c ClientStats) float64 { return float64(c.CyclesListened) })
 }
 
-// MeanCycleBytes is the average total cycle length.
+// MeanCycleBytes is the average on-air cycle length in aggregate byte-time
+// (the serial segment sum on one channel; K × the slowest channel otherwise).
 func (r *Result) MeanCycleBytes() float64 {
-	return meanCycles(r.Cycles, func(c CycleStats) float64 {
-		return float64(c.HeadBytes + c.IndexBytes + c.SecondTierBytes + c.DocBytes)
-	})
+	return meanCycles(r.Cycles, func(c CycleStats) float64 { return float64(c.DurationBytes) })
 }
 
 // MeanIndexBytes is the average per-cycle index segment size (L_I).
@@ -53,6 +52,51 @@ func (r *Result) MeanSecondTierBytes() float64 {
 
 // NumCycles reports how many cycles the run broadcast.
 func (r *Result) NumCycles() int { return len(r.Cycles) }
+
+// MeanChannelBytes is the per-channel mean payload per cycle, indexed by
+// channel number (channel 0 is the index channel). Nil on single-channel
+// runs. Cycles that aired fewer channels contribute zero to the missing ones,
+// which cannot happen under a fixed-K run.
+func (r *Result) MeanChannelBytes() []float64 {
+	k := 0
+	for _, c := range r.Cycles {
+		if len(c.ChannelBytes) > k {
+			k = len(c.ChannelBytes)
+		}
+	}
+	if k == 0 || len(r.Cycles) == 0 {
+		return nil
+	}
+	out := make([]float64, k)
+	for _, c := range r.Cycles {
+		for ch, b := range c.ChannelBytes {
+			out[ch] += float64(b)
+		}
+	}
+	for ch := range out {
+		out[ch] /= float64(len(r.Cycles))
+	}
+	return out
+}
+
+// MeanIndexRepetitions is the mean number of complete index-channel
+// repetition units aired per cycle (1.0 on single-channel runs).
+func (r *Result) MeanIndexRepetitions() float64 {
+	return meanCycles(r.Cycles, func(c CycleStats) float64 { return float64(c.IndexRepetitions) })
+}
+
+// EavesdropClients counts clients that caught at least one result document
+// before admission by syncing on an index-channel repetition (multichannel
+// runs only; always zero on a single channel).
+func (r *Result) EavesdropClients() int {
+	n := 0
+	for _, c := range r.Clients {
+		if c.EavesdropDocs > 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // AccessBytesPercentile returns the p-th percentile (0..100) of per-client
 // access time, for tail-latency reporting beyond the paper's means.

@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/xmldoc"
+)
+
+// ChannelDirEntry locates one scheduled document in a multichannel cycle:
+// the broadcast channel that carries it and its byte offset within that
+// channel's cycle stream (so a client needs nothing but this entry to time
+// its hop). It is the "channel tag" attached to first-tier doc IDs: the
+// directory is broadcast on the index channel right after the cycle head,
+// before the first tier, so returning clients learn every placement from one
+// short read.
+type ChannelDirEntry struct {
+	Doc xmldoc.DocID
+	// Channel is the data channel carrying the document (1-based; channel 0
+	// is the index channel).
+	Channel uint8
+	// Offset is the document's byte offset within its channel's cycle
+	// stream (not within a document section — it already accounts for the
+	// channel's second-tier segment).
+	Offset uint64
+}
+
+// ChannelDirSize reports the encoded size in bytes of a channel directory
+// with n entries: a DocIDBytes-wide count followed by fixed-width entries.
+func ChannelDirSize(n int, m core.SizeModel) int {
+	return m.DocIDBytes + n*(m.DocIDBytes+1+m.PointerBytes)
+}
+
+// EncodeChannelDir serialises the directory, sorted by document ID.
+func EncodeChannelDir(entries []ChannelDirEntry, m core.SizeModel) ([]byte, error) {
+	return AppendChannelDir(nil, entries, m)
+}
+
+// AppendChannelDir is EncodeChannelDir appending to dst and returning the
+// extended slice.
+func AppendChannelDir(dst []byte, entries []ChannelDirEntry, m core.SizeModel) ([]byte, error) {
+	sorted := append([]ChannelDirEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Doc < sorted[j].Doc })
+	base := len(dst)
+	dst = grow(dst, ChannelDirSize(len(sorted), m))
+	out := dst[base:]
+	if err := putUint(out, 0, m.DocIDBytes, uint64(len(sorted)), "channel-dir count"); err != nil {
+		return nil, err
+	}
+	pos := m.DocIDBytes
+	for _, e := range sorted {
+		if e.Channel == 0 {
+			return nil, fmt.Errorf("wire: doc %d placed on index channel 0", e.Doc)
+		}
+		if err := putUint(out, pos, m.DocIDBytes, uint64(e.Doc), "doc id"); err != nil {
+			return nil, err
+		}
+		pos += m.DocIDBytes
+		out[pos] = e.Channel
+		pos++
+		if err := putUint(out, pos, m.PointerBytes, e.Offset, "channel offset"); err != nil {
+			return nil, err
+		}
+		pos += m.PointerBytes
+	}
+	return dst, nil
+}
+
+// DecodeChannelDir is the inverse of EncodeChannelDir.
+func DecodeChannelDir(data []byte, m core.SizeModel) ([]ChannelDirEntry, error) {
+	if len(data) < m.DocIDBytes {
+		return nil, fmt.Errorf("wire: channel dir truncated")
+	}
+	n := int(getUint(data, 0, m.DocIDBytes))
+	if len(data) != ChannelDirSize(n, m) {
+		return nil, fmt.Errorf("wire: channel dir has %d bytes, want %d", len(data), ChannelDirSize(n, m))
+	}
+	pos := m.DocIDBytes
+	out := make([]ChannelDirEntry, 0, n)
+	for i := 0; i < n; i++ {
+		id := xmldoc.DocID(getUint(data, pos, m.DocIDBytes))
+		pos += m.DocIDBytes
+		ch := data[pos]
+		pos++
+		off := getUint(data, pos, m.PointerBytes)
+		pos += m.PointerBytes
+		if ch == 0 {
+			return nil, fmt.Errorf("wire: channel dir entry %d on index channel 0", i)
+		}
+		out = append(out, ChannelDirEntry{Doc: id, Channel: ch, Offset: off})
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xmldoc"
+)
+
+func TestChannelDirRoundTrip(t *testing.T) {
+	m := core.DefaultSizeModel()
+	entries := []ChannelDirEntry{
+		{Doc: 7, Channel: 2, Offset: 1234},
+		{Doc: 1, Channel: 1, Offset: 0},
+		{Doc: 300, Channel: 255, Offset: 99999},
+		{Doc: 42, Channel: 3, Offset: 1},
+	}
+	seg, err := EncodeChannelDir(entries, m)
+	if err != nil {
+		t.Fatalf("EncodeChannelDir: %v", err)
+	}
+	if len(seg) != ChannelDirSize(len(entries), m) {
+		t.Errorf("encoded %d bytes, ChannelDirSize says %d", len(seg), ChannelDirSize(len(entries), m))
+	}
+	got, err := DecodeChannelDir(seg, m)
+	if err != nil {
+		t.Fatalf("DecodeChannelDir: %v", err)
+	}
+	// Decoded entries come back sorted by doc ID.
+	want := []ChannelDirEntry{
+		{Doc: 1, Channel: 1, Offset: 0},
+		{Doc: 7, Channel: 2, Offset: 1234},
+		{Doc: 42, Channel: 3, Offset: 1},
+		{Doc: 300, Channel: 255, Offset: 99999},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestChannelDirEmpty(t *testing.T) {
+	m := core.DefaultSizeModel()
+	seg, err := EncodeChannelDir(nil, m)
+	if err != nil {
+		t.Fatalf("EncodeChannelDir(nil): %v", err)
+	}
+	if len(seg) != ChannelDirSize(0, m) {
+		t.Errorf("empty dir encodes to %d bytes, want %d", len(seg), ChannelDirSize(0, m))
+	}
+	got, err := DecodeChannelDir(seg, m)
+	if err != nil {
+		t.Fatalf("DecodeChannelDir: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("decoded %d entries from an empty dir", len(got))
+	}
+}
+
+func TestChannelDirRejectsIndexChannel(t *testing.T) {
+	m := core.DefaultSizeModel()
+	if _, err := EncodeChannelDir([]ChannelDirEntry{{Doc: 1, Channel: 0, Offset: 5}}, m); err == nil {
+		t.Error("EncodeChannelDir accepted a doc placed on the index channel")
+	}
+}
+
+func TestChannelDirDecodeErrors(t *testing.T) {
+	m := core.DefaultSizeModel()
+	seg, err := EncodeChannelDir([]ChannelDirEntry{{Doc: 9, Channel: 1, Offset: 77}}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeChannelDir(seg[:len(seg)-1], m); err == nil {
+		t.Error("DecodeChannelDir accepted a truncated directory")
+	}
+	if _, err := DecodeChannelDir(append(append([]byte(nil), seg...), 0xFF), m); err == nil {
+		t.Error("DecodeChannelDir accepted trailing bytes")
+	}
+}
+
+func TestChannelDirAppendOffsets(t *testing.T) {
+	m := core.DefaultSizeModel()
+	prefix := []byte{0xAA, 0xBB}
+	entries := []ChannelDirEntry{{Doc: 3, Channel: 1, Offset: 10}}
+	out, err := AppendChannelDir(append([]byte(nil), prefix...), entries, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0xAA || out[1] != 0xBB {
+		t.Error("AppendChannelDir clobbered the destination prefix")
+	}
+	got, err := DecodeChannelDir(out[len(prefix):], m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, entries) {
+		t.Errorf("appended dir decodes to %v, want %v", got, entries)
+	}
+}
+
+func TestChannelDirOffsetWidthLimit(t *testing.T) {
+	m := core.DefaultSizeModel()
+	// An offset wider than PointerBytes must be rejected at encode time,
+	// not silently truncated.
+	huge := uint64(1) << uint(8*m.PointerBytes)
+	if _, err := EncodeChannelDir([]ChannelDirEntry{{Doc: xmldoc.DocID(1), Channel: 1, Offset: huge}}, m); err == nil {
+		t.Error("EncodeChannelDir accepted an offset wider than PointerBytes")
+	}
+}

@@ -48,6 +48,14 @@ func DialBroadcast(uplinkAddr, broadcastAddr string, model SizeModel) (*Broadcas
 	return netcast.Dial(uplinkAddr, broadcastAddr, model)
 }
 
+// DialBroadcastChannels connects a client to a multichannel server: one
+// uplink plus every channel's broadcast address, in channel order (see
+// (*BroadcastServer).ChannelAddrs). A single address behaves exactly like
+// DialBroadcast.
+func DialBroadcastChannels(uplinkAddr string, channelAddrs []string, model SizeModel) (*BroadcastClient, error) {
+	return netcast.DialChannels(uplinkAddr, channelAddrs, model)
+}
+
 // CycleRecord is one captured broadcast cycle.
 type CycleRecord = netcast.CycleRecord
 
