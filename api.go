@@ -118,6 +118,13 @@ func SchedulerNames() []string { return schedule.Names() }
 // Simulate runs the discrete-event broadcast simulation to completion.
 func Simulate(cfg SimulationConfig) (*SimulationResult, error) { return sim.Run(cfg) }
 
+// RunRestartSim executes a deterministic cycle-clocked broadcast run over a
+// durability journal. With CrashSeed or TornAfter set, the run is killed
+// mid-pipeline, recovered from the journal, and resumed; its per-cycle wire
+// hashes and pending keys must match a crash-free control run of the same
+// script (the crash-equivalence property the journal guarantees).
+func RunRestartSim(cfg RestartSimConfig) (*RestartSimResult, error) { return sim.RunRestart(cfg) }
+
 // Experiments lists every reproducible table and figure of the paper's
 // evaluation (plus this repository's ablations) in execution order.
 func Experiments() []Experiment { return exp.Experiments() }

@@ -58,6 +58,10 @@ func run(args []string) error {
 		adaptive    = fs.Bool("adaptive", false, "self-tune the admission limits (AIMD over -max-pending/-uplink-rate, auto-picked churn thresholds); static values become seeds")
 		targetLat   = fs.Duration("target-latency", 0, "adaptive controller's per-cycle assembly-latency goal (0 = derive from -build-budget or default)")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = disabled)")
+
+		stateDir  = fs.String("state-dir", "", "durability journal directory: ack-after-durability admissions, warm restart on the same directory (empty = in-memory)")
+		fsync     = fs.Bool("fsync", false, "fsync the journal on every append (survives power loss, not just process death)")
+		snapEvery = fs.Int("snapshot-every", 0, "journal records between compacting snapshots (0 = default, negative = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,11 +107,18 @@ func run(args []string) error {
 		ScheduleChurn:  *schedChurn,
 		Adaptive:       *adaptive,
 		AdaptiveTarget: *targetLat,
+		StateDir:       *stateDir,
+		Fsync:          *fsync,
+		SnapshotEvery:  *snapEvery,
 	})
 	if err != nil {
 		return err
 	}
 	defer srv.Shutdown()
+	if *stateDir != "" {
+		fmt.Printf("journal   %s (epoch %x, generation %d, %d pending recovered)\n",
+			*stateDir, srv.Epoch(), srv.Generation(), srv.RecoveredPending())
+	}
 	if *pprofAddr != "" {
 		// DefaultServeMux carries the net/http/pprof handlers via its
 		// blank import; the listener is opt-in and should stay loopback.

@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro"
 )
@@ -39,6 +41,13 @@ func run(args []string) error {
 		adaptive  = fs.Bool("adaptive", false, "enable the self-tuning admission controller (auto-picked churn thresholds; health in the engine line)")
 		targetLat = fs.Duration("target-latency", 0, "adaptive controller's per-cycle assembly-latency goal (0 = default)")
 		verbose   = fs.Bool("v", false, "print per-cycle and per-client detail")
+
+		restart   = fs.Bool("restart-check", false, "run the crash-restart equivalence check instead of the metrics simulation: a crashed-and-recovered journaled run must be wire-identical to a crash-free control")
+		crashSeed = fs.Int64("crash-seed", 1, "seed choosing the injected crash's pipeline stage and cycle (-restart-check)")
+		cycles    = fs.Int("cycles", 40, "committed cycles per leg (-restart-check)")
+		stateDir  = fs.String("state-dir", "", "journal directory root for -restart-check (empty = temp, removed after)")
+		fsync     = fs.Bool("fsync", false, "fsync journal appends (-restart-check)")
+		snapEvery = fs.Int("snapshot-every", 0, "journal records between compacting snapshots, 0 = default (-restart-check)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +82,19 @@ func run(args []string) error {
 	reqs := make([]repro.ClientRequest, len(queries))
 	for i, q := range queries {
 		reqs[i] = repro.ClientRequest{Query: q, Arrival: int64(i) * 100}
+	}
+	if *restart {
+		return restartCheck(coll, queries, restartCheckConfig{
+			sched:     *sched,
+			channels:  *channels,
+			capacity:  *capacity,
+			cycles:    *cycles,
+			crashSeed: *crashSeed,
+			stateDir:  *stateDir,
+			fsync:     *fsync,
+			snapEvery: *snapEvery,
+			verbose:   *verbose,
+		})
 	}
 	scheduler, err := repro.NewScheduler(*sched)
 	if err != nil {
@@ -120,5 +142,117 @@ func run(args []string) error {
 				i, cl.Arrival, cl.IndexTuningBytes, cl.DocTuningBytes, cl.AccessBytes, cl.CyclesListened, cl.Query)
 		}
 	}
+	return nil
+}
+
+type restartCheckConfig struct {
+	sched     string
+	channels  int
+	capacity  int
+	cycles    int
+	crashSeed int64
+	stateDir  string
+	fsync     bool
+	snapEvery int
+	verbose   bool
+}
+
+// restartCheck runs the same admission script twice over a durability
+// journal — once crash-free, once with a seed-chosen mid-pipeline crash
+// followed by warm recovery — and verifies the two runs are wire-identical
+// cycle by cycle.
+func restartCheck(coll *repro.Collection, queries []repro.Query, cfg restartCheckConfig) error {
+	// Queries with empty result sets never enter the pending set; the
+	// remainder are admitted evenly across the first two thirds of the run
+	// so the crash window always has live pending state around it.
+	matches := repro.FilterDocuments(coll, queries)
+	var live []repro.Query
+	for i, q := range queries {
+		if len(matches[i]) > 0 {
+			live = append(live, q)
+		}
+	}
+	if len(live) == 0 {
+		return fmt.Errorf("restart-check: no query in the workload matches any document")
+	}
+	span := cfg.cycles * 2 / 3
+	if span < 1 {
+		span = 1
+	}
+	script := make([]repro.ScriptedRequest, len(live))
+	for i, q := range live {
+		script[i] = repro.ScriptedRequest{Cycle: int64(i * span / len(live)), Query: q}
+	}
+
+	root := cfg.stateDir
+	if root == "" {
+		tmp, err := os.MkdirTemp("", "bcast-sim-restart")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		root = tmp
+	}
+
+	leg := func(dir string, crashSeed int64) (*repro.RestartSimResult, error) {
+		scheduler, err := repro.NewScheduler(cfg.sched)
+		if err != nil {
+			return nil, err
+		}
+		return repro.RunRestartSim(repro.RestartSimConfig{
+			Collection:    coll,
+			Scheduler:     scheduler,
+			Channels:      cfg.channels,
+			CycleCapacity: cfg.capacity,
+			Script:        script,
+			Cycles:        int64(cfg.cycles),
+			StateDir:      dir,
+			Fsync:         cfg.fsync,
+			SnapshotEvery: cfg.snapEvery,
+			CrashSeed:     crashSeed,
+		})
+	}
+	control, err := leg(filepath.Join(root, "control"), 0)
+	if err != nil {
+		return err
+	}
+	crashed, err := leg(filepath.Join(root, "crash"), cfg.crashSeed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("restart-check: %d requests over %d cycles, K=%d, seed-%d crash\n",
+		len(script), cfg.cycles, cfg.channels, cfg.crashSeed)
+	if crashed.Crashed {
+		fmt.Printf("crash:     stage %s, cycle %d\n", crashed.CrashStage, crashed.CrashCycle)
+		fmt.Printf("recovery:  generation %d, %d pending restored, truncated=%v\n",
+			crashed.Generation, crashed.RecoveredPending, crashed.RecoveredTruncated)
+	} else {
+		fmt.Printf("crash:     seed %d never reached its probe point (run was crash-free)\n", cfg.crashSeed)
+	}
+	if len(control.CycleHashes) != len(crashed.CycleHashes) {
+		return fmt.Errorf("restart-check: control committed %d cycles, crashed run %d",
+			len(control.CycleHashes), len(crashed.CycleHashes))
+	}
+	for i := range control.CycleHashes {
+		if control.CycleHashes[i] != crashed.CycleHashes[i] {
+			return fmt.Errorf("restart-check: cycle %d wire hash diverged: control %016x, recovered %016x",
+				i, control.CycleHashes[i], crashed.CycleHashes[i])
+		}
+		if control.PendingKeys[i] != crashed.PendingKeys[i] {
+			return fmt.Errorf("restart-check: cycle %d pending set diverged", i)
+		}
+	}
+	if cfg.verbose {
+		fmt.Println("\ncycle  wire hash         pending")
+		for i, h := range control.CycleHashes {
+			n := 0
+			if control.PendingKeys[i] != "" {
+				n = strings.Count(control.PendingKeys[i], ";")
+			}
+			fmt.Printf("%5d  %016x  %7d\n", i, h, n)
+		}
+	}
+	fmt.Printf("verdict:   equivalent (%d cycles wire-identical, pending sets match)\n", len(control.CycleHashes))
 	return nil
 }

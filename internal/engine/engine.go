@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/broadcast"
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/schedule"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
@@ -169,6 +170,13 @@ type Engine struct {
 	changeIdx  []int
 	keepIDs    map[int64]struct{}
 
+	// fp is the order-independent collection fingerprint (XOR of
+	// journal.DocHash per live document), maintained incrementally so the
+	// durability layer can cheaply detect collection drift across restarts.
+	// fpSizes remembers each live document's size for removal. Guarded by mu.
+	fp      uint64
+	fpSizes map[xmldoc.DocID]int
+
 	segPool sync.Pool // *[]byte scratch for encoded index/second-tier segments
 }
 
@@ -219,6 +227,11 @@ func New(cfg Config) (*Engine, error) {
 	if schedChurn >= 0 {
 		e.isched, _ = cfg.Scheduler.(schedule.IncrementalScheduler)
 	}
+	e.fpSizes = make(map[xmldoc.DocID]int, cfg.Collection.Len())
+	for _, d := range cfg.Collection.Docs() {
+		e.fpSizes[d.ID] = d.Size()
+		e.fp ^= journal.DocHash(uint16(d.ID), d.Size())
+	}
 	e.probe = probes{e.collector}
 	if cfg.Probe != nil {
 		e.probe = append(e.probe, cfg.Probe)
@@ -249,6 +262,18 @@ func (e *Engine) NumDocs() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.builder.NumDocs()
+}
+
+// CollectionFingerprint is the order-independent fingerprint of the live
+// document collection (XOR of journal.DocHash over every document's ID and
+// size), maintained incrementally across AddDocument/RemoveDocument. The
+// durability layer journals it with collection events so a restarted server
+// can detect that the collection drifted while it was down and re-resolve
+// recovered queries instead of trusting their recorded result sets.
+func (e *Engine) CollectionFingerprint() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fp
 }
 
 // Metrics snapshots the engine's accumulated telemetry, including the
@@ -680,6 +705,8 @@ func (e *Engine) AddDocument(d *xmldoc.Document) error {
 	// The epoch still advances on every update: it fences in-flight
 	// ResolveAll write-backs computed against the pre-update snapshot.
 	e.epoch++
+	e.fp ^= journal.DocHash(uint16(d.ID), d.Size())
+	e.fpSizes[d.ID] = d.Size()
 	e.probe.CacheInvalidated()
 
 	entries := e.answers.entries()
@@ -711,6 +738,10 @@ func (e *Engine) RemoveDocument(id xmldoc.DocID) error {
 		return err
 	}
 	e.epoch++
+	if sz, ok := e.fpSizes[id]; ok {
+		e.fp ^= journal.DocHash(uint16(id), sz)
+		delete(e.fpSizes, id)
+	}
 	e.probe.CacheInvalidated()
 	e.payloads.remove(id)
 

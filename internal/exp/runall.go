@@ -68,6 +68,7 @@ func Experiments() []Experiment {
 			return ChannelLoss(c, nil)
 		}},
 		{ID: "ext-energy", Desc: "Extension — joules per query under a radio model", Run: Energy},
+		{ID: "ext-crash", Desc: "Extension — crash-restart equivalence over the durability journal", Run: CrashEquivalence},
 		{ID: "ext-arrivals", Desc: "Extension — arrival pattern (even / batch / Poisson)", Run: ArrivalPattern},
 		{ID: "nasa-compare", Desc: "Replication — NITF vs NASA document sets (§4.1)", Run: SchemaCompare},
 		{ID: "fig11-confidence", Desc: "Fig. 11(a) with error bars over 5 workload seeds", Run: func(c Config) (*stats.Table, error) {

@@ -1,0 +1,413 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func mustOpen(t *testing.T, opts Options) (*Journal, *State) {
+	t.Helper()
+	j, st, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j, st
+}
+
+func req(id int64, arrival int64, q string, rem ...uint16) Request {
+	return Request{ID: id, Arrival: arrival, Query: q, Remaining: rem}
+}
+
+// TestRoundTrip admits, commits, kills and recovers: the recovered state
+// must match the live mirror at the kill point.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, st := mustOpen(t, Options{Dir: dir, Epoch: 42})
+	if st.Generation != 1 || st.Epoch != 42 {
+		t.Fatalf("fresh state: gen=%d epoch=%d", st.Generation, st.Epoch)
+	}
+
+	if err := j.Admit(req(1, 0, "/a/b", 3, 5, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Admit(req(2, 0, "//c", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Commit(0, []Delivery{{ID: 1, Docs: []uint16{5}}, {ID: 2, Docs: []uint16{5}, Retired: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Admit(req(3, 1, "/x", 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.DocAdded(0xDEAD); err != nil {
+		t.Fatal(err)
+	}
+	want := j.MirrorState()
+	j.Kill()
+
+	j2, got := mustOpen(t, Options{Dir: dir})
+	defer j2.Close()
+	if got.Epoch != 42 {
+		t.Errorf("epoch: got %d want 42", got.Epoch)
+	}
+	if got.Generation != 2 {
+		t.Errorf("generation: got %d want 2", got.Generation)
+	}
+	if got.NextID != 3 {
+		t.Errorf("nextID: got %d want 3", got.NextID)
+	}
+	if got.Cycles != 1 {
+		t.Errorf("cycles: got %d want 1", got.Cycles)
+	}
+	if got.Fingerprint != 0xDEAD {
+		t.Errorf("fingerprint: got %#x want 0xDEAD", got.Fingerprint)
+	}
+	if !reflect.DeepEqual(got.Pending, want.Pending) {
+		t.Errorf("pending mismatch:\n got  %+v\n want %+v", got.Pending, want.Pending)
+	}
+	if !reflect.DeepEqual(got.Served, want.Served) {
+		t.Errorf("served mismatch:\n got  %+v\n want %+v", got.Served, want.Served)
+	}
+	if _, ok := j2.Served(2); !ok {
+		t.Errorf("request 2 not in served memory after recovery")
+	}
+	if !j2.PendingID(1) || !j2.PendingID(3) {
+		t.Errorf("pending IDs lost: 1=%v 3=%v", j2.PendingID(1), j2.PendingID(3))
+	}
+}
+
+// TestTornTailTruncated cuts the log mid-record at every byte offset of the
+// final record; recovery must drop exactly that record and keep the prefix.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir, SnapshotEvery: -1})
+	if err := j.Admit(req(1, 0, "/a", 2)); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, walName)
+	prefix, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Admit(req(2, 0, "/b", 4)); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Kill()
+	if len(full) <= len(prefix) {
+		t.Fatalf("second record added no bytes: %d vs %d", len(full), len(prefix))
+	}
+
+	for cut := len(prefix); cut < len(full); cut++ {
+		work := t.TempDir()
+		copyFile(t, filepath.Join(dir, snapName), filepath.Join(work, snapName))
+		if err := os.WriteFile(filepath.Join(work, walName), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, st := mustOpen(t, Options{Dir: work})
+		if cut > len(prefix) && !st.Truncated {
+			t.Errorf("cut=%d: torn tail not reported", cut)
+		}
+		if want := []int64{1}; !reflect.DeepEqual(st.SortedPendingIDs(), want) {
+			t.Errorf("cut=%d: pending IDs %v, want %v", cut, st.SortedPendingIDs(), want)
+		}
+		j2.Close()
+	}
+}
+
+// TestCorruptMiddleStopsReplay flips a byte inside the first record; replay
+// must stop there, losing both records but never panicking.
+func TestCorruptMiddleStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir, SnapshotEvery: -1})
+	if err := j.Admit(req(1, 0, "/a", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Admit(req(2, 0, "/b", 4)); err != nil {
+		t.Fatal(err)
+	}
+	j.Kill()
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[recHdrLen+3] ^= 0xFF // inside the first record's body
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, st := mustOpen(t, Options{Dir: dir})
+	defer j2.Close()
+	if !st.Truncated {
+		t.Error("corruption not reported as truncation")
+	}
+	if len(st.Pending) != 0 {
+		t.Errorf("pending after corrupt first record: %+v", st.Pending)
+	}
+}
+
+// TestSnapshotCompaction drives enough appends to trigger automatic
+// snapshots and verifies the log is compacted and recovery still exact.
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir, SnapshotEvery: 8})
+	for i := int64(1); i <= 40; i++ {
+		if err := j.Admit(req(i, i/4, "/q", uint16(i), uint16(i+1))); err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 0 {
+			if err := j.Commit(i/5-1, []Delivery{{ID: i - 4, Docs: []uint16{uint16(i - 4)}, Retired: true}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := j.MirrorState()
+	fi, err := os.Stat(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 48 appends at SnapshotEvery=8 → the log never holds more than 8
+	// records (~50 bytes each); well under the uncompacted ~2.5 KB.
+	if fi.Size() > 1024 {
+		t.Errorf("log not compacted: %d bytes", fi.Size())
+	}
+	j.Kill()
+
+	j2, got := mustOpen(t, Options{Dir: dir})
+	defer j2.Close()
+	if !reflect.DeepEqual(got.Pending, want.Pending) {
+		t.Errorf("pending mismatch after compaction:\n got  %+v\n want %+v", got.Pending, want.Pending)
+	}
+	if got.Cycles != want.Cycles || got.NextID != want.NextID {
+		t.Errorf("counters: got cycles=%d nextID=%d want cycles=%d nextID=%d",
+			got.Cycles, got.NextID, want.Cycles, want.NextID)
+	}
+}
+
+// TestGenerationBumps opens the same directory three times.
+func TestGenerationBumps(t *testing.T) {
+	dir := t.TempDir()
+	for want := uint32(1); want <= 3; want++ {
+		j, st := mustOpen(t, Options{Dir: dir})
+		if st.Generation != want {
+			t.Fatalf("open %d: generation %d", want, st.Generation)
+		}
+		j.Close()
+	}
+}
+
+// TestCrashAfterTornWrite arms a byte budget so an append tears mid-frame;
+// the journal must die, and recovery must see only the durable prefix.
+func TestCrashAfterTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir, SnapshotEvery: -1})
+	if err := j.Admit(req(1, 0, "/a", 2)); err != nil {
+		t.Fatal(err)
+	}
+	j.CrashAfter(5) // next frame is ~30 bytes; 5 land, then death
+	if err := j.Admit(req(2, 0, "/b", 4)); err == nil {
+		t.Fatal("append past crash point succeeded")
+	}
+	if err := j.Admit(req(3, 0, "/c", 6)); err == nil {
+		t.Fatal("append on dead journal succeeded")
+	}
+
+	j2, st := mustOpen(t, Options{Dir: dir})
+	defer j2.Close()
+	if !st.Truncated {
+		t.Error("torn write not reported")
+	}
+	if want := []int64{1}; !reflect.DeepEqual(st.SortedPendingIDs(), want) {
+		t.Errorf("pending IDs %v, want %v", st.SortedPendingIDs(), want)
+	}
+}
+
+// TestCrashBetweenSnapshotAndTruncate simulates the rename-then-crash
+// window: the snapshot covers the log's records, so replay must skip them
+// rather than double-apply.
+func TestCrashBetweenSnapshotAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir, SnapshotEvery: -1})
+	if err := j.Admit(req(1, 0, "/a", 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Commit(0, []Delivery{{ID: 1, Docs: []uint16{2}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Save the log, snapshot (which truncates it), then put the stale log
+	// back — as if the machine died between the rename and the truncate.
+	walPath := filepath.Join(dir, walName)
+	stale, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	want := j.MirrorState()
+	j.Kill()
+	if err := os.WriteFile(walPath, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, got := mustOpen(t, Options{Dir: dir})
+	defer j2.Close()
+	if got.Replayed != 0 {
+		t.Errorf("replayed %d records the snapshot already covers", got.Replayed)
+	}
+	if !reflect.DeepEqual(got.Pending, want.Pending) {
+		t.Errorf("double-apply:\n got  %+v\n want %+v", got.Pending, want.Pending)
+	}
+}
+
+// TestServedHorizonBounded retires more requests than the horizon holds.
+func TestServedHorizonBounded(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir, ServedHorizon: 4})
+	for i := int64(1); i <= 10; i++ {
+		if err := j.Admit(req(i, 0, "/q", 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Commit(i-1, []Delivery{{ID: i, Docs: []uint16{1}, Retired: true}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := j.MirrorState()
+	if len(st.Served) != 4 {
+		t.Fatalf("served memory holds %d, want 4", len(st.Served))
+	}
+	if _, ok := j.Served(10); !ok {
+		t.Error("newest retiree evicted")
+	}
+	if _, ok := j.Served(5); ok {
+		t.Error("old retiree survived past the horizon")
+	}
+	j.Close()
+}
+
+// TestDocRemoveShrinksPending retires a document and checks pending sets
+// shrink, with fully-satisfied requests moving to served.
+func TestDocRemoveShrinksPending(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir})
+	if err := j.Admit(req(1, 0, "/a", 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Admit(req(2, 0, "/b", 7, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.DocRemoved(7, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	j.Kill()
+
+	j2, st := mustOpen(t, Options{Dir: dir})
+	defer j2.Close()
+	if want := []int64{2}; !reflect.DeepEqual(st.SortedPendingIDs(), want) {
+		t.Errorf("pending IDs %v, want %v", st.SortedPendingIDs(), want)
+	}
+	if !reflect.DeepEqual(st.Pending[0].Remaining, []uint16{9}) {
+		t.Errorf("remaining %v, want [9]", st.Pending[0].Remaining)
+	}
+	if _, ok := j2.Served(1); !ok {
+		t.Error("request satisfied by doc removal not in served memory")
+	}
+	if st.Fingerprint != 0xBEEF {
+		t.Errorf("fingerprint %#x, want 0xBEEF", st.Fingerprint)
+	}
+}
+
+// TestFingerprintIncremental checks the XOR fingerprint is order-independent
+// and reversible.
+func TestFingerprintIncremental(t *testing.T) {
+	docs := map[uint16]int{1: 100, 2: 250, 3: 999}
+	full := Fingerprint(docs)
+	var inc uint64
+	for _, id := range []uint16{3, 1, 2} {
+		inc ^= DocHash(id, docs[id])
+	}
+	if inc != full {
+		t.Errorf("incremental %#x != full %#x", inc, full)
+	}
+	inc ^= DocHash(2, 250)
+	delete(docs, 2)
+	if inc != Fingerprint(docs) {
+		t.Errorf("after removal: incremental %#x != full %#x", inc, Fingerprint(docs))
+	}
+}
+
+// TestMissingSnapshotWalOnly recovers from a directory holding only a log.
+func TestMissingSnapshotWalOnly(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir, SnapshotEvery: -1, Epoch: 7})
+	if err := j.Admit(req(1, 0, "/a", 2)); err != nil {
+		t.Fatal(err)
+	}
+	j.Kill()
+	if err := os.Remove(filepath.Join(dir, snapName)); err != nil {
+		t.Fatal(err)
+	}
+	j2, st := mustOpen(t, Options{Dir: dir})
+	defer j2.Close()
+	if want := []int64{1}; !reflect.DeepEqual(st.SortedPendingIDs(), want) {
+		t.Errorf("pending IDs %v, want %v", st.SortedPendingIDs(), want)
+	}
+	// The snapshot held the epoch; without it a fresh one is drawn, but the
+	// log's records must still be applied. (Directories that lose their
+	// snapshot lose lineage identity — clients resubmit, nothing is lost.)
+	if st.Generation != 1 {
+		t.Errorf("generation %d, want 1 for snapshot-less recovery", st.Generation)
+	}
+}
+
+// TestCloseThenAppendFails verifies ErrClosed.
+func TestCloseThenAppendFails(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Admit(req(1, 0, "/a")); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func copyFile(t *testing.T, src, dst string) {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecordFraming round-trips the low-level framing.
+func TestRecordFraming(t *testing.T) {
+	frame := appendRecord(nil, recAdmit, 17, []byte("payload"))
+	typ, seq, payload, next, err := readRecord(frame, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != recAdmit || seq != 17 || !bytes.Equal(payload, []byte("payload")) || next != len(frame) {
+		t.Errorf("round trip: typ=%d seq=%d payload=%q next=%d", typ, seq, payload, next)
+	}
+	// Every single-byte corruption must be rejected.
+	for i := range frame {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0x01
+		if _, _, _, _, err := readRecord(mut, 0); err == nil {
+			t.Errorf("corruption at byte %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// StageCycleDone is the pseudo-stage a Crasher associates with the engine's
+// CycleDone callback: the instant a cycle finishes assembly, after planning
+// and building but before the driver commits it to the journal.
+const StageCycleDone = "cycle-done"
+
+// CrashStages are the pipeline probe points a Crasher can fire on. Every
+// entry fires once per assembled (and, for encode, encoded) cycle, so a
+// seed-chosen (stage, occurrence) pair lands the crash at a deterministic
+// point of a deterministic cycle regardless of wall-clock timing.
+var CrashStages = []string{
+	engine.StageSchedule,
+	engine.StageBuild,
+	engine.StageEncode,
+	StageCycleDone,
+}
+
+// Crasher is a deterministic crash-point injector: an engine.Probe that
+// calls a kill function — typically journal.Kill or netcast's Server.Crash —
+// the first time a seed-chosen occurrence of a seed-chosen pipeline stage
+// completes. It models a process dying mid-pipeline (after scheduling,
+// mid-build, after encoding, or between assembly and commit), the window the
+// durability journal must make crash-safe: everything acked before the kill
+// is durable, everything after never happened.
+//
+// The choice is a pure function of the seed, so a given configuration
+// crashes at the same point of the same cycle on every run.
+type Crasher struct {
+	engine.NopProbe
+	kill  func()
+	stage string
+	at    int64
+
+	mu    sync.Mutex
+	seen  map[string]int64
+	fired bool
+}
+
+// NewCrasher picks a crash point from seed — a stage from CrashStages and an
+// occurrence count in [1, horizon] — and returns a probe that calls kill the
+// first time that occurrence of that stage completes. horizon is the number
+// of cycles the run is expected to assemble (values < 1 are treated as 1);
+// kill runs on the engine's reporting goroutine, so it must not block on the
+// pipeline it interrupts.
+func NewCrasher(seed int64, horizon int, kill func()) *Crasher {
+	h := splitmix64(uint64(seed))
+	stage := CrashStages[h%uint64(len(CrashStages))]
+	if horizon < 1 {
+		horizon = 1
+	}
+	at := int64(splitmix64(h)%uint64(horizon)) + 1
+	return &Crasher{kill: kill, stage: stage, at: at, seen: make(map[string]int64)}
+}
+
+// hit counts one completion of stage and fires the kill exactly once when
+// the chosen occurrence of the chosen stage is reached.
+func (c *Crasher) hit(stage string) {
+	c.mu.Lock()
+	c.seen[stage]++
+	fire := !c.fired && stage == c.stage && c.seen[stage] == c.at
+	if fire {
+		c.fired = true
+	}
+	c.mu.Unlock()
+	if fire {
+		c.kill()
+	}
+}
+
+// StageDone implements engine.Probe.
+func (c *Crasher) StageDone(stage string, _ time.Duration, _, _ int) { c.hit(stage) }
+
+// CycleDone implements engine.Probe, counting the StageCycleDone
+// pseudo-stage.
+func (c *Crasher) CycleDone() { c.hit(StageCycleDone) }
+
+// Stage is the seed-chosen crash stage.
+func (c *Crasher) Stage() string { return c.stage }
+
+// At is the seed-chosen occurrence count (1-based) of Stage that triggers
+// the crash.
+func (c *Crasher) At() int64 { return c.at }
+
+// Fired reports whether the crash has been injected.
+func (c *Crasher) Fired() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fired
+}

@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// drive replays n completions of every crash stage against the crasher,
+// returning how many times the kill fired.
+func drive(c *Crasher, n int) int {
+	fired := 0
+	kill := c.kill
+	c.kill = func() { fired++; kill() }
+	for i := 0; i < n; i++ {
+		for _, stage := range CrashStages {
+			if stage == StageCycleDone {
+				c.CycleDone()
+			} else {
+				c.StageDone(stage, time.Millisecond, 1, 1)
+			}
+		}
+	}
+	return fired
+}
+
+// TestCrasherDeterministic: the crash point is a pure function of the seed,
+// the kill fires exactly once, and Fired flips at the chosen occurrence.
+func TestCrasherDeterministic(t *testing.T) {
+	const horizon = 25
+	for seed := int64(1); seed <= 50; seed++ {
+		a := NewCrasher(seed, horizon, func() {})
+		b := NewCrasher(seed, horizon, func() {})
+		if a.Stage() != b.Stage() || a.At() != b.At() {
+			t.Fatalf("seed %d not deterministic: %s@%d vs %s@%d",
+				seed, a.Stage(), a.At(), b.Stage(), b.At())
+		}
+		if a.At() < 1 || a.At() > horizon {
+			t.Fatalf("seed %d occurrence %d outside [1, %d]", seed, a.At(), horizon)
+		}
+		ok := false
+		for _, s := range CrashStages {
+			ok = ok || s == a.Stage()
+		}
+		if !ok {
+			t.Fatalf("seed %d picked unknown stage %q", seed, a.Stage())
+		}
+		if a.Fired() {
+			t.Fatalf("seed %d fired before any stage completed", seed)
+		}
+		// Twice the horizon: the kill must still fire exactly once.
+		if fired := drive(a, 2*horizon); fired != 1 {
+			t.Fatalf("seed %d fired %d times over %d rounds", seed, fired, 2*horizon)
+		}
+		if !a.Fired() {
+			t.Fatalf("seed %d Fired() false after firing", seed)
+		}
+	}
+}
+
+// TestCrasherSeedDiversity: across a modest seed range the chosen stages and
+// occurrences are not all identical (the injector actually explores the
+// pipeline, rather than always killing at one point).
+func TestCrasherSeedDiversity(t *testing.T) {
+	stages := map[string]bool{}
+	ats := map[int64]bool{}
+	for seed := int64(1); seed <= 32; seed++ {
+		c := NewCrasher(seed, 40, func() {})
+		stages[c.Stage()] = true
+		ats[c.At()] = true
+	}
+	if len(stages) < len(CrashStages) {
+		t.Errorf("32 seeds covered only %d of %d stages", len(stages), len(CrashStages))
+	}
+	if len(ats) < 8 {
+		t.Errorf("32 seeds produced only %d distinct occurrences", len(ats))
+	}
+}
+
+// TestCrasherHorizonClamp: horizons below 1 still yield a valid occurrence.
+func TestCrasherHorizonClamp(t *testing.T) {
+	c := NewCrasher(7, 0, func() {})
+	if c.At() != 1 {
+		t.Errorf("horizon 0 occurrence = %d, want 1", c.At())
+	}
+}

@@ -61,6 +61,12 @@ type ClientStats struct {
 	// Reconnects counts broadcast connections re-established after the
 	// downlink dropped mid-retrieval.
 	Reconnects int
+	// Resubmits counts queries re-registered over the uplink after a resync
+	// or reconnect; ResubmitDropped counts queries evicted oldest-first from
+	// the bounded resubmit queue during a long outage. Resumed counts
+	// queries the session-resume handshake re-attached without a resubmit.
+	// All three are client-lifetime totals, not per-retrieval deltas.
+	Resubmits, ResubmitDropped, Resumed int64
 }
 
 // Reconnect backoff bounds: the delay starts at reconnectBaseDelay, doubles
@@ -76,8 +82,36 @@ const (
 // resync scanner works within).
 const downlinkBufSize = 64 << 10
 
+// resubmitQueueCap bounds the queries waiting for re-registration while the
+// uplink is down. During a long outage every resync/reconnect attempt wants
+// to re-register; without a bound the queue would grow with outage length.
+// Oldest entries are dropped first — they are the most likely to have been
+// served (or re-enqueued again) by the time the uplink returns.
+const resubmitQueueCap = 32
+
 // defaultAckTimeout bounds Submit's wait for the server's ack.
 const defaultAckTimeout = 10 * time.Second
+
+// idleResubmitTimeout bounds how long a retrieval waits on a silent
+// downlink before treating the stream as lost. An on-demand server airs
+// nothing when its pending set is empty, so a client whose request was
+// retired while it was desynchronised (the server sent the documents; the
+// channel ate them) would otherwise block forever on a healthy-but-silent
+// connection — no frames means no corruption to resync on. The rolling
+// deadline turns that silence into the normal reconnect path, whose
+// re-registration makes the server air the documents again.
+const idleResubmitTimeout = 3 * time.Second
+
+// armIdle sets conn's read deadline idleResubmitTimeout from now, clamped
+// to the retrieval context's own deadline. Re-armed before every frame
+// read, so it fires only on a genuinely silent stream, not a slow cycle.
+func armIdle(ctx context.Context, conn net.Conn) {
+	dl := time.Now().Add(idleResubmitTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(dl) {
+		dl = d
+	}
+	_ = conn.SetReadDeadline(dl)
+}
 
 // Client is a mobile client: an uplink connection for submissions and a
 // downlink subscription to the broadcast stream. A Client is not safe for
@@ -110,6 +144,68 @@ type Client struct {
 	// submitted query (from the server's ack); earlier cycles' indexes are
 	// slept through during Retrieve.
 	coveredFrom uint32
+
+	// session tracks acked submissions (durable request IDs) for the
+	// session-resume handshake; resumeCapable is set once an ack carries a
+	// request ID, gating resume frames to servers that understand them.
+	session       *ClientSession
+	resumeCapable bool
+
+	// resubq queues queries whose re-registration failed while the uplink
+	// was down, bounded at resubmitQueueCap with drop-oldest. The counters
+	// surface through ClientStats.
+	resubq     []xpath.Path
+	resubmits  int64
+	resubDrops int64
+	resumedCnt int64
+}
+
+// SessionEntry is one acked submission in a resumable session.
+type SessionEntry struct {
+	// ID is the server-assigned durable request ID from the ack.
+	ID int64
+	// Query is the canonical query string.
+	Query string
+}
+
+// ClientSession is the client-side state of a resumable uplink session: the
+// request IDs the server acked, plus the server identity from the last
+// resume handshake. Extract it with Session before discarding a client and
+// hand it to a new client (dialed at the restarted server's addresses) with
+// AdoptSession to resume where the old session stopped.
+type ClientSession struct {
+	// Epoch and Generation are the server's journal lineage and restart
+	// generation from the last FrameResumeAck; zero before any resume.
+	Epoch      uint64
+	Generation uint32
+	// Entries holds acked submissions in submission order, newest last.
+	Entries []SessionEntry
+}
+
+// clone deep-copies the session.
+func (s *ClientSession) clone() *ClientSession {
+	if s == nil {
+		return nil
+	}
+	out := *s
+	out.Entries = append([]SessionEntry(nil), s.Entries...)
+	return &out
+}
+
+// ResumeStatus is one query's disposition from a session-resume handshake.
+type ResumeStatus struct {
+	// ID and Query identify the presented request.
+	ID    int64
+	Query string
+	// Status is the server's disposition: ResumeResumed, ResumeServed or
+	// ResumeResubmit.
+	Status byte
+	// Detail is the covering cycle (resumed) or retiring cycle (served).
+	Detail int64
+	// NewID is the replacement request ID when Resume resubmitted the query
+	// (Status == ResumeResubmit and the resubmission was acked); zero
+	// otherwise.
+	NewID int64
 }
 
 // Dial connects to a server's uplink and broadcast addresses.
@@ -179,7 +275,20 @@ func (c *Client) Submit(q xpath.Path) error {
 		return fmt.Errorf("netcast: server rejected query: %s", strings.TrimSpace(msg[4:]))
 	}
 	if rest, ok := strings.CutPrefix(msg, "ok:"); ok {
-		n, err := strconv.ParseUint(rest, 10, 32)
+		// Two ack forms: "ok:<covered>" (legacy) and "ok:<covered>:<id>"
+		// from a durability-aware server, where <id> is the journaled
+		// request ID the client presents on session resume.
+		covered := rest
+		if i := strings.IndexByte(rest, ':'); i >= 0 {
+			covered = rest[:i]
+			id, err := strconv.ParseInt(rest[i+1:], 10, 64)
+			if err != nil {
+				return fmt.Errorf("netcast: malformed ack %q", msg)
+			}
+			c.recordSession(id, q.String())
+			c.resumeCapable = true
+		}
+		n, err := strconv.ParseUint(covered, 10, 32)
 		if err != nil {
 			return fmt.Errorf("netcast: malformed ack %q", msg)
 		}
@@ -187,6 +296,131 @@ func (c *Client) Submit(q xpath.Path) error {
 		return nil
 	}
 	return fmt.Errorf("netcast: malformed ack %q", msg)
+}
+
+// recordSession remembers an acked submission for session resumption. A
+// resubmitted query replaces its older entry (the old ID is either retired
+// or a duplicate registration), and the entry list is bounded at
+// maxResumeIDs with drop-oldest so an endless query stream cannot grow it
+// without bound.
+func (c *Client) recordSession(id int64, query string) {
+	if c.session == nil {
+		c.session = &ClientSession{}
+	}
+	entries := c.session.Entries
+	for i := range entries {
+		if entries[i].Query == query {
+			entries = append(entries[:i], entries[i+1:]...)
+			break
+		}
+	}
+	entries = append(entries, SessionEntry{ID: id, Query: query})
+	if len(entries) > maxResumeIDs {
+		entries = append(entries[:0], entries[len(entries)-maxResumeIDs:]...)
+	}
+	c.session.Entries = entries
+}
+
+// Session deep-copies the client's resumable session state: the acked
+// request IDs and the last seen server identity. Nil until an ack carried a
+// request ID.
+func (c *Client) Session() *ClientSession { return c.session.clone() }
+
+// AdoptSession installs a session extracted from another client (typically
+// one whose server restarted at new addresses), making this client
+// resume-capable with that session's request IDs.
+func (c *Client) AdoptSession(s *ClientSession) {
+	c.session = s.clone()
+	c.resumeCapable = c.session != nil && len(c.session.Entries) > 0
+}
+
+// Resume runs the session-resume handshake: it presents every acked request
+// ID over the uplink and applies the server's per-query dispositions —
+// still-pending queries are re-attached with no resubmit (their covering
+// cycle becomes CoveredFrom), already-served ones are reported for the
+// caller to eavesdrop or resubmit, and unknown ones are resubmitted through
+// the normal Submit path (their session entries pick up the new IDs).
+// Returns the dispositions in presentation order.
+func (c *Client) Resume() ([]ResumeStatus, error) {
+	if c.session == nil || len(c.session.Entries) == 0 {
+		return nil, nil
+	}
+	entries := c.session.Entries
+	ids := make([]int64, len(entries))
+	byID := make(map[int64]string, len(entries))
+	for i, e := range entries {
+		ids[i] = e.ID
+		byID[e.ID] = e.Query
+	}
+	payload, err := encodeResume(ids)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(c.up, FrameResume, payload); err != nil {
+		return nil, fmt.Errorf("netcast: resume: %w", err)
+	}
+	if c.AckTimeout > 0 {
+		_ = c.up.SetReadDeadline(time.Now().Add(c.AckTimeout))
+		defer c.up.SetReadDeadline(time.Time{})
+	}
+	t, ack, err := readFrame(c.up)
+	if err != nil {
+		return nil, fmt.Errorf("netcast: resume ack: %w", err)
+	}
+	if t == FrameReject {
+		retryAfter, reason, derr := decodeReject(ack)
+		if derr != nil {
+			return nil, fmt.Errorf("netcast: resume ack: %w", derr)
+		}
+		return nil, &RejectedError{RetryAfter: retryAfter, Reason: reason}
+	}
+	if t != FrameResumeAck {
+		return nil, fmt.Errorf("netcast: unexpected resume ack frame type %d", t)
+	}
+	epoch, generation, srv, err := decodeResumeAck(ack)
+	if err != nil {
+		return nil, err
+	}
+	// The epoch ties a session to one journal lineage. A server answering
+	// from a different lineage (state directory swapped behind the same
+	// address) may coincidentally hold pending requests under the presented
+	// IDs; its resumed/served claims describe someone else's queries, so
+	// every entry degrades to a resubmit. A zero prior epoch means the
+	// session never completed a handshake and has no lineage to defend.
+	if prior := c.session.Epoch; prior != 0 && epoch != prior {
+		for i := range srv {
+			srv[i].Status, srv[i].Detail = ResumeResubmit, 0
+		}
+	}
+	c.session.Epoch = epoch
+	c.session.Generation = generation
+	out := make([]ResumeStatus, 0, len(srv))
+	for _, e := range srv {
+		st := ResumeStatus{ID: e.ID, Query: byID[e.ID], Status: e.Status, Detail: e.Detail}
+		switch e.Status {
+		case ResumeResumed:
+			// Still pending server-side: no resubmit, and the server names
+			// the next cycle covering it.
+			c.resumedCnt++
+			c.coveredFrom = uint32(e.Detail)
+		case ResumeResubmit:
+			// Unknown to the server (fresh state directory, lost journal or
+			// past the served horizon): re-register through the normal
+			// submit path, which records the replacement ID.
+			if q, perr := xpath.Parse(st.Query); perr == nil {
+				if serr := c.Submit(q); serr == nil {
+					c.resubmits++
+					if n := len(c.session.Entries); n > 0 && c.session.Entries[n-1].Query == st.Query {
+						st.NewID = c.session.Entries[n-1].ID
+					}
+				} else {
+					c.queueResubmit(q)
+				}
+			}
+		}
+		out = append(out, st)
+	}
+	return out, nil
 }
 
 // CoveredFrom reports the first cycle number whose index covers the most
@@ -238,13 +472,22 @@ func backoffWait(hint time.Duration) time.Duration {
 // with capped exponential backoff plus jitter. Both recoveries preserve the
 // documents already received, and both resubmit q over the uplink so the
 // server rebroadcasts anything the client may have missed (the server
-// retires a request once its documents have been *sent*, not received).
-func (c *Client) Retrieve(ctx context.Context, q xpath.Path) ([]*xmldoc.Document, ClientStats, error) {
+// retires a request once its documents have been *sent*, not received). A
+// downlink silent for idleResubmitTimeout is treated as lost the same way:
+// an on-demand server with an empty pending set airs nothing, so silence
+// after a missed delivery must trigger re-registration, not a longer wait.
+func (c *Client) Retrieve(ctx context.Context, q xpath.Path) (_ []*xmldoc.Document, stats ClientStats, _ error) {
+	// The resubmit-queue and resume counters are client-lifetime totals;
+	// stamp them on whatever stats this retrieval returns.
+	defer func() {
+		stats.Resubmits = c.resubmits
+		stats.ResubmitDropped = c.resubDrops
+		stats.Resumed = c.resumedCnt
+	}()
 	if len(c.chans) > 1 {
 		return c.retrieveMulti(ctx, q)
 	}
 	var (
-		stats     ClientStats
 		nav       = core.NewNavigator(q)
 		knowsDocs bool
 		remaining = make(map[xmldoc.DocID]struct{})
@@ -254,11 +497,7 @@ func (c *Client) Retrieve(ctx context.Context, q xpath.Path) ([]*xmldoc.Document
 		wantThis  map[xmldoc.DocID]struct{} // docs to catch this cycle
 		got       = make(map[xmldoc.DocID]*xmldoc.Document)
 	)
-	applyDeadline := func() {
-		if deadline, ok := ctx.Deadline(); ok {
-			_ = c.down.SetReadDeadline(deadline)
-		}
-	}
+	applyDeadline := func() { armIdle(ctx, c.down) }
 	applyDeadline()
 	defer func() { _ = c.down.SetReadDeadline(time.Time{}) }()
 
@@ -355,6 +594,7 @@ func (c *Client) Retrieve(ctx context.Context, q xpath.Path) ([]*xmldoc.Document
 		if err := ctx.Err(); err != nil {
 			return nil, stats, err
 		}
+		applyDeadline()
 		t, payload, err := readFrame(c.br)
 		if err != nil {
 			if err := recoverStream(err); err != nil {
@@ -479,32 +719,72 @@ func (c *Client) Retrieve(ctx context.Context, q xpath.Path) ([]*xmldoc.Document
 // resubmit re-registers q after a resync or reconnect: the server retires a
 // request once its documents have been broadcast, so anything this client
 // missed is only rebroadcast if the query is pending again. Best effort —
-// if the uplink died with the downlink it is redialed once; a still-failing
-// uplink is left for the next recovery to retry.
+// if the uplink died with the downlink it is redialed once; queries whose
+// re-registration still fails wait in a bounded drop-oldest queue and are
+// flushed by the next recovery that finds the uplink healthy.
 func (c *Client) resubmit(q xpath.Path) {
 	if c.up == nil {
 		return // listen-only client (e.g. capture replay); nothing to re-register
 	}
-	err := c.Submit(q)
-	if err == nil {
-		return
+	c.queueResubmit(q)
+	c.flushResubmits()
+}
+
+// queueResubmit enqueues q for re-registration, dropping the oldest entry
+// (counted in ClientStats.ResubmitDropped) when the queue is full. A query
+// already queued is not duplicated.
+func (c *Client) queueResubmit(q xpath.Path) {
+	key := q.String()
+	for _, p := range c.resubq {
+		if p.String() == key {
+			return
+		}
 	}
-	// A rejection means the uplink is healthy and the server is shedding
-	// load: honor the retry-after hint once instead of redialing (which
-	// would only add connection churn to an overloaded server).
-	var rej *RejectedError
-	if errors.As(err, &rej) {
-		<-control.Or(c.Clock).After(backoffWait(rej.RetryAfter))
-		_ = c.Submit(q)
-		return
+	if len(c.resubq) >= resubmitQueueCap {
+		drop := len(c.resubq) - resubmitQueueCap + 1
+		c.resubq = append(c.resubq[:0], c.resubq[drop:]...)
+		c.resubDrops += int64(drop)
 	}
-	conn, err := net.DialTimeout("tcp", c.upAddr, 5*time.Second)
-	if err != nil {
-		return
+	c.resubq = append(c.resubq, q)
+}
+
+// flushResubmits re-registers every queued query, oldest first, stopping at
+// the first failure that means the uplink is down. A rejection (admission
+// control; the uplink itself is healthy) is waited out once per flush with
+// the server's retry-after hint; a network failure redials the uplink once.
+// Whatever cannot be submitted stays queued for the next recovery.
+func (c *Client) flushResubmits() {
+	redialed, backedOff := false, false
+	for len(c.resubq) > 0 {
+		q := c.resubq[0]
+		err := c.Submit(q)
+		if err == nil {
+			c.resubq = c.resubq[1:]
+			c.resubmits++
+			continue
+		}
+		var rej *RejectedError
+		switch {
+		case errors.As(err, &rej) && !backedOff:
+			// The server is shedding load: honor the retry-after hint once
+			// instead of redialing (which would only add connection churn
+			// to an overloaded server).
+			backedOff = true
+			<-control.Or(c.Clock).After(backoffWait(rej.RetryAfter))
+		case errors.As(err, &rej):
+			return // still shedding after one wait; try again next recovery
+		case !redialed:
+			redialed = true
+			conn, derr := net.DialTimeout("tcp", c.upAddr, 5*time.Second)
+			if derr != nil {
+				return // uplink unreachable; the queue holds the backlog
+			}
+			c.up.Close()
+			c.up = conn
+		default:
+			return // redialed and still failing
+		}
 	}
-	c.up.Close()
-	c.up = conn
-	_ = c.Submit(q)
 }
 
 // decodeAndNavigate decodes an index segment and runs the client's query

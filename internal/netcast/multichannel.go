@@ -84,10 +84,8 @@ func (c *Client) retrieveMulti(ctx context.Context, q xpath.Path) ([]*xmldoc.Doc
 		got       = make(map[xmldoc.DocID]*xmldoc.Document)
 	)
 	applyDeadlines := func() {
-		if deadline, ok := ctx.Deadline(); ok {
-			for _, cs := range c.chans {
-				_ = cs.conn.SetReadDeadline(deadline)
-			}
+		for _, cs := range c.chans {
+			armIdle(ctx, cs.conn)
 		}
 	}
 	applyDeadlines()
@@ -144,7 +142,7 @@ cycles:
 		}
 		// Phase 1: the index channel. Take the next cycle's share: channel
 		// head, then cycle head, channel directory and first tier in order.
-		head, dir, err := c.readIndexShare(nav, &knowsDocs, remaining, got, &stats)
+		head, dir, err := c.readIndexShare(ctx, nav, &knowsDocs, remaining, got, &stats)
 		if err != nil {
 			if err := recover(0, err); err != nil {
 				return nil, stats, err
@@ -171,7 +169,7 @@ cycles:
 			if len(want[uint8(ch)]) == 0 {
 				continue
 			}
-			if err := c.drainDataShare(ch, head.Number, remaining, got, &stats); err != nil {
+			if err := c.drainDataShare(ctx, ch, head.Number, remaining, got, &stats); err != nil {
 				if err := recover(ch, err); err != nil {
 					return nil, stats, err
 				}
@@ -187,13 +185,14 @@ cycles:
 // nextHead returns the stream's next channel head: the stashed one if a
 // previous drain ran into it, otherwise the next one off the wire (dozing
 // frames before it, which belong to shares the client skipped).
-func (c *Client) nextHead(ch int, stats *ClientStats) (*channelHead, error) {
+func (c *Client) nextHead(ctx context.Context, ch int, stats *ClientStats) (*channelHead, error) {
 	cs := c.chans[ch]
 	if h := cs.pending; h != nil {
 		cs.pending = nil
 		return h, nil
 	}
 	for {
+		armIdle(ctx, cs.conn)
 		t, payload, err := readFrame(cs.br)
 		if err != nil {
 			return nil, err
@@ -216,8 +215,8 @@ func (c *Client) nextHead(ch int, stats *ClientStats) (*channelHead, error) {
 // readIndexShare consumes one full cycle share off the index channel. The
 // channel directory is read every cycle; the first tier only until the
 // result set is known (and only from a cycle covering the submission).
-func (c *Client) readIndexShare(nav *core.Navigator, knowsDocs *bool, remaining map[xmldoc.DocID]struct{}, got map[xmldoc.DocID]*xmldoc.Document, stats *ClientStats) (*channelHead, []wire.ChannelDirEntry, error) {
-	chead, err := c.nextHead(0, stats)
+func (c *Client) readIndexShare(ctx context.Context, nav *core.Navigator, knowsDocs *bool, remaining map[xmldoc.DocID]struct{}, got map[xmldoc.DocID]*xmldoc.Document, stats *ClientStats) (*channelHead, []wire.ChannelDirEntry, error) {
+	chead, err := c.nextHead(ctx, 0, stats)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -230,6 +229,7 @@ func (c *Client) readIndexShare(nav *core.Navigator, knowsDocs *bool, remaining 
 		dir  []wire.ChannelDirEntry
 	)
 	for {
+		armIdle(ctx, c.chans[0].conn)
 		t, payload, err := readFrame(c.chans[0].br)
 		if err != nil {
 			return nil, nil, err
@@ -282,9 +282,9 @@ func (c *Client) readIndexShare(nav *core.Navigator, knowsDocs *bool, remaining 
 // drained as doze; if the stream is already past num (it reconnected ahead),
 // the head is stashed for the next cycle and the wanted documents stay in
 // remaining for a later rebroadcast.
-func (c *Client) drainDataShare(ch int, num uint32, remaining map[xmldoc.DocID]struct{}, got map[xmldoc.DocID]*xmldoc.Document, stats *ClientStats) error {
+func (c *Client) drainDataShare(ctx context.Context, ch int, num uint32, remaining map[xmldoc.DocID]struct{}, got map[xmldoc.DocID]*xmldoc.Document, stats *ClientStats) error {
 	for {
-		h, err := c.nextHead(ch, stats)
+		h, err := c.nextHead(ctx, ch, stats)
 		if err != nil {
 			return err
 		}
@@ -294,6 +294,7 @@ func (c *Client) drainDataShare(ch int, num uint32, remaining map[xmldoc.DocID]s
 		}
 		take := h.Number == num
 		for docs := 0; docs < int(h.NumDocs); {
+			armIdle(ctx, c.chans[ch].conn)
 			t, payload, err := readFrame(c.chans[ch].br)
 			if err != nil {
 				return err

@@ -14,6 +14,7 @@ import (
 	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/journal"
 	"repro/internal/schedule"
 	"repro/internal/wire"
 	"repro/internal/xmldoc"
@@ -99,6 +100,24 @@ type ServerConfig struct {
 	// latency estimate). Nil selects the wall clock; tests inject
 	// control.Fake.
 	Clock control.Clock
+	// StateDir enables crash-safe durability: admissions and cycle commits
+	// are journaled to an append-only CRC-framed log under this directory
+	// (compacted by periodic snapshots), submissions are acked only after
+	// the admit record is durable, and a server restarted on the same
+	// directory recovers the pending set, request-ID counter and cycle
+	// number it had committed — so no acked request is ever lost and
+	// assembly resumes from the last committed cycle. Empty runs the
+	// classic in-memory server.
+	StateDir string
+	// Fsync fsyncs the journal on every append. Without it appends are
+	// still flushed to the OS per record (a killed process loses nothing
+	// acked), but a power failure can lose the unsynced tail. Ignored
+	// without StateDir.
+	Fsync bool
+	// SnapshotEvery is the number of journal records between compacting
+	// snapshots. Zero selects journal.DefaultSnapshotEvery; negative
+	// disables automatic snapshots. Ignored without StateDir.
+	SnapshotEvery int
 }
 
 // subWriteTimeout bounds each frame write to one subscriber.
@@ -123,6 +142,17 @@ type Server struct {
 	// have exactly one.
 	bcLns []net.Listener
 
+	// jn is the durability journal; nil without ServerConfig.StateDir.
+	// Journal appends happen under mu, so the log's record order always
+	// matches the order state changed. epoch and generation identify this
+	// journal lineage and restart in the session-resume handshake (both
+	// zero on an in-memory server). recovered counts pending requests
+	// restored at startup.
+	jn         *journal.Journal
+	epoch      uint64
+	generation uint32
+	recovered  int
+
 	mu      sync.Mutex
 	subs    map[*subscriber]struct{}
 	uplinks map[net.Conn]struct{}
@@ -132,6 +162,14 @@ type Server struct {
 
 	rejectedRate    atomic.Int64
 	rejectedPending atomic.Int64
+
+	// draining gates the uplink during Shutdown: frames that arrive after
+	// the drain starts are refused with a retry-after reject instead of a
+	// dropped connection, and inflight tracks frames already being
+	// processed so their acks are written (and journaled) before the
+	// journal and the connections close.
+	draining atomic.Bool
+	inflight sync.WaitGroup
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -160,6 +198,13 @@ type ServerStats struct {
 	// Health is the adaptive admission controller's three-state load
 	// signal; empty unless ServerConfig.Adaptive.
 	Health engine.Health
+	// Epoch and Generation identify the durability journal's lineage and
+	// restart count (1 = fresh state directory); zero on an in-memory
+	// server. RecoveredPending counts requests restored from the journal at
+	// startup.
+	Epoch            uint64
+	Generation       uint32
+	RecoveredPending int
 }
 
 // subscriber is one broadcast listener: frames are queued to a buffered
@@ -273,8 +318,37 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var (
+		jn         *journal.Journal
+		recovered  []*srvRequest
+		epoch      uint64
+		generation uint32
+		nextID     int64
+		cycles     int64
+	)
+	if cfg.StateDir != "" {
+		var st *journal.State
+		jn, st, err = journal.Open(journal.Options{
+			Dir:           cfg.StateDir,
+			Fsync:         cfg.Fsync,
+			SnapshotEvery: cfg.SnapshotEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		epoch, generation = st.Epoch, st.Generation
+		nextID, cycles = st.NextID, st.Cycles
+		recovered, err = restorePending(jn, eng, st)
+		if err != nil {
+			jn.Close()
+			return nil, err
+		}
+	}
 	upLn, err := net.Listen("tcp", cfg.UplinkAddr)
 	if err != nil {
+		if jn != nil {
+			jn.Close()
+		}
 		return nil, fmt.Errorf("netcast: uplink listen: %w", err)
 	}
 	// One broadcast listener per channel: channel 0 binds the configured
@@ -285,6 +359,9 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		upLn.Close()
 		for _, ln := range bcLns {
 			ln.Close()
+		}
+		if jn != nil {
+			jn.Close()
 		}
 	}
 	for c := 0; c < cfg.Channels; c++ {
@@ -305,17 +382,24 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		bcLns = append(bcLns, ln)
 	}
 	s := &Server{
-		cfg:      cfg,
-		clock:    clock,
-		adaptive: adaptive,
-		eng:      eng,
-		upLn:     upLn,
-		bcLns:    bcLns,
-		subs:     make(map[*subscriber]struct{}),
-		uplinks:  make(map[net.Conn]struct{}),
-		stop:     make(chan struct{}),
-		loopDone: make(chan struct{}),
-		done:     make(chan struct{}),
+		cfg:        cfg,
+		clock:      clock,
+		adaptive:   adaptive,
+		eng:        eng,
+		upLn:       upLn,
+		bcLns:      bcLns,
+		jn:         jn,
+		epoch:      epoch,
+		generation: generation,
+		recovered:  len(recovered),
+		pending:    recovered,
+		nextID:     nextID,
+		cycles:     cycles,
+		subs:       make(map[*subscriber]struct{}),
+		uplinks:    make(map[net.Conn]struct{}),
+		stop:       make(chan struct{}),
+		loopDone:   make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	s.wg.Add(2 + len(bcLns))
 	go s.acceptUplink()
@@ -330,8 +414,81 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	return s, nil
 }
 
+// restorePending turns a recovered journal state back into live server
+// requests. Queries are re-parsed from their canonical strings; when the
+// collection fingerprint drifted while the server was down (documents added
+// or removed under a different process), each recovered remaining set is
+// re-intersected with the query's current result set so the schedule never
+// chases documents that no longer exist. Requests that no longer parse,
+// resolve, or retain any remaining documents are removed from the journal.
+func restorePending(jn *journal.Journal, eng *engine.Engine, st *journal.State) ([]*srvRequest, error) {
+	drifted := st.Fingerprint != 0 && st.Fingerprint != eng.CollectionFingerprint()
+	out := make([]*srvRequest, 0, len(st.Pending))
+	for _, jr := range st.Pending {
+		drop := func() error { return jn.Remove(jr.ID) }
+		q, err := xpath.Parse(jr.Query)
+		if err != nil {
+			if err := drop(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		rem := make(map[xmldoc.DocID]struct{}, len(jr.Remaining))
+		if drifted {
+			docs, err := eng.Resolve(q)
+			if err != nil {
+				if err := drop(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			now := make(map[xmldoc.DocID]struct{}, len(docs))
+			for _, d := range docs {
+				now[d] = struct{}{}
+			}
+			for _, d := range jr.Remaining {
+				if _, ok := now[xmldoc.DocID(d)]; ok {
+					rem[xmldoc.DocID(d)] = struct{}{}
+				}
+			}
+		} else {
+			for _, d := range jr.Remaining {
+				rem[xmldoc.DocID(d)] = struct{}{}
+			}
+		}
+		if len(rem) == 0 {
+			if err := drop(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		out = append(out, &srvRequest{id: jr.ID, query: q, arrival: jr.Arrival, remaining: rem})
+	}
+	// Re-stamp the journal's fingerprint to the live collection, so the
+	// next recovery compares against what this process actually served.
+	if fp := eng.CollectionFingerprint(); st.Fingerprint != fp {
+		if err := jn.DocAdded(fp); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // UplinkAddr is the bound uplink address.
 func (s *Server) UplinkAddr() string { return s.upLn.Addr().String() }
+
+// Epoch reports the durability journal's lineage ID (zero on an in-memory
+// server). It survives restarts on the same state directory, so clients can
+// tell a restarted server from a different one.
+func (s *Server) Epoch() uint64 { return s.epoch }
+
+// Generation reports the restart generation: 1 on a fresh state directory,
+// +1 per recovery. Zero on an in-memory server.
+func (s *Server) Generation() uint32 { return s.generation }
+
+// RecoveredPending reports how many pending requests were restored from the
+// journal at startup.
+func (s *Server) RecoveredPending() int { return s.recovered }
 
 // BroadcastAddr is the bound broadcast address (channel 0: the only stream
 // on a single-channel server, the index channel otherwise).
@@ -379,19 +536,70 @@ func (s *Server) Stats() ServerStats {
 	s.mu.Unlock()
 	st.Engine = s.eng.Metrics()
 	st.Health = st.Engine.Health
+	st.Epoch = s.epoch
+	st.Generation = s.generation
+	st.RecoveredPending = s.recovered
 	return st
 }
 
 // Shutdown stops the server gracefully: the cycle loop finishes and flushes
-// the in-flight cycle to every subscriber queue, subscriber writers drain
-// their queues, then the listeners and every connection close. Safe to call
-// more than once and from multiple goroutines; every call waits for the
-// full teardown.
+// the in-flight cycle to every subscriber queue, uplink frames already being
+// processed get their acks (new ones are refused with a retry-after reject,
+// never a dropped connection mid-ack), the journal absorbs those final admit
+// records and closes with a flushed, fsynced snapshot, then the listeners
+// and every connection close. Safe to call more than once and from multiple
+// goroutines; every call waits for the full teardown.
 func (s *Server) Shutdown() {
 	s.stopOnce.Do(func() {
 		close(s.stop)
-		// Let an in-flight broadcastCycle finish enqueueing its frames
-		// before the subscriber queues are closed.
+		// Let an in-flight broadcastCycle finish enqueueing its frames (and
+		// its journal commit) before the subscriber queues are closed.
+		<-s.loopDone
+		// Drain the uplink: no new work is accepted, frames mid-processing
+		// complete and write their acks. Their admit records land before
+		// the journal closes below, so every acked submission is durable.
+		s.draining.Store(true)
+		s.upLn.Close()
+		s.inflight.Wait()
+		if s.jn != nil {
+			s.jn.Close()
+		}
+		for _, ln := range s.bcLns {
+			ln.Close()
+		}
+		s.mu.Lock()
+		subs := make([]*subscriber, 0, len(s.subs))
+		for sub := range s.subs {
+			subs = append(subs, sub)
+		}
+		uplinks := make([]net.Conn, 0, len(s.uplinks))
+		for c := range s.uplinks {
+			uplinks = append(uplinks, c)
+		}
+		s.mu.Unlock()
+		for _, sub := range subs {
+			sub.finish()
+		}
+		for _, c := range uplinks {
+			c.Close()
+		}
+	})
+	<-s.done
+}
+
+// Kill is the crash-test teardown: the SIGKILL equivalent of Shutdown. The
+// journal dies first — in place, with no final snapshot, flush or fsync —
+// freezing durable state at exactly what prior appends already pushed to the
+// OS, then the goroutines and connections are torn down so tests do not leak
+// them. A server restarted on the same StateDir recovers what a machine
+// losing this process would have recovered. Safe to call more than once.
+func (s *Server) Kill() {
+	s.stopOnce.Do(func() {
+		if s.jn != nil {
+			s.jn.Kill()
+		}
+		s.draining.Store(true)
+		close(s.stop)
 		<-s.loopDone
 		s.upLn.Close()
 		for _, ln := range s.bcLns {
@@ -415,6 +623,34 @@ func (s *Server) Shutdown() {
 		}
 	})
 	<-s.done
+}
+
+// Crash simulates the process dying from inside the assembly pipeline — the
+// entry point a chaos.Crasher probe calls on the cycle-loop goroutine. The
+// journal is killed synchronously at the call site, freezing durable state
+// at exactly what prior appends pushed to the OS (the in-flight cycle's
+// commit fails and is lost, as a real kill would lose it), while the rest of
+// the teardown runs asynchronously: Kill waits on the cycle loop, which may
+// be the very goroutine calling Crash. Safe to call more than once; callers
+// that need the teardown complete follow with Kill, which waits.
+func (s *Server) Crash() {
+	if s.jn != nil {
+		s.jn.Kill()
+	}
+	go s.Kill()
+}
+
+// CrashJournalAfter arms a torn-write crash: the journal accepts n more
+// bytes of appended records and then dies mid-frame, leaving a torn record
+// tail on disk exactly as a process killed mid-write would. The append that
+// exceeds the budget fails, so the submission or cycle commit riding it is
+// refused and the cycle loop stops; callers follow with Kill and restart a
+// server on the same StateDir to exercise recovery's tail truncation.
+// No-op on an in-memory server.
+func (s *Server) CrashJournalAfter(n int64) {
+	if s.jn != nil {
+		s.jn.CrashAfter(n)
+	}
 }
 
 // acceptUplink serves request submissions.
@@ -488,75 +724,136 @@ func (s *Server) serveUplink(conn net.Conn) {
 			// the client redial rather than guess at framing.
 			return
 		}
-		if t != FrameQuery {
-			_ = writeFrame(conn, FrameAck, []byte("err: unexpected frame"))
+		// The frame is in flight from here: Shutdown waits for its response
+		// (and any journal append) before closing the journal and the
+		// connections. A frame that arrives once the drain has started is
+		// refused with a retry-after hint instead of a dropped connection.
+		s.inflight.Add(1)
+		if s.draining.Load() {
+			_ = conn.SetWriteDeadline(time.Now().Add(subWriteTimeout))
+			_ = writeFrame(conn, FrameReject, encodeReject(s.cfg.CycleInterval, "server shutting down"))
+			s.inflight.Done()
 			return
 		}
 		var out outFrame
-		if bucket != nil {
-			if s.adaptive != nil {
-				// The controller retunes the sustained rate; the burst
-				// capacity stays as configured.
-				bucket.rate = s.adaptive.UplinkRate()
+		switch t {
+		case FrameResume:
+			ids, derr := decodeResume(payload)
+			if derr != nil {
+				out = outFrame{FrameAck, []byte("err: " + derr.Error())}
+				break
 			}
-			if wait := bucket.take(s.clock.Now()); wait > 0 {
-				s.rejectedRate.Add(1)
-				out = outFrame{FrameReject, encodeReject(wait, "rate limited")}
+			ack, aerr := encodeResumeAck(s.epoch, s.generation, s.resumeEntries(ids))
+			if aerr != nil {
+				out = outFrame{FrameAck, []byte("err: " + aerr.Error())}
+				break
 			}
-		}
-		if out.t == 0 {
-			covered, err := s.submit(string(payload))
-			switch {
-			case err == nil:
-				out = outFrame{FrameAck, []byte(fmt.Sprintf("ok:%d", covered))}
-			case errors.Is(err, engine.ErrOverload):
-				s.rejectedPending.Add(1)
-				// The cap frees up as cycles retire requests, so the next
-				// cycle boundary is the natural retry point: the configured
-				// interval, or the controller's measured cycle latency when
-				// one is running (under load cycles retire slower than the
-				// interval promises).
-				retry := s.cfg.CycleInterval
+			out = outFrame{FrameResumeAck, ack}
+		case FrameQuery:
+			if bucket != nil {
 				if s.adaptive != nil {
-					if ra := s.adaptive.RetryAfter(); ra > 0 {
-						retry = ra
-					}
+					// The controller retunes the sustained rate; the burst
+					// capacity stays as configured.
+					bucket.rate = s.adaptive.UplinkRate()
 				}
-				out = outFrame{FrameReject, encodeReject(retry, "pending set full")}
-			default:
-				out = outFrame{FrameAck, []byte("err: " + err.Error())}
+				if wait := bucket.take(s.clock.Now()); wait > 0 {
+					s.rejectedRate.Add(1)
+					out = outFrame{FrameReject, encodeReject(wait, "rate limited")}
+				}
 			}
+			if out.t == 0 {
+				covered, id, err := s.submit(string(payload))
+				switch {
+				case err == nil:
+					// The ack names the covering cycle and the durable
+					// request ID the client presents on session resume.
+					out = outFrame{FrameAck, []byte(fmt.Sprintf("ok:%d:%d", covered, id))}
+				case errors.Is(err, engine.ErrOverload):
+					s.rejectedPending.Add(1)
+					// The cap frees up as cycles retire requests, so the next
+					// cycle boundary is the natural retry point: the configured
+					// interval, or the controller's measured cycle latency when
+					// one is running (under load cycles retire slower than the
+					// interval promises).
+					retry := s.cfg.CycleInterval
+					if s.adaptive != nil {
+						if ra := s.adaptive.RetryAfter(); ra > 0 {
+							retry = ra
+						}
+					}
+					out = outFrame{FrameReject, encodeReject(retry, "pending set full")}
+				default:
+					out = outFrame{FrameAck, []byte("err: " + err.Error())}
+				}
+			}
+		default:
+			_ = writeFrame(conn, FrameAck, []byte("err: unexpected frame"))
+			s.inflight.Done()
+			return
 		}
 		_ = conn.SetWriteDeadline(time.Now().Add(subWriteTimeout))
-		if err := writeFrame(conn, out.t, out.payload); err != nil {
+		err = writeFrame(conn, out.t, out.payload)
+		s.inflight.Done()
+		if err != nil {
 			return
 		}
 		_ = conn.SetWriteDeadline(time.Time{})
 	}
 }
 
+// resumeEntries answers one session-resume handshake: for every presented
+// request ID, whether it is still pending (no resubmit needed; detail names
+// the next cycle, which covers every pending request), was served within the
+// journal's horizon (detail names the retiring cycle), or must be
+// resubmitted.
+func (s *Server) resumeEntries(ids []int64) []resumeEntry {
+	s.mu.Lock()
+	pending := make(map[int64]struct{}, len(s.pending))
+	for _, r := range s.pending {
+		pending[r.id] = struct{}{}
+	}
+	next := s.cycles
+	s.mu.Unlock()
+	entries := make([]resumeEntry, 0, len(ids))
+	for _, id := range ids {
+		e := resumeEntry{ID: id, Status: ResumeResubmit}
+		if _, ok := pending[id]; ok {
+			e.Status, e.Detail = ResumeResumed, next
+		} else if s.jn != nil {
+			if cyc, ok := s.jn.Served(id); ok {
+				e.Status, e.Detail = ResumeServed, cyc
+			}
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
 // submit registers one query, resolving its result set server-side, and
 // returns the number of the first broadcast cycle whose index is guaranteed
-// to cover it. With Limits.MaxPending set, a submission that would grow the
-// pending set past the cap is refused with a wrapped engine.ErrOverload —
-// checked before resolution so floods cannot buy NFA work, and re-checked at
-// the append because the set may have grown while resolving.
-func (s *Server) submit(expr string) (int64, error) {
+// to cover it plus the request's durable ID. With Limits.MaxPending set, a
+// submission that would grow the pending set past the cap is refused with a
+// wrapped engine.ErrOverload — checked before resolution so floods cannot
+// buy NFA work, and re-checked at the append because the set may have grown
+// while resolving. On a journaled server the admit record is durably
+// appended before submit returns, so the caller's ack never outruns the
+// journal: a crash after the ack recovers the request.
+func (s *Server) submit(expr string) (int64, int64, error) {
 	if err := s.admit(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	q, err := xpath.Parse(strings.TrimSpace(expr))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	// The engine memoizes answers per canonical query string, so repeated
 	// submissions of popular queries never rescan the collection.
 	docs, err := s.eng.Resolve(q)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if len(docs) == 0 {
-		return 0, errors.New("query has an empty result set")
+		return 0, 0, errors.New("query has an empty result set")
 	}
 	rem := make(map[xmldoc.DocID]struct{}, len(docs))
 	for _, d := range docs {
@@ -565,12 +862,25 @@ func (s *Server) submit(expr string) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if max := s.maxPending(); max > 0 && len(s.pending) >= max {
-		return 0, fmt.Errorf("netcast: pending set at MaxPending %d: %w", max, engine.ErrOverload)
+		return 0, 0, fmt.Errorf("netcast: pending set at MaxPending %d: %w", max, engine.ErrOverload)
 	}
-	s.nextID++
-	s.pending = append(s.pending, &srvRequest{id: s.nextID, query: q, arrival: s.cycles, remaining: rem})
+	id := s.nextID + 1
+	if s.jn != nil {
+		// Journaling under mu keeps the log's admit order identical to ID
+		// order; the fsync cost (when configured) is the price of the
+		// ack-after-durability guarantee.
+		jrem := make([]uint16, 0, len(docs))
+		for _, d := range docs {
+			jrem = append(jrem, uint16(d))
+		}
+		if err := s.jn.Admit(journal.Request{ID: id, Arrival: s.cycles, Query: q.String(), Remaining: jrem}); err != nil {
+			return 0, 0, err
+		}
+	}
+	s.nextID = id
+	s.pending = append(s.pending, &srvRequest{id: id, query: q, arrival: s.cycles, remaining: rem})
 	// The next snapshot (cycle number s.cycles) will include this request.
-	return s.cycles, nil
+	return s.cycles, id, nil
 }
 
 // maxPending is the live pending-set cap: the adaptive controller's value
@@ -755,13 +1065,18 @@ func (s *Server) broadcastCycle() error {
 
 	// Mark deliveries on the snapshotted requests only (requests submitted
 	// mid-cycle did not have their documents announced in this index) and
-	// retire completed ones.
+	// retire completed ones. On a journaled server the whole cycle commits
+	// as one record — per-request deliveries, retirements and the cycle
+	// counter advance — so recovery resumes at cycle num+1 with exactly
+	// this pending set; a crash before the commit re-airs cycle num from
+	// the unchanged durable state instead.
 	s.mu.Lock()
 	inSnapshot := make(map[int64]struct{}, len(snapshot))
 	for _, r := range snapshot {
 		inSnapshot[r.id] = struct{}{}
 	}
 	var live []*srvRequest
+	var deliveries []journal.Delivery
 	for _, r := range s.pending {
 		if _, ok := inSnapshot[r.id]; ok {
 			// Multichannel cycles retire only what a single-tuner client
@@ -769,8 +1084,16 @@ func (s *Server) broadcastCycle() error {
 			// rest stays pending and is rescheduled. The request's admission
 			// cycle is its first covering cycle, where the client is still
 			// reading the first tier.
-			for _, p := range cy.Receivable(r.remaining, num == r.arrival) {
+			recv := cy.Receivable(r.remaining, num == r.arrival)
+			for _, p := range recv {
 				delete(r.remaining, p.ID)
+			}
+			if s.jn != nil && len(recv) > 0 {
+				d := journal.Delivery{ID: r.id, Docs: make([]uint16, 0, len(recv)), Retired: len(r.remaining) == 0}
+				for _, p := range recv {
+					d.Docs = append(d.Docs, uint16(p.ID))
+				}
+				deliveries = append(deliveries, d)
 			}
 		}
 		if len(r.remaining) > 0 {
@@ -778,6 +1101,12 @@ func (s *Server) broadcastCycle() error {
 		}
 	}
 	s.pending = live
+	if s.jn != nil {
+		if err := s.jn.Commit(num, deliveries); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
 	s.mu.Unlock()
 	return nil
 }
@@ -811,19 +1140,30 @@ func (s *Server) fanOut(channel int, t FrameType, payload []byte) {
 
 // AddDocument admits a new document to the live collection; it becomes
 // visible to queries and schedulable from the next cycle. The engine
-// invalidates its answer cache.
+// invalidates its answer cache; a journaled server records the grown
+// collection's fingerprint so recovery can detect drift.
 func (s *Server) AddDocument(d *xmldoc.Document) error {
-	return s.eng.AddDocument(d)
+	if err := s.eng.AddDocument(d); err != nil {
+		return err
+	}
+	if s.jn != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.jn.DocAdded(s.eng.CollectionFingerprint())
+	}
+	return nil
 }
 
 // RemoveDocument retires a document from the live collection. Pending
 // requests lose the document from their remaining sets; requests thereby
-// satisfied are retired.
+// satisfied are retired. A journaled server records the removal, whose
+// replay shrinks recovered remaining sets the same way.
 func (s *Server) RemoveDocument(id xmldoc.DocID) error {
 	if err := s.eng.RemoveDocument(id); err != nil {
 		return err
 	}
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	var live []*srvRequest
 	for _, r := range s.pending {
 		delete(r.remaining, id)
@@ -832,7 +1172,9 @@ func (s *Server) RemoveDocument(id xmldoc.DocID) error {
 		}
 	}
 	s.pending = live
-	s.mu.Unlock()
+	if s.jn != nil {
+		return s.jn.DocRemoved(uint16(id), s.eng.CollectionFingerprint())
+	}
 	return nil
 }
 

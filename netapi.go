@@ -33,6 +33,29 @@ type (
 	// admission control, carrying the retry-after hint. It satisfies
 	// errors.Is(err, EngineOverload).
 	BroadcastRejectedError = netcast.RejectedError
+	// BroadcastSession is a client's resumable uplink session: the server
+	// epoch/generation plus every acked submission. Capture it with
+	// (*BroadcastClient).Session, adopt it on a fresh client with
+	// AdoptSession, and replay it with Resume after a server restart.
+	BroadcastSession = netcast.ClientSession
+	// BroadcastSessionEntry is one acked submission in a resumable session.
+	BroadcastSessionEntry = netcast.SessionEntry
+	// BroadcastResumeStatus is one query's disposition from a session-resume
+	// handshake: ResumeResumed, ResumeServed or ResumeResubmit.
+	BroadcastResumeStatus = netcast.ResumeStatus
+)
+
+// Session-resume dispositions ((*BroadcastClient).Resume).
+const (
+	// ResumeResumed: the restarted server recovered the request from its
+	// journal; the original ack stands.
+	ResumeResumed = netcast.ResumeResumed
+	// ResumeServed: the journal shows the request fully delivered before the
+	// restart (Detail carries the retiring cycle).
+	ResumeServed = netcast.ResumeServed
+	// ResumeResubmit: the server has no durable record (fresh state
+	// directory); the client resubmitted the query under a new ID.
+	ResumeResubmit = netcast.ResumeResubmit
 )
 
 // StartBroadcastServer binds the uplink and broadcast listeners and starts

@@ -110,6 +110,19 @@ type (
 	ScheduleClockUnit = sim.ClockUnit
 )
 
+// Crash-restart equivalence driver (see RunRestartSim): a deterministic
+// cycle-clocked broadcast run over a durability journal, with an optional
+// seed-chosen mid-pipeline crash followed by warm recovery.
+type (
+	// RestartSimConfig parameterises RunRestartSim.
+	RestartSimConfig = sim.RestartConfig
+	// RestartSimResult carries per-cycle wire fingerprints and pending-set
+	// keys — the crash-equivalence evidence — plus crash/recovery telemetry.
+	RestartSimResult = sim.RestartResult
+	// ScriptedRequest is one admission of a restart-equivalence script.
+	ScriptedRequest = sim.ScriptedRequest
+)
+
 // Scheduler clock units.
 const (
 	// ClockBytes hands schedulers the simulator's native byte-time.
