@@ -50,6 +50,7 @@ func run(args []string) error {
 		dq         = fs.Int("dq", 0, "D_Q: maximum query depth")
 		cap        = fs.Int("capacity", 0, "cycle document budget in bytes")
 		channels   = fs.Int("channels", 0, "parallel broadcast channels K for experiment runs (two-tier legs only; -bench-engine always measures at K=1)")
+		indexEnc   = fs.String("index-enc", "", "first-tier wire layout for experiment runs: node or succinct (two-tier legs only; -bench-engine always measures both)")
 		sched      = fs.String("scheduler", "", "scheduler: leelo, fcfs, mrf or rxw")
 		docSeed    = fs.Int64("doc-seed", 0, "document generation seed")
 		qSeed      = fs.Int64("query-seed", 0, "query generation seed")
@@ -94,6 +95,13 @@ func run(args []string) error {
 	}
 	if *channels > 0 {
 		cfg.Channels = *channels
+	}
+	if *indexEnc != "" {
+		enc, err := repro.ParseIndexEncoding(*indexEnc)
+		if err != nil {
+			return err
+		}
+		cfg.IndexEncoding = enc
 	}
 	if *sched != "" {
 		cfg.Scheduler = *sched
@@ -157,6 +165,12 @@ func run(args []string) error {
 		if mb := res.Multichannel; mb != nil {
 			fmt.Printf("multichannel K=%d: mean access %.0f B vs K=1 %.0f B (%.1f%% reduction, %d/%d clients eavesdropped)\n",
 				mb.Channels, mb.MeanAccessBytesK, mb.MeanAccessBytesK1, mb.AccessReductionPct, mb.EavesdropClients, mb.Clients)
+		}
+		if sb := res.Succinct; sb != nil {
+			fmt.Printf("succinct tier: %d B vs node %d B (%.1f%% smaller), index tuning %.0f B vs %.0f B (%.1f%% less), encode %d ns vs %d ns\n",
+				sb.FirstTierBytesSuccinct, sb.FirstTierBytesNode, sb.FirstTierReductionPct,
+				sb.MeanIndexTuningBytesSuccinct, sb.MeanIndexTuningBytesNode, sb.TuningReductionPct,
+				sb.EncodeSuccinctNS, sb.EncodeNodeNS)
 		}
 		if *benchBase != "" {
 			baseData, err := os.ReadFile(*benchBase)

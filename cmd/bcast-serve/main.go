@@ -41,6 +41,7 @@ func run(args []string) error {
 		docs      = fs.Int("docs", 50, "number of generated documents")
 		capacity  = fs.Int("capacity", 100_000, "cycle document budget in bytes")
 		mode      = fs.String("mode", "two-tier", "index organisation: one-tier or two-tier")
+		indexEnc  = fs.String("index-enc", "node", "first-tier wire layout: node or succinct (two-tier only)")
 		channels  = fs.Int("channels", 1, "parallel broadcast channels K (two-tier only; K>1 streams protocol v3)")
 		interval  = fs.Duration("interval", 100*time.Millisecond, "cycle pacing")
 		seed      = fs.Int64("seed", 1, "random seed")
@@ -75,10 +76,11 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
-	var (
-		coll *repro.Collection
-		err  error
-	)
+	enc, err := repro.ParseIndexEncoding(*indexEnc)
+	if err != nil {
+		return err
+	}
+	var coll *repro.Collection
 	if *dataDir != "" {
 		coll, err = repro.LoadCollection(*dataDir)
 	} else {
@@ -90,6 +92,7 @@ func run(args []string) error {
 	srv, err := repro.StartBroadcastServer(repro.BroadcastServerConfig{
 		Collection:    coll,
 		Mode:          bm,
+		IndexEncoding: enc,
 		Channels:      *channels,
 		CycleCapacity: *capacity,
 		CycleInterval: *interval,
@@ -134,7 +137,8 @@ func run(args []string) error {
 			}
 		}()
 	}
-	fmt.Printf("serving %d documents (%d bytes) in %s mode\n", coll.Len(), coll.TotalSize(), *mode)
+	fmt.Printf("serving %d documents (%d bytes) in %s mode, %s index encoding\n",
+		coll.Len(), coll.TotalSize(), *mode, enc)
 	fmt.Printf("uplink    %s\n", srv.UplinkAddr())
 	if addrs := srv.ChannelAddrs(); len(addrs) > 1 {
 		for ch, a := range addrs {

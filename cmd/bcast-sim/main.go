@@ -28,6 +28,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("bcast-sim", flag.ContinueOnError)
 	var (
 		mode      = fs.String("mode", "two-tier", "index organisation: one-tier or two-tier")
+		indexEnc  = fs.String("index-enc", "node", "first-tier wire layout: node or succinct (two-tier only)")
 		channels  = fs.Int("channels", 1, "parallel broadcast channels K at fixed aggregate bandwidth (two-tier only)")
 		schema    = fs.String("schema", "nitf", "document schema: nitf or nasa")
 		dataDir   = fs.String("data", "", "directory of .xml files to broadcast (overrides -schema/-docs)")
@@ -62,11 +63,12 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+	enc, err := repro.ParseIndexEncoding(*indexEnc)
+	if err != nil {
+		return err
+	}
 
-	var (
-		coll *repro.Collection
-		err  error
-	)
+	var coll *repro.Collection
 	if *dataDir != "" {
 		coll, err = repro.LoadCollection(*dataDir)
 	} else {
@@ -103,6 +105,7 @@ func run(args []string) error {
 	res, err := repro.Simulate(repro.SimulationConfig{
 		Collection:     coll,
 		Mode:           bm,
+		IndexEncoding:  enc,
 		Channels:       *channels,
 		Scheduler:      scheduler,
 		CycleCapacity:  *capacity,
@@ -114,8 +117,8 @@ func run(args []string) error {
 		return err
 	}
 
-	fmt.Printf("mode=%s schema=%s docs=%d data=%dB requests=%d scheduler=%s channels=%d\n",
-		*mode, *schema, coll.Len(), coll.TotalSize(), len(reqs), *sched, *channels)
+	fmt.Printf("mode=%s enc=%s schema=%s docs=%d data=%dB requests=%d scheduler=%s channels=%d\n",
+		*mode, enc, *schema, coll.Len(), coll.TotalSize(), len(reqs), *sched, *channels)
 	fmt.Printf("cycles broadcast:        %d\n", res.NumCycles())
 	fmt.Printf("mean cycle length:       %.0f B\n", res.MeanCycleBytes())
 	fmt.Printf("mean index size (L_I):   %.0f B\n", res.MeanIndexBytes())

@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataguide"
 	"repro/internal/schedule"
+	"repro/internal/succinct"
 	"repro/internal/wire"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
@@ -122,6 +123,9 @@ type Cycle struct {
 	Start int64
 	// Mode is the index organisation.
 	Mode Mode
+	// Encoding is the first tier's wire layout (node pointers or the
+	// succinct balanced-parentheses form).
+	Encoding core.IndexEncoding
 
 	// Index is the pruned index broadcast this cycle (first tier in
 	// two-tier mode, the full one-tier index otherwise).
@@ -136,6 +140,9 @@ type Cycle struct {
 	HeadBytes int
 	// IndexBytes is the on-air size of the packed index (L_I).
 	IndexBytes int
+	// TierBytes is the raw byte length of the succinct tier blob; zero
+	// under node encoding (where the stream length lives in Packing).
+	TierBytes int
 	// SecondTierBytes is the size of the offset list (L_O); zero in
 	// one-tier mode. With K > 1 channels it is the sum of the per-channel
 	// stripes.
@@ -177,6 +184,17 @@ type Cycle struct {
 	// cycle carries the unpruned CI instead (a strict superset of the
 	// PCI; clients decode it unchanged).
 	Degraded bool
+}
+
+// IndexStreamBytes is the byte length of the cycle's index segment in the
+// wire stream: the packed node stream under node encoding, the succinct
+// tier blob otherwise. Encoders and decoders slice the cycle's data apart
+// at this boundary.
+func (c *Cycle) IndexStreamBytes() int {
+	if c.Encoding == core.EncodingSuccinct {
+		return c.TierBytes
+	}
+	return c.Packing.StreamBytes
 }
 
 // TotalBytes is the cycle's aggregate payload across all channels.
@@ -560,6 +578,7 @@ func (c *Cycle) ChannelDir() []wire.ChannelDirEntry {
 type Builder struct {
 	model    core.SizeModel
 	mode     Mode
+	encoding core.IndexEncoding
 	channels int // 1 = single serial stream; K > 1 = index channel + K-1 data channels
 
 	docs   map[xmldoc.DocID]*xmldoc.Document
@@ -689,6 +708,26 @@ func (b *Builder) SetChannels(k int) error {
 // Channels reports the configured channel count.
 func (b *Builder) Channels() int { return b.channels }
 
+// SetEncoding selects the first tier's wire layout. The succinct encoding
+// requires TwoTierMode: the one-tier index embeds per-node document
+// offsets, which the balanced-parentheses form does not carry.
+func (b *Builder) SetEncoding(e core.IndexEncoding) error {
+	switch e {
+	case core.EncodingNode:
+	case core.EncodingSuccinct:
+		if b.mode != TwoTierMode {
+			return fmt.Errorf("broadcast: succinct encoding requires two-tier mode")
+		}
+	default:
+		return fmt.Errorf("broadcast: invalid index encoding %d", int(e))
+	}
+	b.encoding = e
+	return nil
+}
+
+// Encoding reports the configured first-tier wire layout.
+func (b *Builder) Encoding() core.IndexEncoding { return b.encoding }
+
 // BuildCycle lays out one cycle: the CI is pruned to the pending query set,
 // packed under the mode's tier, and the scheduled documents are placed after
 // it. docPlan must not contain duplicates or unknown documents.
@@ -706,12 +745,13 @@ func (b *Builder) BuildCycle(number, start int64, pending []xpath.Path, docPlan 
 // docPlan must not contain duplicates or unknown documents.
 func (b *Builder) BuildCycleWithIndex(number, start int64, index *core.Index, docPlan []xmldoc.DocID) (*Cycle, error) {
 	cycle := &Cycle{
-		Number:  number,
-		Start:   start,
-		Mode:    b.mode,
-		Index:   index,
-		Catalog: wire.BuildCatalog(index),
-		Offsets: make(wire.DocOffsets, len(docPlan)),
+		Number:   number,
+		Start:    start,
+		Mode:     b.mode,
+		Encoding: b.encoding,
+		Index:    index,
+		Catalog:  wire.BuildCatalog(index),
+		Offsets:  make(wire.DocOffsets, len(docPlan)),
 	}
 
 	// Document section layout.
@@ -744,7 +784,17 @@ func (b *Builder) BuildCycleWithIndex(number, start int64, index *core.Index, do
 		tier = core.FirstTier
 	}
 	cycle.Packing = index.Pack(tier)
-	cycle.IndexBytes = cycle.Packing.AirBytes()
+	if b.encoding == core.EncodingSuccinct {
+		sz, err := succinct.TierSize(index, cycle.Catalog.Len(), b.model)
+		if err != nil {
+			return nil, fmt.Errorf("broadcast: size succinct tier: %w", err)
+		}
+		cycle.TierBytes = sz
+		pb := b.model.PacketBytes
+		cycle.IndexBytes = (sz + pb - 1) / pb * pb
+	} else {
+		cycle.IndexBytes = cycle.Packing.AirBytes()
+	}
 	if b.mode == TwoTierMode && b.channels == 1 {
 		cycle.SecondTierBytes = wire.SecondTierSize(len(docPlan), b.model)
 	}
@@ -843,27 +893,33 @@ func (b *Builder) Encode(c *Cycle) (indexSeg, secondTierSeg []byte, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	indexSeg = buf[:c.Packing.StreamBytes:c.Packing.StreamBytes]
-	if len(buf) > c.Packing.StreamBytes {
-		secondTierSeg = buf[c.Packing.StreamBytes:]
+	cut := c.IndexStreamBytes()
+	indexSeg = buf[:cut:cut]
+	if len(buf) > cut {
+		secondTierSeg = buf[cut:]
 	}
 	return indexSeg, secondTierSeg, nil
 }
 
 // AppendEncoded appends the cycle's index segment followed by, in two-tier
 // mode, its second-tier segment to dst and returns the extended slice. The
-// index segment occupies exactly c.Packing.StreamBytes; callers reusing
+// index segment occupies exactly c.IndexStreamBytes(); callers reusing
 // pooled buffers slice the segments apart at that boundary. Single-channel
 // cycles only; multichannel cycles encode through AppendEncodedChannels.
 func (b *Builder) AppendEncoded(dst []byte, c *Cycle) ([]byte, error) {
 	if len(c.Channels) > 1 {
 		return nil, fmt.Errorf("broadcast: AppendEncoded on a %d-channel cycle", len(c.Channels))
 	}
-	var offs wire.DocOffsets
-	if b.mode == OneTierMode {
-		offs = c.Offsets
+	var err error
+	if c.Encoding == core.EncodingSuccinct {
+		dst, err = succinct.AppendTier(dst, c.Index, c.Catalog, b.model)
+	} else {
+		var offs wire.DocOffsets
+		if b.mode == OneTierMode {
+			offs = c.Offsets
+		}
+		dst, err = wire.AppendIndex(dst, c.Index, c.Packing, c.Catalog, offs)
 	}
-	dst, err := wire.AppendIndex(dst, c.Index, c.Packing, c.Catalog, offs)
 	if err != nil {
 		return nil, fmt.Errorf("broadcast: encode index: %w", err)
 	}
@@ -892,7 +948,11 @@ func (b *Builder) AppendEncodedChannels(dst []byte, c *Cycle) (_ []byte, cuts []
 	}
 	base := len(dst)
 	cuts = make([]int, 0, 1+len(c.Channels))
-	dst, err = wire.AppendIndex(dst, c.Index, c.Packing, c.Catalog, nil)
+	if c.Encoding == core.EncodingSuccinct {
+		dst, err = succinct.AppendTier(dst, c.Index, c.Catalog, b.model)
+	} else {
+		dst, err = wire.AppendIndex(dst, c.Index, c.Packing, c.Catalog, nil)
+	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("broadcast: encode index: %w", err)
 	}

@@ -33,6 +33,10 @@ func NewNavigator(q xpath.Path) *Navigator {
 // Query returns the navigator's query.
 func (nav *Navigator) Query() xpath.Path { return nav.query }
 
+// Filter exposes the navigator's compiled automaton so alternative index
+// layouts (package succinct) can navigate with the identical machine.
+func (nav *Navigator) Filter() *yfilter.Filter { return nav.f }
+
 // Lookup navigates the index as the client access protocol does (§3.1):
 // starting from the roots, the client reads a node, advances its query
 // automaton on the node's label, and uses the node's <entry, pointer> tuples
@@ -50,7 +54,7 @@ func (nav *Navigator) Lookup(ix *Index) LookupResult {
 		if next.Empty() {
 			return
 		}
-		if len(nav.f.Accepting(next)) > 0 {
+		if nav.f.HasAccepting(next) {
 			for _, d := range n.Docs {
 				docs[d] = struct{}{}
 			}

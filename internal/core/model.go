@@ -87,6 +87,46 @@ func (m SizeModel) DocTupleBytes(t Tier) int {
 // second-tier list.
 func (m SizeModel) SecondTierEntryBytes() int { return m.DocIDBytes + m.PointerBytes }
 
+// IndexEncoding selects the on-air byte layout of the first tier. The
+// zero value is the node-pointer layout, so existing configurations and
+// captures are unaffected by the knob.
+type IndexEncoding int
+
+const (
+	// EncodingNode is the paper's per-node layout: flag block plus
+	// <entry, pointer> and document tuples (package wire).
+	EncodingNode IndexEncoding = iota
+	// EncodingSuccinct is the balanced-parentheses layout: 2-bit
+	// topology, bit-packed label IDs and a rank-indexed attachment
+	// bitmap (package succinct). Two-tier only.
+	EncodingSuccinct
+)
+
+// String names the encoding.
+func (e IndexEncoding) String() string {
+	switch e {
+	case EncodingNode:
+		return "node"
+	case EncodingSuccinct:
+		return "succinct"
+	default:
+		return fmt.Sprintf("IndexEncoding(%d)", int(e))
+	}
+}
+
+// ParseIndexEncoding resolves a -index-enc flag value; the empty string
+// means the default node layout.
+func ParseIndexEncoding(s string) (IndexEncoding, error) {
+	switch s {
+	case "", "node":
+		return EncodingNode, nil
+	case "succinct":
+		return EncodingSuccinct, nil
+	default:
+		return 0, fmt.Errorf("core: unknown index encoding %q (want node or succinct)", s)
+	}
+}
+
 // NodeKind classifies index nodes, mirroring the paper's flag block: a root,
 // an internal node, or a leaf.
 type NodeKind int

@@ -46,6 +46,11 @@ type Packing struct {
 	StreamBytes int
 	// NumPackets is the packet count, ceil(StreamBytes / PacketBytes).
 	NumPackets int
+	// FlagCountBits is the per-count bit width of the node flag block
+	// ((FlagBytes*8 − 2) / 2), precomputed here so steady-state encoders
+	// do not re-derive the flag layout every cycle; 0 when FlagBytes is
+	// too small to encode node headers.
+	FlagCountBits int
 }
 
 // Pack lays the index out on air under the given tier in the paper's
@@ -63,6 +68,9 @@ func (ix *Index) PackOrdered(t Tier, order PackOrder) *Packing {
 		Model:       ix.Model,
 		NodeOffsets: make([]int, len(ix.Nodes)),
 		NodeSizes:   make([]int, len(ix.Nodes)),
+	}
+	if bits := ix.Model.FlagBytes*8 - 2; bits >= 2 {
+		p.FlagCountBits = bits / 2
 	}
 	pb := ix.Model.PacketBytes
 	offset := 0

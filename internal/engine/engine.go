@@ -44,6 +44,10 @@ type Config struct {
 	Model core.SizeModel
 	// Mode selects one-tier or two-tier broadcast. Required.
 	Mode broadcast.Mode
+	// IndexEncoding selects the first tier's wire layout: the node-pointer
+	// stream (the zero value) or the succinct balanced-parentheses form,
+	// which requires TwoTierMode.
+	IndexEncoding core.IndexEncoding
 	// Scheduler plans cycle content. Nil selects schedule.LeeLo.
 	Scheduler schedule.Scheduler
 	// CycleCapacity is the document-byte budget per cycle. Required (> 0).
@@ -207,6 +211,11 @@ func New(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("engine: %w", err)
 		}
 	}
+	if cfg.IndexEncoding != core.EncodingNode {
+		if err := builder.SetEncoding(cfg.IndexEncoding); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	}
 	schedChurn := cfg.ScheduleChurn
 	if schedChurn == 0 {
 		schedChurn = schedule.DefaultScheduleChurn
@@ -250,6 +259,9 @@ func (e *Engine) Mode() broadcast.Mode {
 
 // Channels reports the configured broadcast channel count (1 = serial).
 func (e *Engine) Channels() int { return e.builder.Channels() }
+
+// Encoding reports the first tier's wire layout.
+func (e *Engine) Encoding() core.IndexEncoding { return e.builder.Encoding() }
 
 // Scheduler reports the planning policy.
 func (e *Engine) Scheduler() schedule.Scheduler { return e.scheduler }
@@ -647,7 +659,7 @@ func (e *Engine) EncodeCycle(c *Cycle) (_ *Encoded, err error) {
 			return nil, err
 		}
 		enc.buf = buf
-		indexLen := c.Packing.StreamBytes
+		indexLen := c.IndexStreamBytes()
 		enc.Index = buf[:indexLen:indexLen]
 		if len(buf) > indexLen {
 			enc.SecondTier = buf[indexLen:len(buf):len(buf)]

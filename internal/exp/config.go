@@ -71,6 +71,12 @@ type Config struct {
 	// The engine benchmark ignores this and always measures at K=1 so
 	// BENCH_engine.json baselines stay comparable across machines.
 	Channels int
+	// IndexEncoding selects the first-tier wire layout of two-tier runs
+	// (sim.Config.IndexEncoding): the node-pointer stream (zero value) or
+	// the succinct balanced-parentheses tier. One-tier legs ignore it. The
+	// engine benchmark ignores it too — its succinct section always measures
+	// both encodings.
+	IndexEncoding core.IndexEncoding
 	// Scheduler names the scheduling policy (default "leelo", the paper's
 	// choice [8]).
 	Scheduler string

@@ -15,6 +15,8 @@ import (
 	"repro/internal/engine"
 	"repro/internal/schedule"
 	"repro/internal/sim"
+	"repro/internal/succinct"
+	"repro/internal/wire"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
 	"repro/internal/yfilter"
@@ -67,6 +69,10 @@ type EngineBenchResult struct {
 	// Multichannel compares a K=4 run against the K=1 baseline at fixed
 	// aggregate bandwidth, with per-channel means.
 	Multichannel *MultichannelBench `json:"multichannel"`
+
+	// Succinct compares the balanced-parentheses first-tier encoding against
+	// the node-pointer stream on the same two-tier workload.
+	Succinct *SuccinctBench `json:"succinct"`
 }
 
 // ChannelBenchMetrics is one channel's mean per-cycle load in the
@@ -97,6 +103,33 @@ type MultichannelBench struct {
 	MeanIndexRepetitions float64               `json:"mean_index_repetitions"`
 	EavesdropClients     int                   `json:"eavesdrop_clients"`
 	PerChannel           []ChannelBenchMetrics `json:"per_channel"`
+}
+
+// SuccinctBench reports the succinct first-tier comparison: the Table 2
+// workload simulated two-tier at K=1 under the node-pointer stream and under
+// the balanced-parentheses encoding, plus one-shot encode timings of the
+// whole query set's pruned CI in each layout. Byte counts are deterministic
+// for a fixed workload; the encode timings vary by machine like every other
+// *_ns field.
+type SuccinctBench struct {
+	// FirstTierBytesNode / FirstTierBytesSuccinct are the exact stream bytes
+	// of the full pruned CI under each encoding, before packet alignment.
+	FirstTierBytesNode     int     `json:"first_tier_bytes_node"`
+	FirstTierBytesSuccinct int     `json:"first_tier_bytes_succinct"`
+	FirstTierReductionPct  float64 `json:"first_tier_reduction_pct"`
+	// MeanIndexBytes* are the per-cycle on-air index segment means (packet
+	// aligned) of the two simulation legs.
+	MeanIndexBytesNode     float64 `json:"mean_index_bytes_node"`
+	MeanIndexBytesSuccinct float64 `json:"mean_index_bytes_succinct"`
+	// MeanIndexTuningBytes* are the client-side index tuning means of the two
+	// legs; TuningReductionPct is the succinct leg's improvement.
+	MeanIndexTuningBytesNode     float64 `json:"mean_index_tuning_bytes_node"`
+	MeanIndexTuningBytesSuccinct float64 `json:"mean_index_tuning_bytes_succinct"`
+	TuningReductionPct           float64 `json:"tuning_reduction_pct"`
+	// EncodeNodeNS / EncodeSuccinctNS time one encoding pass of the pruned CI
+	// into a reused buffer (best of rounds).
+	EncodeNodeNS     int64 `json:"encode_node_ns"`
+	EncodeSuccinctNS int64 `json:"encode_succinct_ns"`
 }
 
 // engineBenchRounds is how many timed repetitions each measurement takes;
@@ -197,10 +230,89 @@ func RunEngineBench(cfg Config) (*EngineBenchResult, error) {
 	res.Cycles = len(out.Cycles)
 	res.Engine = out.Engine
 
+	if err := benchSuccinct(cfg, coll, queries, out, res); err != nil {
+		return nil, err
+	}
 	if err := benchMultichannel(res); err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// benchSuccinct fills the Succinct section. The node leg is the main
+// benchmark simulation (two-tier, K=1, node-pointer stream); the succinct leg
+// reruns the identical workload with IndexEncoding set. The exact stream
+// sizes and encode timings come from one pruning of the whole query set over
+// the collection's CI — the same index every steady-state cycle broadcasts.
+func benchSuccinct(cfg Config, coll *xmldoc.Collection, queries []xpath.Path, nodeRun *sim.Result, res *EngineBenchResult) error {
+	ci, err := core.BuildCI(coll, cfg.Model)
+	if err != nil {
+		return err
+	}
+	pci, _, err := ci.Prune(queries)
+	if err != nil {
+		return err
+	}
+	cat := wire.BuildCatalog(pci)
+	packing := pci.Pack(core.FirstTier)
+	sz, err := succinct.TierSize(pci, cat.Len(), cfg.Model)
+	if err != nil {
+		return fmt.Errorf("exp: succinct bench size: %w", err)
+	}
+	sb := &SuccinctBench{
+		FirstTierBytesNode:     packing.StreamBytes,
+		FirstTierBytesSuccinct: sz,
+	}
+	if sb.FirstTierBytesNode > 0 {
+		sb.FirstTierReductionPct = 100 * (1 - float64(sb.FirstTierBytesSuccinct)/float64(sb.FirstTierBytesNode))
+	}
+
+	// A single encode is a few microseconds — far below timer and scheduler
+	// noise — so each timed round batches many and reports the per-encode
+	// mean of the best round.
+	const encodeBatch = 64
+	buf := make([]byte, 0, packing.StreamBytes)
+	sb.EncodeNodeNS = bestOf(engineBenchRounds, func() {
+		for i := 0; i < encodeBatch; i++ {
+			if _, err := wire.AppendIndex(buf[:0], pci, packing, cat, nil); err != nil {
+				panic(err)
+			}
+		}
+	}) / encodeBatch
+	sb.EncodeSuccinctNS = bestOf(engineBenchRounds, func() {
+		for i := 0; i < encodeBatch; i++ {
+			if _, err := succinct.AppendTier(buf[:0], pci, cat, cfg.Model); err != nil {
+				panic(err)
+			}
+		}
+	}) / encodeBatch
+
+	sched, err := cfg.scheduler()
+	if err != nil {
+		return err
+	}
+	succRun, err := sim.Run(sim.Config{
+		Collection:    coll,
+		Model:         cfg.Model,
+		Mode:          broadcast.TwoTierMode,
+		IndexEncoding: core.EncodingSuccinct,
+		Scheduler:     sched,
+		CycleCapacity: cfg.CycleCapacity,
+		Requests:      cfg.requests(queries),
+		Limits:        cfg.Limits,
+	})
+	if err != nil {
+		return fmt.Errorf("exp: succinct bench run: %w", err)
+	}
+	sb.MeanIndexBytesNode = nodeRun.MeanIndexBytes()
+	sb.MeanIndexBytesSuccinct = succRun.MeanIndexBytes()
+	sb.MeanIndexTuningBytesNode = nodeRun.MeanIndexTuningBytes()
+	sb.MeanIndexTuningBytesSuccinct = succRun.MeanIndexTuningBytes()
+	if sb.MeanIndexTuningBytesNode > 0 {
+		sb.TuningReductionPct = 100 * (1 - sb.MeanIndexTuningBytesSuccinct/sb.MeanIndexTuningBytesNode)
+	}
+	res.Succinct = sb
+	return nil
 }
 
 // benchMultichannelK is the channel count the multichannel comparison runs
@@ -417,6 +529,17 @@ func CompareEngineBench(baseline, current *EngineBenchResult, tolerance float64)
 	gates := []gate{{"build-stage", baseline.BuildStageMeanNS(), current.BuildStageMeanNS()}}
 	if baseline.ScheduleStageMeanNS() > 0 {
 		gates = append(gates, gate{"schedule-stage", baseline.ScheduleStageMeanNS(), current.ScheduleStageMeanNS()})
+	}
+	// Succinct gates engage only when the baseline recorded the section, so
+	// older baselines keep comparing. Encode time is a wall-clock gate like
+	// the stage means; the byte gates are deterministic for a fixed workload
+	// and catch the encoding itself bloating.
+	if b, c := baseline.Succinct, current.Succinct; b != nil && c != nil {
+		gates = append(gates,
+			gate{"succinct-encode", float64(b.EncodeSuccinctNS), float64(c.EncodeSuccinctNS)},
+			gate{"succinct-tier-bytes", float64(b.FirstTierBytesSuccinct), float64(c.FirstTierBytesSuccinct)},
+			gate{"succinct-tuning-bytes", b.MeanIndexTuningBytesSuccinct, c.MeanIndexTuningBytesSuccinct},
+		)
 	}
 	var summary string
 	var firstErr error

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/broadcast"
+	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -23,15 +24,18 @@ func (c Config) modeRun(mode broadcast.Mode, nq int, p float64, dq int) (*sim.Re
 		return nil, err
 	}
 	channels := 0
+	var enc core.IndexEncoding
 	if mode == broadcast.TwoTierMode {
-		// The one-tier organisation has no channel directory to hop with;
-		// multichannel sweeps apply to two-tier runs only.
+		// The one-tier organisation has no channel directory to hop with and
+		// no succinct layout; both knobs apply to two-tier runs only.
 		channels = c.Channels
+		enc = c.IndexEncoding
 	}
 	return sim.Run(sim.Config{
 		Collection:     coll,
 		Model:          c.Model,
 		Mode:           mode,
+		IndexEncoding:  enc,
 		Channels:       channels,
 		Scheduler:      sched,
 		CycleCapacity:  c.CycleCapacity,

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/succinct"
 	"repro/internal/wire"
 	"repro/internal/xmldoc"
 )
@@ -88,6 +89,9 @@ type CycleRecord struct {
 	Number uint32
 	// TwoTier reports the broadcast mode.
 	TwoTier bool
+	// Succinct reports that the index segment is the succinct
+	// balanced-parentheses tier rather than the node-pointer stream.
+	Succinct bool
 	// Channel and Channels identify a multichannel capture's stream: this
 	// record holds cycle Number's share on channel Channel of Channels.
 	// Both are zero in a single-channel capture.
@@ -144,6 +148,13 @@ func (r *CycleRecord) DecodeIndex(m core.SizeModel) (*core.Index, error) {
 	cat, err := wire.DecodeCatalog(r.head.Catalog)
 	if err != nil {
 		return nil, err
+	}
+	if r.Succinct {
+		st, err := succinct.Parse(r.IndexSeg, m, cat)
+		if err != nil {
+			return nil, err
+		}
+		return st.Decode()
 	}
 	tier := core.OneTier
 	if r.TwoTier {
@@ -224,13 +235,14 @@ func ReadCapture(r io.Reader) ([]CycleRecord, error) {
 				// Multichannel index channel: the cycle head rides inside
 				// the channel-head-bounded record.
 				cur.TwoTier = head.TwoTier
+				cur.Succinct = head.Succinct
 				cur.head = head
 				continue
 			}
 			if cur != nil {
 				records = append(records, *cur)
 			}
-			cur = &CycleRecord{Number: head.Number, TwoTier: head.TwoTier, head: head}
+			cur = &CycleRecord{Number: head.Number, TwoTier: head.TwoTier, Succinct: head.Succinct, head: head}
 		case FrameChannelDir:
 			if cur != nil {
 				cur.DirSeg = payload

@@ -17,6 +17,7 @@ import (
 	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/succinct"
 	"repro/internal/wire"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
@@ -789,10 +790,19 @@ func (c *Client) flushResubmits() {
 
 // decodeAndNavigate decodes an index segment and runs the client's query
 // automaton over it, returning the result doc IDs and (one-tier) offsets.
+// Under the succinct encoding the segment is navigated in place with a
+// cursor — no core.Index is ever materialized client-side.
 func (c *Client) decodeAndNavigate(seg []byte, head *cycleHead, nav *core.Navigator, twoTier bool) ([]xmldoc.DocID, wire.DocOffsets, error) {
 	cat, err := wire.DecodeCatalog(head.Catalog)
 	if err != nil {
 		return nil, nil, err
+	}
+	if head.Succinct {
+		st, err := succinct.Parse(seg, c.model, cat)
+		if err != nil {
+			return nil, nil, err
+		}
+		return st.NewCursor().Lookup(nav.Filter()), nil, nil
 	}
 	tier := core.OneTier
 	if twoTier {

@@ -419,10 +419,15 @@ func decodeChannelHead(data []byte) (*channelHead, error) {
 	return h, nil
 }
 
-// cycleHead is the decoded head segment of one cycle.
+// cycleHead is the decoded head segment of one cycle. The organisation byte
+// (offset 4) negotiates the index layout per cycle: 0 = one-tier, 1 =
+// two-tier with the node-pointer index, 2 = two-tier with the succinct
+// balanced-parentheses tier. Clients that predate value 2 reject the head
+// cleanly instead of mis-decoding the index segment.
 type cycleHead struct {
 	Number     uint32
 	TwoTier    bool
+	Succinct   bool // first tier is the succinct encoding (implies TwoTier)
 	NumDocs    uint16
 	Catalog    []byte   // encoded wire.Catalog
 	RootLabels []string // labels of index roots, in root order
@@ -437,9 +442,15 @@ func (h *cycleHead) encode() ([]byte, error) {
 	var num [4]byte
 	binary.LittleEndian.PutUint32(num[:], h.Number)
 	out = append(out, num[:]...)
-	if h.TwoTier {
+	switch {
+	case h.Succinct:
+		if !h.TwoTier {
+			return nil, fmt.Errorf("netcast: succinct cycle head requires two-tier")
+		}
+		out = append(out, 2)
+	case h.TwoTier:
 		out = append(out, 1)
-	} else {
+	default:
 		out = append(out, 0)
 	}
 	var nd [2]byte
@@ -465,10 +476,14 @@ func decodeCycleHead(data []byte) (*cycleHead, error) {
 	if len(data) < 8 {
 		return nil, fmt.Errorf("netcast: cycle head truncated")
 	}
+	if data[4] > 2 {
+		return nil, fmt.Errorf("netcast: cycle head organisation %d unknown", data[4])
+	}
 	h := &cycleHead{
-		Number:  binary.LittleEndian.Uint32(data),
-		TwoTier: data[4] == 1,
-		NumDocs: binary.LittleEndian.Uint16(data[5:]),
+		Number:   binary.LittleEndian.Uint32(data),
+		TwoTier:  data[4] >= 1,
+		Succinct: data[4] == 2,
+		NumDocs:  binary.LittleEndian.Uint16(data[5:]),
 	}
 	pos := 7
 	nRoots := int(data[pos])

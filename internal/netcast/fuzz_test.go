@@ -122,9 +122,15 @@ func FuzzDecodeCycleHead(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	succ, err := (&cycleHead{Number: 4, TwoTier: true, Succinct: true, NumDocs: 1, Catalog: []byte{9}}).encode()
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(good)
+	f.Add(succ)
 	f.Add([]byte{})
 	f.Add([]byte{1, 0, 0, 0, 1, 2, 0, 1, 3})
+	f.Add([]byte{1, 0, 0, 0, 3, 2, 0, 0, 0, 0, 0, 0}) // organisation byte 3: unknown
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, err := decodeCycleHead(data)
 		if err != nil {
@@ -138,7 +144,7 @@ func FuzzDecodeCycleHead(f *testing.F) {
 		if err != nil {
 			t.Fatalf("round trip decode failed: %v", err)
 		}
-		if again.Number != h.Number || again.TwoTier != h.TwoTier ||
+		if again.Number != h.Number || again.TwoTier != h.TwoTier || again.Succinct != h.Succinct ||
 			again.NumDocs != h.NumDocs || len(again.RootLabels) != len(h.RootLabels) {
 			t.Fatal("cycle head round trip unstable")
 		}

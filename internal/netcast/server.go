@@ -29,6 +29,11 @@ type ServerConfig struct {
 	Model core.SizeModel
 	// Mode selects one-tier or two-tier broadcast. Zero selects two-tier.
 	Mode broadcast.Mode
+	// IndexEncoding selects the first tier's wire layout: the node-pointer
+	// stream (the zero value) or the succinct balanced-parentheses form,
+	// which requires two-tier mode. The choice is stamped into every cycle
+	// head, so clients negotiate per cycle.
+	IndexEncoding core.IndexEncoding
 	// Scheduler plans cycles. Nil selects schedule.LeeLo.
 	Scheduler schedule.Scheduler
 	// Channels is the number of parallel broadcast streams (K). Zero or one
@@ -306,6 +311,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		Collection:    cfg.Collection,
 		Model:         cfg.Model,
 		Mode:          cfg.Mode,
+		IndexEncoding: cfg.IndexEncoding,
 		Scheduler:     cfg.Scheduler,
 		Channels:      cfg.Channels,
 		CycleCapacity: cfg.CycleCapacity,
@@ -1013,6 +1019,7 @@ func (s *Server) broadcastCycle() error {
 	head := &cycleHead{
 		Number:     uint32(num),
 		TwoTier:    s.cfg.Mode == broadcast.TwoTierMode,
+		Succinct:   cy.Encoding == core.EncodingSuccinct,
 		NumDocs:    uint16(len(cy.Docs)),
 		Catalog:    catBytes,
 		RootLabels: wire.RootLabels(cy.Index),

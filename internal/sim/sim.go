@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/schedule"
+	"repro/internal/succinct"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
 )
@@ -49,6 +50,11 @@ type Config struct {
 	Model core.SizeModel
 	// Mode selects one-tier or two-tier broadcast. Required.
 	Mode broadcast.Mode
+	// IndexEncoding selects the first tier's wire layout: the node-pointer
+	// stream (the zero value) or the succinct balanced-parentheses form.
+	// Succinct requires TwoTierMode; clients then navigate the encoded tier
+	// in place with a succinct.Cursor instead of materializing the index.
+	IndexEncoding core.IndexEncoding
 	// Scheduler plans cycle content. Nil selects schedule.LeeLo.
 	Scheduler schedule.Scheduler
 	// CycleCapacity is the document-byte budget per cycle (the paper's
@@ -156,6 +162,9 @@ func (c *Config) validate() error {
 	}
 	if c.Channels > 1 && c.Mode != broadcast.TwoTierMode {
 		return fmt.Errorf("sim: Config.Channels > 1 requires TwoTierMode")
+	}
+	if c.IndexEncoding == core.EncodingSuccinct && c.Mode != broadcast.TwoTierMode {
+		return fmt.Errorf("sim: succinct index encoding requires TwoTierMode")
 	}
 	return c.Model.Validate()
 }
@@ -276,6 +285,7 @@ func Run(cfg Config) (*Result, error) {
 		Collection:    cfg.Collection,
 		Model:         cfg.Model,
 		Mode:          cfg.Mode,
+		IndexEncoding: cfg.IndexEncoding,
 		Scheduler:     cfg.Scheduler,
 		CycleCapacity: cfg.CycleCapacity,
 		Probe:         cfg.Probe,
@@ -321,6 +331,7 @@ func Run(cfg Config) (*Result, error) {
 	sort.SliceStable(byArrival, func(i, j int) bool { return byArrival[i].req.Arrival < byArrival[j].req.Arrival })
 
 	res := &Result{Mode: cfg.Mode}
+	sr := &succinctReader{}
 	var loss *lossProcess
 	if cfg.LossProb > 0 {
 		loss = &lossProcess{p: cfg.LossProb, rng: rand.New(rand.NewSource(cfg.LossSeed))}
@@ -374,6 +385,11 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
+		if cfg.IndexEncoding == core.EncodingSuccinct && !cfg.WholeTierRead {
+			if err := sr.load(ecy); err != nil {
+				return nil, err
+			}
+		}
 		if cfg.CycleSink != nil {
 			enc, err := eng.EncodeCycle(ecy)
 			if err != nil {
@@ -405,7 +421,7 @@ func Run(cfg Config) (*Result, error) {
 		// Clients: attend the cycle.
 		stillActive := active[:0]
 		for _, cl := range active {
-			attendCycle(cl, cy, cfg, loss)
+			attendCycle(cl, cy, cfg, loss, sr)
 			if cl.done {
 				completed++
 			} else {
@@ -422,7 +438,7 @@ func Run(cfg Config) (*Result, error) {
 			if byArrival[i].req.Arrival >= cy.End() {
 				break
 			}
-			eavesdropCycle(byArrival[i], cy, cfg, loss)
+			eavesdropCycle(byArrival[i], cy, cfg, loss, sr)
 		}
 
 		now = cy.End()
@@ -453,9 +469,9 @@ func (l *lossProcess) fail() bool {
 // first-tier read is retried next cycle, a lost per-cycle index read skips
 // this cycle's documents, and a lost document stays in the remaining set and
 // is rescheduled by the server.
-func attendCycle(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossProcess) {
+func attendCycle(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossProcess, sr *succinctReader) {
 	if len(cy.Channels) > 1 {
-		attendMultichannel(cl, cy, cfg, loss)
+		attendMultichannel(cl, cy, cfg, loss, sr)
 		return
 	}
 	cl.stats.CyclesListened++
@@ -465,7 +481,7 @@ func attendCycle(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossProcess)
 		// First-tier index search: once, on the client's first cycle
 		// (§3.4 improved access protocol).
 		if !cl.knowsDocs {
-			cl.stats.IndexTuningBytes += int64(indexReadBytes(cl, cy, cfg))
+			cl.stats.IndexTuningBytes += int64(indexReadBytes(cl, cy, cfg, sr))
 			if loss.fail() {
 				indexOK = false
 			} else {
@@ -480,7 +496,7 @@ func attendCycle(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossProcess)
 	case broadcast.OneTierMode:
 		// The embedded offsets change every cycle, so the index must be
 		// re-navigated every cycle.
-		cl.stats.IndexTuningBytes += int64(indexReadBytes(cl, cy, cfg))
+		cl.stats.IndexTuningBytes += int64(indexReadBytes(cl, cy, cfg, sr))
 		if loss.fail() {
 			indexOK = false
 		}
@@ -514,7 +530,7 @@ func attendCycle(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossProcess)
 // the tuner's gaps with opportunistic catches: documents the conservative
 // commitment skipped but that a client already holding the directory — e.g.
 // one that synced mid-cycle on an index repetition — can still receive.
-func attendMultichannel(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossProcess) {
+func attendMultichannel(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossProcess, sr *succinctReader) {
 	commit := cy.Commitments(cl.remaining, cy.Number == cl.admit)
 	for _, p := range commit {
 		delete(cl.remaining, p.ID)
@@ -529,7 +545,7 @@ func attendMultichannel(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossP
 	cl.stats.IndexTuningBytes += int64(cy.DirBytes)
 	indexOK := !loss.fail()
 	if firstListen {
-		cl.stats.IndexTuningBytes += int64(indexReadBytes(cl, cy, cfg))
+		cl.stats.IndexTuningBytes += int64(indexReadBytes(cl, cy, cfg, sr))
 		if loss.fail() {
 			indexOK = false
 		} else {
@@ -590,7 +606,7 @@ func attendMultichannel(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossP
 // — all before the server has admitted the request. This is the access-time
 // payoff of replicating the first tier on a dedicated channel: a serial
 // program's index has already flown past a mid-cycle joiner.
-func eavesdropCycle(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossProcess) {
+func eavesdropCycle(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossProcess, sr *succinctReader) {
 	if cl.knowsDocs {
 		return
 	}
@@ -599,7 +615,7 @@ func eavesdropCycle(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossProce
 		return
 	}
 	cl.stats.CyclesListened++
-	cl.stats.IndexTuningBytes += int64(cy.DirBytes) + int64(indexReadBytes(cl, cy, cfg))
+	cl.stats.IndexTuningBytes += int64(cy.DirBytes) + int64(indexReadBytes(cl, cy, cfg, sr))
 	if loss.fail() {
 		return
 	}
@@ -615,13 +631,45 @@ func eavesdropCycle(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossProce
 }
 
 // indexReadBytes is the cost of one index navigation: whole tier under
-// WholeTierRead, otherwise the distinct packets the lookup touches.
-func indexReadBytes(cl *client, cy *broadcast.Cycle, cfg Config) int {
+// WholeTierRead, otherwise the distinct packets the lookup touches — of the
+// materialized index under node encoding, of the balanced-parentheses blob
+// (header, directories, BP words, labels, doc groups) under succinct.
+func indexReadBytes(cl *client, cy *broadcast.Cycle, cfg Config, sr *succinctReader) int {
 	if cfg.WholeTierRead {
 		return cy.IndexBytes
 	}
+	if cfg.IndexEncoding == core.EncodingSuccinct {
+		sr.cursor.Lookup(cl.nav.Filter())
+		return sr.cursor.TouchedBytes()
+	}
 	lr := cl.nav.Lookup(cy.Index)
 	return cy.Packing.BytesFor(lr.Visited)
+}
+
+// succinctReader caches the encoded-and-parsed succinct tier plus a reusable
+// cursor for the cycle currently on air, so every index navigation this
+// cycle shares one parse and one scratch set.
+type succinctReader struct {
+	loaded bool
+	number int64
+	tier   *succinct.Tier
+	cursor *succinct.Cursor
+}
+
+func (s *succinctReader) load(cy *broadcast.Cycle) error {
+	if s.loaded && s.number == cy.Number {
+		return nil
+	}
+	blob, err := succinct.EncodeTier(cy.Index, cy.Catalog, cy.Packing.Model)
+	if err != nil {
+		return fmt.Errorf("sim: encode succinct tier: %w", err)
+	}
+	tier, err := succinct.Parse(blob, cy.Packing.Model, cy.Catalog)
+	if err != nil {
+		return fmt.Errorf("sim: parse succinct tier: %w", err)
+	}
+	s.loaded, s.number, s.tier, s.cursor = true, cy.Number, tier, tier.NewCursor()
+	return nil
 }
 
 // resolveAnswers evaluates every distinct query once through the engine's

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/broadcast"
+	"repro/internal/core"
+)
+
+// TestSuccinctShrinksIndexAndTuning pins the succinct first tier's win: the
+// same two-tier workload run under both encodings at the same fixed bandwidth
+// must answer every query identically, shrink the mean on-air index segment
+// to at most 75% of the node-pointer stream's, and improve the mean index
+// tuning time — the client reads directory entries and BP words instead of
+// the node layout's pointer tuples, and the shorter segment shortens every
+// cycle it rides in.
+func TestSuccinctShrinksIndexAndTuning(t *testing.T) {
+	c, reqs := workload(t, 40, 60, 7)
+	run := func(enc core.IndexEncoding) *Result {
+		t.Helper()
+		res, err := Run(Config{
+			Collection:    c,
+			Mode:          broadcast.TwoTierMode,
+			IndexEncoding: enc,
+			CycleCapacity: capacityFor(c),
+			Requests:      reqs,
+		})
+		if err != nil {
+			t.Fatalf("Run(%s): %v", enc, err)
+		}
+		return res
+	}
+	node := run(core.EncodingNode)
+	succ := run(core.EncodingSuccinct)
+
+	for i := range node.Clients {
+		if !reflect.DeepEqual(node.Clients[i].Docs, succ.Clients[i].Docs) {
+			t.Fatalf("client %d answers diverged: node %v, succinct %v",
+				i, node.Clients[i].Docs, succ.Clients[i].Docs)
+		}
+	}
+	if nb, sb := node.MeanIndexBytes(), succ.MeanIndexBytes(); sb > 0.75*nb {
+		t.Errorf("succinct mean index segment %.0f B > 75%% of node's %.0f B", sb, nb)
+	}
+	if nt, st := node.MeanIndexTuningBytes(), succ.MeanIndexTuningBytes(); st >= nt {
+		t.Errorf("succinct mean index tuning %.0f B did not improve on node's %.0f B", st, nt)
+	}
+	if na, sa := node.MeanAccessBytes(), succ.MeanAccessBytes(); sa > na {
+		t.Errorf("succinct mean access %.0f B regressed vs node's %.0f B", sa, na)
+	}
+}
+
+// TestSuccinctRequiresTwoTier pins the validation: the succinct encoding has
+// no one-tier layout (document offsets live in the second tier), so the
+// combination is a configuration error, not a silent fallback.
+func TestSuccinctRequiresTwoTier(t *testing.T) {
+	c, reqs := workload(t, 5, 3, 7)
+	_, err := Run(Config{
+		Collection:    c,
+		Mode:          broadcast.OneTierMode,
+		IndexEncoding: core.EncodingSuccinct,
+		CycleCapacity: capacityFor(c),
+		Requests:      reqs,
+	})
+	if err == nil {
+		t.Fatal("one-tier + succinct accepted, want configuration error")
+	}
+}

@@ -1,0 +1,156 @@
+package succinct
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/gen"
+	"repro/internal/wire"
+	"repro/internal/xpath"
+)
+
+// benchSetup mirrors wire's encode benchmark fixture: the CI of 50
+// generated NITF documents.
+func benchSetup(tb testing.TB) (*core.Index, *core.Packing, *wire.Catalog) {
+	tb.Helper()
+	coll, err := gen.Documents(gen.DocConfig{Schema: dtd.ByName("nitf"), NumDocs: 50, Seed: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ix, err := core.BuildCI(coll, core.DefaultSizeModel())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ix, ix.Pack(core.FirstTier), wire.BuildCatalog(ix)
+}
+
+func BenchmarkAppendTier(b *testing.B) {
+	ix, _, cat := benchSetup(b)
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendTier(buf[:0], ix, cat, ix.Model)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkParse(b *testing.B) {
+	ix, _, cat := benchSetup(b)
+	blob, err := EncodeTier(ix, cat, ix.Model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(blob, ix.Model, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchQuery = xpath.MustParse("//nitf//body//p")
+
+func BenchmarkCursorLookup(b *testing.B) {
+	ix, _, cat := benchSetup(b)
+	blob, err := EncodeTier(ix, cat, ix.Model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tier, err := Parse(blob, ix.Model, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nav := core.NewNavigator(benchQuery)
+	cursor := tier.NewCursor()
+	cursor.Lookup(nav.Filter()) // warm the automaton memo and scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if docs := cursor.Lookup(nav.Filter()); len(docs) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkNodeDecodeLookup is the node-layout baseline for
+// BenchmarkCursorLookup: what a client pays to answer the same query from
+// the pointer encoding (decode, re-label, navigate).
+func BenchmarkNodeDecodeLookup(b *testing.B) {
+	ix, p, cat := benchSetup(b)
+	blob, err := wire.EncodeIndex(ix, p, cat, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nav := core.NewNavigator(benchQuery)
+	roots := wire.RootLabels(ix)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decoded, _, err := wire.DecodeIndex(blob, ix.Model, core.FirstTier, cat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := wire.ApplyRootLabels(decoded, roots); err != nil {
+			b.Fatal(err)
+		}
+		if res := nav.Lookup(decoded); len(res.Docs) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// TestCursorMaterializationFree pins the client hot-path claim: a warm
+// succinct lookup allocates an order of magnitude less than the node
+// path's decode-and-navigate (which materializes every core.Index node),
+// and the encoded tier undercuts the packed node stream by well over the
+// acceptance bar.
+func TestCursorMaterializationFree(t *testing.T) {
+	ix, p, cat := benchSetup(t)
+	blob, err := EncodeTier(ix, cat, ix.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier, err := Parse(blob, ix.Model, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeBlob, err := wire.EncodeIndex(ix, p, cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := wire.RootLabels(ix)
+	nav := core.NewNavigator(benchQuery)
+	cursor := tier.NewCursor()
+	cursor.Lookup(nav.Filter()) // warm scratch and automaton memo
+
+	cursorAllocs := testing.AllocsPerRun(50, func() {
+		cursor.Lookup(nav.Filter())
+	})
+	nodeAllocs := testing.AllocsPerRun(50, func() {
+		decoded, _, err := wire.DecodeIndex(nodeBlob, ix.Model, core.FirstTier, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wire.ApplyRootLabels(decoded, roots); err != nil {
+			t.Fatal(err)
+		}
+		nav.Lookup(decoded)
+	})
+	if cursorAllocs*10 > nodeAllocs {
+		t.Fatalf("cursor lookup allocates %.0f/op vs node decode+lookup %.0f/op; want ≤ 1/10", cursorAllocs, nodeAllocs)
+	}
+	if limit := float64(nodeAllocs) / 4; cursorAllocs > limit && cursorAllocs > 64 {
+		t.Fatalf("cursor lookup allocates %.0f/op", cursorAllocs)
+	}
+	if 4*len(blob) > 3*p.StreamBytes {
+		t.Fatalf("succinct tier %d bytes, node stream %d: want ≥ 25%% smaller", len(blob), p.StreamBytes)
+	}
+}

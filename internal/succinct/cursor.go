@@ -1,0 +1,99 @@
+package succinct
+
+import (
+	"slices"
+
+	"repro/internal/core"
+	"repro/internal/xmldoc"
+	"repro/internal/yfilter"
+)
+
+// Cursor navigates a parsed tier the way a broadcast client does: it
+// advances a query automaton down the parenthesis tree, skipping rejected
+// subtrees via the excess directories and resolving matched subtrees'
+// document tuples through the attachment ranks — all by reading tier
+// bytes in place, never materializing core.Index nodes. The cursor tracks
+// which packet-sized pages of the tier each lookup touched, giving the
+// same selective-tuning accounting core.Packing.BytesFor provides for the
+// node layout. A Cursor reuses its scratch buffers across lookups and is
+// not safe for concurrent use.
+type Cursor struct {
+	t       *Tier
+	docs    []xmldoc.DocID
+	visited []core.NodeID
+	pages   pageSet
+}
+
+// NewCursor returns a reusable cursor over the tier.
+func (t *Tier) NewCursor() *Cursor {
+	return &Cursor{t: t}
+}
+
+// Lookup answers the filter's query against the tier, mirroring
+// core.Navigator.Lookup's access protocol exactly: every root is read,
+// the automaton steps on each node label, children are descended only
+// while the automaton stays alive, and at an accepting node the whole
+// subtree's document tuples are collected. The returned slice (sorted,
+// deduplicated document IDs) is owned by the cursor and valid until the
+// next Lookup.
+func (c *Cursor) Lookup(f *yfilter.Filter) []xmldoc.DocID {
+	t := c.t
+	c.docs = c.docs[:0]
+	c.visited = c.visited[:0]
+	c.pages.reset(t.lay.size, t.m.PacketBytes)
+	c.pages.mark(0, headerSize)
+	start := f.Start()
+	nbits := 2 * t.lay.n
+	pos, id := 0, 0
+	for pos < nbits {
+		close := t.findClose(pos, &c.pages)
+		c.visit(pos, id, f, start)
+		id += (close - pos + 1) / 2
+		pos = close + 1
+	}
+	slices.Sort(c.docs)
+	c.docs = slices.Compact(c.docs)
+	return c.docs
+}
+
+// visit reads the node opened at pos (pre-order ID id) under automaton
+// state s; the control flow matches core.Navigator.Lookup node for node,
+// so the two layouts provably answer identically.
+func (c *Cursor) visit(pos, id int, f *yfilter.Filter, s yfilter.StateSet) {
+	t := c.t
+	c.visited = append(c.visited, core.NodeID(id))
+	next := f.Step(s, t.label(id, &c.pages))
+	if next.Empty() {
+		return
+	}
+	if f.HasAccepting(next) {
+		close := t.findClose(pos, &c.pages)
+		endID := id + (close-pos+1)/2
+		for sub := id + 1; sub < endID; sub++ {
+			c.visited = append(c.visited, core.NodeID(sub))
+		}
+		c.docs = t.appendSubtreeDocs(c.docs, id, endID, &c.pages)
+		return
+	}
+	nbits := 2 * t.lay.n
+	cpos, cid := pos+1, id+1
+	for cpos < nbits && t.isOpen(cpos, &c.pages) {
+		cclose := t.findClose(cpos, &c.pages)
+		if !f.Step(next, t.label(cid, &c.pages)).Empty() {
+			c.visit(cpos, cid, f, next)
+		}
+		cid += (cclose - cpos + 1) / 2
+		cpos = cclose + 1
+	}
+}
+
+// Visited lists the pre-order node IDs the last Lookup read, in read
+// order — identical to core.Navigator.Lookup's Visited over the same
+// index. The slice is owned by the cursor.
+func (c *Cursor) Visited() []core.NodeID { return c.visited }
+
+// TouchedBytes reports the last Lookup's tuning cost: distinct
+// packet-sized pages of the tier read, in bytes.
+func (c *Cursor) TouchedBytes() int {
+	return c.pages.count() * c.t.m.PacketBytes
+}

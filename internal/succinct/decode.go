@@ -1,0 +1,60 @@
+package succinct
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/xmldoc"
+)
+
+// Decode materializes the parsed tier back into a core.Index — the
+// inverse of EncodeTier, used by captures, tests and tools rather than
+// the client hot path. The result passes core.Index.Validate; a parsed
+// but non-canonical tree (e.g. siblings out of label order, impossible
+// from AppendTier) returns an error.
+func (t *Tier) Decode() (*core.Index, error) {
+	lay := t.lay
+	ix := &core.Index{Model: t.m}
+	if lay.n > 0 {
+		ix.Nodes = make([]core.Node, lay.n)
+	}
+	stack := make([]core.NodeID, 0, 64)
+	id := 0
+	for b := 0; b < 2*lay.n; b++ {
+		if !t.isOpen(b, nil) {
+			stack = stack[:len(stack)-1] // balanced: never underflows
+			continue
+		}
+		nid := core.NodeID(id)
+		id++
+		parent := core.NoNode
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+			ix.Nodes[parent].Children = append(ix.Nodes[parent].Children, nid)
+		} else {
+			ix.Roots = append(ix.Roots, nid)
+		}
+		ix.Nodes[nid] = core.Node{ID: nid, Label: t.label(id-1, nil), Parent: parent}
+		stack = append(stack, nid)
+	}
+	ai := 0
+	prevEnd := 0
+	for i := 0; i < lay.n; i++ {
+		off := lay.attOff + i>>3
+		if t.data[off]>>uint(i&7)&1 == 0 {
+			continue
+		}
+		end := t.endValue(ai, nil)
+		ai++
+		docs := make([]xmldoc.DocID, 0, end-prevEnd)
+		for p := prevEnd; p < end; p++ {
+			docs = append(docs, xmldoc.DocID(t.docValue(p, nil)))
+		}
+		ix.Nodes[i].Docs = docs
+		prevEnd = end
+	}
+	if err := ix.Validate(); err != nil {
+		return nil, fmt.Errorf("succinct: decoded index invalid: %w", err)
+	}
+	return ix, nil
+}

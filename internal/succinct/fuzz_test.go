@@ -1,0 +1,99 @@
+package succinct
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// fuzzFixture builds a small index whose catalog anchors the fuzz target:
+// hostile inputs are parsed against a real dictionary and size model.
+func fuzzFixture() *core.Index {
+	ix := &core.Index{Model: core.DefaultSizeModel()}
+	add := func(label string, parent core.NodeID, docs ...xmldoc.DocID) core.NodeID {
+		id := core.NodeID(len(ix.Nodes))
+		ix.Nodes = append(ix.Nodes, core.Node{ID: id, Label: label, Parent: parent, Docs: docs})
+		if parent == core.NoNode {
+			ix.Roots = append(ix.Roots, id)
+		} else {
+			ix.Nodes[parent].Children = append(ix.Nodes[parent].Children, id)
+		}
+		return id
+	}
+	r := add("a", core.NoNode)
+	b := add("b", r, 1, 3)
+	add("c", b, 2)
+	add("d", b)
+	add("e", r, 5)
+	r2 := add("b", core.NoNode)
+	add("a", r2, 4, 6, 9)
+	return ix
+}
+
+// FuzzSuccinctDecode feeds arbitrary bytes to the tier parser. Inputs that
+// parse must round-trip byte-identically through Decode/EncodeTier (the
+// format is canonical) and must navigate without panicking; truncations,
+// flipped parentheses and out-of-range label IDs must surface as errors.
+func FuzzSuccinctDecode(f *testing.F) {
+	ix := fuzzFixture()
+	if err := ix.Validate(); err != nil {
+		f.Fatal(err)
+	}
+	m := ix.Model
+	cat := wire.BuildCatalog(ix)
+	seed, err := EncodeTier(ix, cat, m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3])
+	flipped := append([]byte(nil), seed...)
+	flipped[headerSize] ^= 1 // first BP byte
+	f.Add(flipped)
+	f.Add([]byte{})
+
+	queries := []xpath.Path{
+		xpath.MustParse("//b"),
+		xpath.MustParse("/a/*"),
+		xpath.MustParse("/b/a"),
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tier, err := Parse(data, m, cat)
+		if err != nil {
+			return
+		}
+		// Navigation over any parsed tier must be panic-free.
+		cursor := tier.NewCursor()
+		for _, q := range queries {
+			nav := core.NewNavigator(q)
+			cursor.Lookup(nav.Filter())
+		}
+		decoded, err := tier.Decode()
+		if err != nil {
+			// Parsed but non-canonical as a core index (e.g. sibling
+			// label order): fine, as long as it errored cleanly.
+			return
+		}
+		out, err := EncodeTier(decoded, cat, m)
+		if err != nil {
+			t.Fatalf("re-encode of decoded tier failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip not byte-identical: %d vs %d bytes", len(out), len(data))
+		}
+		// Cursor answers must agree with the materialized index.
+		for _, q := range queries {
+			nav := core.NewNavigator(q)
+			want := nav.Lookup(decoded)
+			got := cursor.Lookup(nav.Filter())
+			if !equalDocs(got, want.Docs) {
+				t.Fatalf("query %v: cursor %v, navigator %v", q, got, want.Docs)
+			}
+		}
+	})
+}

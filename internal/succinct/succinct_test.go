@@ -1,0 +1,375 @@
+package succinct
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/gen"
+	"repro/internal/wire"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// deepChain mirrors the prune_deep fixture: a single-path trie of the
+// given depth ending in one "leaf" node carrying a document tuple.
+func deepChain(depth int) *core.Index {
+	ix := &core.Index{Model: core.DefaultSizeModel()}
+	ix.Nodes = make([]core.Node, depth)
+	for i := range ix.Nodes {
+		ix.Nodes[i] = core.Node{ID: core.NodeID(i), Label: "a", Parent: core.NodeID(i - 1)}
+		if i > 0 {
+			ix.Nodes[i-1].Children = []core.NodeID{core.NodeID(i)}
+		}
+	}
+	ix.Nodes[0].Parent = core.NoNode
+	ix.Roots = []core.NodeID{0}
+	ix.Nodes[depth-1].Label = "leaf"
+	ix.Nodes[depth-1].Docs = []xmldoc.DocID{7}
+	return ix
+}
+
+// genIndex builds the CI of a generated document set.
+func genIndex(t testing.TB, numDocs int, seed int64) *core.Index {
+	t.Helper()
+	coll, err := gen.Documents(gen.DocConfig{Schema: dtd.ByName("nitf"), NumDocs: numDocs, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.BuildCI(coll, core.DefaultSizeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func mustEncode(t testing.TB, ix *core.Index) (*Tier, *wire.Catalog, []byte) {
+	t.Helper()
+	cat := wire.BuildCatalog(ix)
+	blob, err := EncodeTier(ix, cat, ix.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size, err := TierSize(ix, cat.Len(), ix.Model); err != nil || size != len(blob) {
+		t.Fatalf("TierSize = %d, %v; encoded %d bytes", size, err, len(blob))
+	}
+	tier, err := Parse(blob, ix.Model, cat)
+	if err != nil {
+		t.Fatalf("Parse of fresh encode: %v", err)
+	}
+	return tier, cat, blob
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ix   *core.Index
+	}{
+		{"empty", &core.Index{Model: core.DefaultSizeModel()}},
+		{"deep-20k", deepChain(20_000)},
+		{"nitf", genIndex(t, 30, 1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.ix.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			tier, _, _ := mustEncode(t, tc.ix)
+			got, err := tier.Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tc.ix) {
+				t.Fatalf("decoded index differs from original")
+			}
+		})
+	}
+}
+
+// TestBPOps cross-checks the parenthesis operations against the pointer
+// structure on a real trie: each node's open position must navigate to
+// the positions of its first child, next sibling and parent.
+func TestBPOps(t *testing.T) {
+	ix := genIndex(t, 20, 2)
+	tier, _, _ := mustEncode(t, ix)
+
+	// Reconstruct each node's open position by DFS (open i emitted when
+	// node i is entered).
+	openPos := make([]int, len(ix.Nodes))
+	bit := 0
+	var walk func(id core.NodeID)
+	walk = func(id core.NodeID) {
+		openPos[id] = bit
+		bit++
+		for _, c := range ix.Nodes[id].Children {
+			walk(c)
+		}
+		bit++
+	}
+	for _, r := range ix.Roots {
+		walk(r)
+	}
+
+	for i := range ix.Nodes {
+		n := &ix.Nodes[i]
+		pos := openPos[i]
+		if got := tier.NodeID(pos); got != n.ID {
+			t.Fatalf("NodeID(%d) = %d, want %d", pos, got, n.ID)
+		}
+		if got := tier.Label(n.ID); got != n.Label {
+			t.Fatalf("Label(%d) = %q, want %q", n.ID, got, n.Label)
+		}
+		wantChild := -1
+		if len(n.Children) > 0 {
+			wantChild = openPos[n.Children[0]]
+		}
+		if got := tier.FirstChild(pos); got != wantChild {
+			t.Fatalf("FirstChild(node %d) = %d, want %d", i, got, wantChild)
+		}
+		wantParent := -1
+		if n.Parent != core.NoNode {
+			wantParent = openPos[n.Parent]
+		}
+		if got := tier.Parent(pos); got != wantParent {
+			t.Fatalf("Parent(node %d) = %d, want %d", i, got, wantParent)
+		}
+		wantSib := -1
+		if n.Parent != core.NoNode {
+			sibs := ix.Nodes[n.Parent].Children
+			for si, c := range sibs {
+				if c == n.ID && si+1 < len(sibs) {
+					wantSib = openPos[sibs[si+1]]
+				}
+			}
+		} else {
+			for ri, r := range ix.Roots {
+				if r == n.ID && ri+1 < len(ix.Roots) {
+					wantSib = openPos[ix.Roots[ri+1]]
+				}
+			}
+		}
+		if got := tier.NextSibling(pos); got != wantSib {
+			t.Fatalf("NextSibling(node %d) = %d, want %d", i, got, wantSib)
+		}
+		if got := tier.FindClose(pos); !subtreeSpan(ix, n.ID, pos, got) {
+			t.Fatalf("FindClose(node %d at %d) = %d does not span the subtree", i, pos, got)
+		}
+	}
+}
+
+// subtreeSpan checks close − open + 1 == 2 × subtree size.
+func subtreeSpan(ix *core.Index, id core.NodeID, open, close int) bool {
+	count := 0
+	var walk func(core.NodeID)
+	walk = func(n core.NodeID) {
+		count++
+		for _, c := range ix.Nodes[n].Children {
+			walk(c)
+		}
+	}
+	walk(id)
+	return close-open+1 == 2*count
+}
+
+// randomQuery builds a query over the alphabet with child/descendant axes
+// and wildcards.
+func randomQuery(r *rand.Rand, labels []string, maxDepth int, p float64) xpath.Path {
+	depth := 1 + r.Intn(maxDepth)
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		if r.Float64() < 0.3 {
+			b.WriteString("//")
+		} else {
+			b.WriteString("/")
+		}
+		if r.Float64() < p {
+			b.WriteString("*")
+		} else {
+			b.WriteString(labels[r.Intn(len(labels))])
+		}
+	}
+	return xpath.MustParse(b.String())
+}
+
+// randomDoc builds a random document tree over the alphabet.
+func randomDoc(r *rand.Rand, id xmldoc.DocID, labels []string) *xmldoc.Document {
+	var build func(depth int) *xmldoc.Node
+	build = func(depth int) *xmldoc.Node {
+		n := &xmldoc.Node{Label: labels[r.Intn(len(labels))]}
+		if depth < 5 {
+			for k := r.Intn(4 - depth/2); k > 0; k-- {
+				n.Children = append(n.Children, build(depth+1))
+			}
+		}
+		return n
+	}
+	return xmldoc.NewDocument(id, build(0))
+}
+
+// TestCursorEquivalence is the randomized equivalence property: over
+// generated and random collections, pruned and unpruned, the succinct
+// cursor must report exactly the navigation (Visited) and answers (Docs)
+// of core.Navigator over the identical index — including the index as a
+// receiver would see it, i.e. after a node-layout wire round trip.
+func TestCursorEquivalence(t *testing.T) {
+	type fixture struct {
+		name    string
+		ix      *core.Index
+		queries []xpath.Path
+	}
+	var fixtures []fixture
+
+	// Generated nitf collections with generated query sets, CI and PCI.
+	for seed := int64(1); seed <= 3; seed++ {
+		ci := genIndex(t, 25, seed)
+		coll, err := gen.Documents(gen.DocConfig{Schema: dtd.ByName("nitf"), NumDocs: 25, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries, err := gen.Queries(coll, gen.QueryConfig{NumQueries: 40, MaxDepth: 5, WildcardProb: 0.15, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtures = append(fixtures, fixture{fmt.Sprintf("nitf-ci-%d", seed), ci, queries})
+		pci, _, err := ci.Prune(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtures = append(fixtures, fixture{fmt.Sprintf("nitf-pci-%d", seed), pci, queries})
+	}
+
+	// Random synthetic collections with random query mixes.
+	labels := []string{"a", "b", "c", "d", "e"}
+	for seed := int64(10); seed < 16; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		docs := make([]*xmldoc.Document, 8)
+		for i := range docs {
+			docs[i] = randomDoc(r, xmldoc.DocID(i+1), labels)
+		}
+		coll, err := xmldoc.NewCollection(docs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := core.BuildCI(coll, core.DefaultSizeModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := make([]xpath.Path, 30)
+		for i := range queries {
+			queries[i] = randomQuery(r, labels, 6, 0.25)
+		}
+		fixtures = append(fixtures, fixture{fmt.Sprintf("rand-%d", seed), ix, queries})
+	}
+
+	// The deep fixture: navigation must survive 20k levels.
+	fixtures = append(fixtures, fixture{"deep-20k", deepChain(20_000), []xpath.Path{
+		xpath.MustParse("//leaf"), xpath.MustParse("/a"), xpath.MustParse("//a/leaf"),
+	}})
+
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			tier, cat, _ := mustEncode(t, fx.ix)
+			cursor := tier.NewCursor()
+
+			// The node-layout wire round trip of the same index: the
+			// receiver-visible baseline.
+			p := fx.ix.Pack(core.FirstTier)
+			nodeBytes, err := wire.EncodeIndex(fx.ix, p, cat, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, _, err := wire.DecodeIndex(nodeBytes, fx.ix.Model, core.FirstTier, cat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := wire.ApplyRootLabels(decoded, wire.RootLabels(fx.ix)); err != nil {
+				t.Fatal(err)
+			}
+
+			for qi, q := range fx.queries {
+				nav := core.NewNavigator(q)
+				want := nav.Lookup(fx.ix)
+				wantDecoded := nav.Lookup(decoded)
+				got := cursor.Lookup(nav.Filter())
+				if !equalDocs(got, want.Docs) || !equalDocs(got, wantDecoded.Docs) {
+					t.Fatalf("query %d %v: docs %v, navigator %v (decoded %v)", qi, q, got, want.Docs, wantDecoded.Docs)
+				}
+				if !equalIDs(cursor.Visited(), want.Visited) {
+					t.Fatalf("query %d %v: visited %v, navigator visited %v", qi, q, cursor.Visited(), want.Visited)
+				}
+				if c := cursor.TouchedBytes(); c <= 0 || c > tierAir(tier) {
+					t.Fatalf("query %d: touched %d bytes of a %d-byte tier", qi, c, tierAir(tier))
+				}
+			}
+		})
+	}
+}
+
+func tierAir(t *Tier) int {
+	pb := t.Model().PacketBytes
+	return (t.Size() + pb - 1) / pb * pb
+}
+
+func equalDocs(a, b []xmldoc.DocID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalIDs(a, b []core.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParseRejects exercises the hostile-byte paths deterministically:
+// truncations and single-bit flips must error or keep full invariants —
+// never panic.
+func TestParseRejects(t *testing.T) {
+	ix := genIndex(t, 10, 3)
+	_, cat, blob := mustEncode(t, ix)
+	m := ix.Model
+
+	for cut := 0; cut < len(blob); cut += 7 {
+		if _, err := Parse(blob[:cut], m, cat); err == nil {
+			t.Fatalf("truncation to %d bytes parsed", cut)
+		}
+	}
+	flipped := 0
+	for i := 0; i < len(blob); i++ {
+		for b := 0; b < 8; b++ {
+			mut := append([]byte(nil), blob...)
+			mut[i] ^= 1 << b
+			tier, err := Parse(mut, m, cat)
+			if err != nil {
+				continue
+			}
+			flipped++
+			// A flip that still parses must still decode-or-error and
+			// navigate without panicking.
+			if ix2, err := tier.Decode(); err == nil {
+				if _, err := EncodeTier(ix2, cat, m); err != nil {
+					t.Fatalf("flip %d.%d: re-encode of decoded index failed: %v", i, b, err)
+				}
+			}
+			nav := core.NewNavigator(xpath.MustParse("//nitf"))
+			tier.NewCursor().Lookup(nav.Filter())
+		}
+	}
+	t.Logf("%d of %d single-bit flips still parse (doc-id payload flips)", flipped, len(blob)*8)
+}

@@ -1,0 +1,73 @@
+package wire_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/gen"
+	"repro/internal/succinct"
+	"repro/internal/wire"
+	"repro/internal/xmldoc"
+)
+
+// TestAppendStreamsAllocFree pins the steady-state allocation behaviour of
+// the per-cycle encoders: appending into a warm reused buffer must not
+// allocate, under the node-pointer stream and the succinct tier alike, and
+// the second tier's already-sorted fast path must not copy the entry list.
+// Anything per-node here multiplies across every cycle the engine assembles.
+func TestAppendStreamsAllocFree(t *testing.T) {
+	coll, err := gen.Documents(gen.DocConfig{Schema: dtd.NITF(), NumDocs: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.BuildCI(coll, core.DefaultSizeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ix.Model
+	cat := wire.BuildCatalog(ix)
+	p := ix.Pack(core.FirstTier)
+
+	nodeBuf, err := wire.AppendIndex(nil, ix, p, cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := wire.AppendIndex(nodeBuf[:0], ix, p, cat, nil); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("AppendIndex into a reused buffer: %.1f allocs/op, want 0", allocs)
+	}
+
+	succBuf, err := succinct.AppendTier(nil, ix, cat, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := succinct.AppendTier(succBuf[:0], ix, cat, m); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("succinct.AppendTier into a reused buffer: %.1f allocs/op, want 0", allocs)
+	}
+
+	entries := make([]wire.SecondTierEntry, 200)
+	for i := range entries {
+		entries[i] = wire.SecondTierEntry{Doc: xmldoc.DocID(i + 1), Offset: uint64(i) * 9000}
+	}
+	tierBuf, err := wire.AppendSecondTier(nil, entries, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sortedness probe boxes its arguments, so the fast path costs a
+	// couple of fixed allocations — but never the O(n) copy-and-sort.
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := wire.AppendSecondTier(tierBuf[:0], entries, m); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 3 {
+		t.Errorf("AppendSecondTier (sorted input) into a reused buffer: %.1f allocs/op, want <= 3", allocs)
+	}
+}

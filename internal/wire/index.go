@@ -25,9 +25,15 @@ func AppendIndex(dst []byte, ix *core.Index, p *core.Packing, cat *Catalog, docO
 	if len(p.NodeOffsets) != len(ix.Nodes) {
 		return nil, fmt.Errorf("wire: packing covers %d nodes, index has %d", len(p.NodeOffsets), len(ix.Nodes))
 	}
-	fl, err := flagLayoutFor(ix.Model)
-	if err != nil {
-		return nil, err
+	// The flag layout is a pure function of the model, precomputed by
+	// core.PackOrdered; re-deriving it per call would put a validation
+	// branch on every steady-state encode.
+	fl := flagLayout{countBits: p.FlagCountBits}
+	if fl.countBits == 0 {
+		var err error
+		if fl, err = flagLayoutFor(ix.Model); err != nil {
+			return nil, err
+		}
 	}
 	m := ix.Model
 	base := len(dst)
@@ -259,8 +265,13 @@ func EncodeSecondTier(entries []SecondTierEntry, m core.SizeModel) ([]byte, erro
 // AppendSecondTier is EncodeSecondTier appending to dst and returning the
 // extended slice.
 func AppendSecondTier(dst []byte, entries []SecondTierEntry, m core.SizeModel) ([]byte, error) {
-	sorted := append([]SecondTierEntry(nil), entries...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Doc < sorted[j].Doc })
+	// Cycle builders hand the list over already sorted by document ID, so
+	// the copy-and-sort is reserved for callers that do not.
+	sorted := entries
+	if !sort.SliceIsSorted(entries, func(i, j int) bool { return entries[i].Doc < entries[j].Doc }) {
+		sorted = append([]SecondTierEntry(nil), entries...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Doc < sorted[j].Doc })
+	}
 	base := len(dst)
 	dst = grow(dst, SecondTierSize(len(sorted), m))
 	out := dst[base:]

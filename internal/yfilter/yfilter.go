@@ -13,7 +13,6 @@ package yfilter
 import (
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -131,15 +130,28 @@ type StateSet struct {
 // abandoned.
 func (s StateSet) Empty() bool { return len(s.ids) == 0 }
 
-func (s StateSet) key() string {
-	var b strings.Builder
-	b.Grow(len(s.ids) * 3)
+// appendKey serialises the set plus a consumed label into a memo key,
+// appending to dst. Callers pass a stack-backed buffer and look the key
+// up via string(dst), which Go maps resolve without allocating — so a
+// memoised Step is allocation-free.
+func (s StateSet) appendKey(dst []byte, label string) []byte {
 	for _, id := range s.ids {
-		b.WriteByte(byte(id))
-		b.WriteByte(byte(id >> 8))
-		b.WriteByte(byte(id >> 16))
+		dst = append(dst, byte(id), byte(id>>8), byte(id>>16))
 	}
-	return b.String()
+	dst = append(dst, 0)
+	return append(dst, label...)
+}
+
+// keyBuf is the stack-allocated memo-key scratch; state sets deep enough
+// to overflow it fall back to one heap buffer per step.
+type keyBuf [96]byte
+
+func (s StateSet) key(buf *keyBuf, label string) []byte {
+	dst := buf[:0]
+	if need := len(s.ids)*3 + 1 + len(label); need > len(buf) {
+		dst = make([]byte, 0, need)
+	}
+	return s.appendKey(dst, label)
 }
 
 // Start returns the initial state set: the ε-closure of state 0.
@@ -177,16 +189,17 @@ func (f *Filter) Step(s StateSet, label string) StateSet {
 	if s.Empty() {
 		return s
 	}
-	key := s.key() + "\x00" + label
+	var buf keyBuf
+	key := s.key(&buf, label)
 	f.mu.RLock()
-	next, ok := f.dfa[key]
+	next, ok := f.dfa[string(key)]
 	f.mu.RUnlock()
 	if ok {
 		return next
 	}
 	result := f.computeStep(s, label)
 	f.mu.Lock()
-	f.dfa[key] = result
+	f.dfa[string(key)] = result
 	f.mu.Unlock()
 	return result
 }
@@ -229,15 +242,16 @@ func (st *stepper) step(s StateSet, label string) StateSet {
 	if s.Empty() {
 		return s
 	}
-	key := s.key() + "\x00" + label
-	if next, ok := st.seed[key]; ok {
+	var buf keyBuf
+	key := s.key(&buf, label)
+	if next, ok := st.seed[string(key)]; ok {
 		return next
 	}
-	if next, ok := st.fresh[key]; ok {
+	if next, ok := st.fresh[string(key)]; ok {
 		return next
 	}
 	result := st.f.computeStep(s, label)
-	st.fresh[key] = result
+	st.fresh[string(key)] = result
 	return result
 }
 
@@ -266,6 +280,18 @@ func (f *Filter) mergeDFA(fresh []map[string]StateSet) {
 			}
 		}
 	}
+}
+
+// HasAccepting reports whether any query accepts in the state set. Unlike
+// Accepting it allocates nothing, so per-node match checks on client hot
+// paths stay allocation-free.
+func (f *Filter) HasAccepting(s StateSet) bool {
+	for _, id := range s.ids {
+		if len(f.states[id].accept) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Accepting returns the indices of queries accepting in the state set,

@@ -93,6 +93,25 @@ const (
 // BroadcastMode selects the index organisation of a simulation.
 type BroadcastMode = broadcast.Mode
 
+// IndexEncoding selects the first tier's wire layout (see
+// SimulationConfig.IndexEncoding and BroadcastServerConfig.IndexEncoding).
+type IndexEncoding = core.IndexEncoding
+
+// First-tier wire layouts.
+const (
+	// EncodingNode is the node-pointer stream, the default.
+	EncodingNode = core.EncodingNode
+	// EncodingSuccinct is the balanced-parentheses succinct tier
+	// (two-tier mode only): smaller on air, navigated in place by clients.
+	EncodingSuccinct = core.EncodingSuccinct
+)
+
+// ParseIndexEncoding parses an encoding name: "node" (or empty) and
+// "succinct".
+func ParseIndexEncoding(s string) (IndexEncoding, error) {
+	return core.ParseIndexEncoding(s)
+}
+
 // Simulation types.
 type (
 	// SimulationConfig parameterises a run (see Simulate).
