@@ -50,6 +50,7 @@ func run(args []string) error {
 		dq         = fs.Int("dq", 0, "D_Q: maximum query depth")
 		cap        = fs.Int("capacity", 0, "cycle document budget in bytes")
 		channels   = fs.Int("channels", 0, "parallel broadcast channels K for experiment runs (two-tier legs only; -bench-engine always measures at K=1)")
+		compress   = fs.Bool("compress", false, "model the transport's per-frame DEFLATE in experiment runs (K=1 only; -bench-engine always measures both legs)")
 		indexEnc   = fs.String("index-enc", "", "first-tier wire layout for experiment runs: node or succinct (two-tier legs only; -bench-engine always measures both)")
 		sched      = fs.String("scheduler", "", "scheduler: leelo, fcfs, mrf or rxw")
 		docSeed    = fs.Int64("doc-seed", 0, "document generation seed")
@@ -96,6 +97,7 @@ func run(args []string) error {
 	if *channels > 0 {
 		cfg.Channels = *channels
 	}
+	cfg.Compress = *compress
 	if *indexEnc != "" {
 		enc, err := repro.ParseIndexEncoding(*indexEnc)
 		if err != nil {
@@ -171,6 +173,12 @@ func run(args []string) error {
 				sb.FirstTierBytesSuccinct, sb.FirstTierBytesNode, sb.FirstTierReductionPct,
 				sb.MeanIndexTuningBytesSuccinct, sb.MeanIndexTuningBytesNode, sb.TuningReductionPct,
 				sb.EncodeSuccinctNS, sb.EncodeNodeNS)
+		}
+		if tb := res.Transport; tb != nil {
+			fmt.Printf("transport: cycle %.0f B compressed vs %.0f B plain (%.1f%% smaller), ratios index %.2f / tier %.2f / doc %.2f, encode %d ns, decode %d ns, mux fan-in %.0f frames/s\n",
+				tb.MeanCycleBytesCompressed, tb.MeanCycleBytesPlain, tb.CycleReductionPct,
+				tb.IndexRatio, tb.SecondTierRatio, tb.DocRatio,
+				tb.EncodeFrameNS, tb.DecodeFrameNS, tb.MuxFanInFramesPerSec)
 		}
 		if *benchBase != "" {
 			baseData, err := os.ReadFile(*benchBase)

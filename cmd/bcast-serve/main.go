@@ -43,6 +43,9 @@ func run(args []string) error {
 		mode      = fs.String("mode", "two-tier", "index organisation: one-tier or two-tier")
 		indexEnc  = fs.String("index-enc", "node", "first-tier wire layout: node or succinct (two-tier only)")
 		channels  = fs.Int("channels", 1, "parallel broadcast channels K (two-tier only; K>1 streams protocol v3)")
+		compress  = fs.Bool("compress", false, "per-frame DEFLATE on the downlink and for willing uplinks (K=1 only)")
+		muxCredit = fs.Int("mux-credit", 0, "per-stream flow-control window granted to multiplexed uplinks (0 = default)")
+		muxCli    = fs.Int("mux-clients", 0, "with -selfdrive: fan the request trickle over this many logical clients on one multiplexed uplink connection (0 = plain client)")
 		interval  = fs.Duration("interval", 100*time.Millisecond, "cycle pacing")
 		seed      = fs.Int64("seed", 1, "random seed")
 		selfdrive = fs.Bool("selfdrive", false, "submit synthetic requests continuously")
@@ -104,6 +107,8 @@ func run(args []string) error {
 			MaxPayloadCacheBytes:  *payloadMB << 20,
 			BuildBudget:           *buildBudget,
 		},
+		Compress:       *compress,
+		MuxCredit:      *muxCredit,
 		UplinkRate:     *uplinkRate,
 		UplinkBurst:    *uplinkBurst,
 		PruneChurn:     *pruneChurn,
@@ -139,6 +144,9 @@ func run(args []string) error {
 	}
 	fmt.Printf("serving %d documents (%d bytes) in %s mode, %s index encoding\n",
 		coll.Len(), coll.TotalSize(), *mode, enc)
+	if *compress {
+		fmt.Println("transport per-frame DEFLATE on (downlink compressed; uplinks negotiate at hello)")
+	}
 	fmt.Printf("uplink    %s\n", srv.UplinkAddr())
 	if addrs := srv.ChannelAddrs(); len(addrs) > 1 {
 		for ch, a := range addrs {
@@ -158,13 +166,38 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		cl, err := repro.DialBroadcastChannels(srv.UplinkAddr(), srv.ChannelAddrs(), repro.SizeModel{})
-		if err != nil {
-			return err
+		var submit func(i int) error
+		var closeDriver func()
+		if *muxCli > 0 {
+			// Fan the trickle over logical clients sharing one multiplexed
+			// uplink connection, exercising the stream framing the way a
+			// gateway proxying many mobile clients would.
+			mx, err := repro.DialBroadcastMux(srv.UplinkAddr(), repro.BroadcastMuxConfig{Compress: *compress})
+			if err != nil {
+				return err
+			}
+			clients := make([]*repro.BroadcastLogicalClient, *muxCli)
+			for i := range clients {
+				if clients[i], err = mx.Open(); err != nil {
+					mx.Close()
+					return err
+				}
+			}
+			fmt.Printf("selfdrive %d logical clients on one mux uplink (compressed=%v)\n",
+				*muxCli, mx.Compressed())
+			submit = func(i int) error { return clients[i%len(clients)].Submit(pool[i%len(pool)]) }
+			closeDriver = mx.Close
+		} else {
+			cl, err := repro.DialBroadcastChannels(srv.UplinkAddr(), srv.ChannelAddrs(), repro.SizeModel{})
+			if err != nil {
+				return err
+			}
+			submit = func(i int) error { return cl.Submit(pool[i%len(pool)]) }
+			closeDriver = func() { cl.Close() }
 		}
 		go func() {
 			defer close(driverDone)
-			defer cl.Close()
+			defer closeDriver()
 			ticker := time.NewTicker(*interval)
 			defer ticker.Stop()
 			i := 0
@@ -173,7 +206,7 @@ func run(args []string) error {
 				case <-driverStop:
 					return
 				case <-ticker.C:
-					err := cl.Submit(pool[i%len(pool)])
+					err := submit(i)
 					var rej *repro.BroadcastRejectedError
 					if errors.As(err, &rej) {
 						// Admission control shedding the self-driver is

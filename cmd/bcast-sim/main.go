@@ -37,6 +37,7 @@ func run(args []string) error {
 		p         = fs.Float64("p", 0.1, "wildcard probability")
 		dq        = fs.Int("dq", 5, "maximum query depth")
 		capacity  = fs.Int("capacity", 100_000, "cycle document budget in bytes")
+		compress  = fs.Bool("compress", false, "model the transport's per-frame DEFLATE: cycles accounted at compressed air size (K=1 only)")
 		sched     = fs.String("scheduler", "leelo", "scheduler: leelo, fcfs, mrf or rxw")
 		seed      = fs.Int64("seed", 1, "random seed")
 		adaptive  = fs.Bool("adaptive", false, "enable the self-tuning admission controller (auto-picked churn thresholds; health in the engine line)")
@@ -110,6 +111,7 @@ func run(args []string) error {
 		Scheduler:      scheduler,
 		CycleCapacity:  *capacity,
 		Requests:       reqs,
+		Compress:       *compress,
 		Adaptive:       *adaptive,
 		AdaptiveTarget: *targetLat,
 	})
@@ -117,8 +119,8 @@ func run(args []string) error {
 		return err
 	}
 
-	fmt.Printf("mode=%s enc=%s schema=%s docs=%d data=%dB requests=%d scheduler=%s channels=%d\n",
-		*mode, enc, *schema, coll.Len(), coll.TotalSize(), len(reqs), *sched, *channels)
+	fmt.Printf("mode=%s enc=%s schema=%s docs=%d data=%dB requests=%d scheduler=%s channels=%d compress=%v\n",
+		*mode, enc, *schema, coll.Len(), coll.TotalSize(), len(reqs), *sched, *channels, *compress)
 	fmt.Printf("cycles broadcast:        %d\n", res.NumCycles())
 	fmt.Printf("mean cycle length:       %.0f B\n", res.MeanCycleBytes())
 	fmt.Printf("mean index size (L_I):   %.0f B\n", res.MeanIndexBytes())

@@ -95,6 +95,13 @@ type Config struct {
 	// simulation this config drives (see engine.Limits). The zero value
 	// imposes no limits.
 	Limits engine.Limits
+	// Compress models the netcast transport's per-frame DEFLATE in every
+	// simulation this config drives (sim.Config.Compress): cycles are
+	// accounted at transport-envelope size and index reads are whole
+	// compressed segments. Incompatible with Channels > 1. The engine
+	// benchmark ignores it — its transport section always measures both
+	// legs.
+	Compress bool
 	// Adaptive enables the self-tuning admission controller in every
 	// simulation this config drives (see sim.Config.Adaptive). Off by
 	// default; the engine benchmark harness always runs with the

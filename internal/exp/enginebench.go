@@ -73,6 +73,11 @@ type EngineBenchResult struct {
 	// Succinct compares the balanced-parentheses first-tier encoding against
 	// the node-pointer stream on the same two-tier workload.
 	Succinct *SuccinctBench `json:"succinct"`
+
+	// Transport compares the per-frame DEFLATE transport against the bare
+	// wire: frame-type compression ratios, codec timings, mux fan-in
+	// throughput and the compressed simulation leg.
+	Transport *TransportBench `json:"transport"`
 }
 
 // ChannelBenchMetrics is one channel's mean per-cycle load in the
@@ -234,6 +239,9 @@ func RunEngineBench(cfg Config) (*EngineBenchResult, error) {
 		return nil, err
 	}
 	if err := benchMultichannel(res); err != nil {
+		return nil, err
+	}
+	if err := benchTransport(cfg, coll, queries, out, res); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -539,6 +547,17 @@ func CompareEngineBench(baseline, current *EngineBenchResult, tolerance float64)
 			gate{"succinct-encode", float64(b.EncodeSuccinctNS), float64(c.EncodeSuccinctNS)},
 			gate{"succinct-tier-bytes", float64(b.FirstTierBytesSuccinct), float64(c.FirstTierBytesSuccinct)},
 			gate{"succinct-tuning-bytes", b.MeanIndexTuningBytesSuccinct, c.MeanIndexTuningBytesSuccinct},
+		)
+	}
+	// Transport gates, same conditional-engagement rule. Encode and decode
+	// are wall-clock gates; the compressed cycle length is deterministic for
+	// a fixed workload and catches the codec or the framing bloating the
+	// air. (Ratios are near-constant, so the byte gate covers them.)
+	if b, c := baseline.Transport, current.Transport; b != nil && c != nil {
+		gates = append(gates,
+			gate{"transport-encode", float64(b.EncodeFrameNS), float64(c.EncodeFrameNS)},
+			gate{"transport-decode", float64(b.DecodeFrameNS), float64(c.DecodeFrameNS)},
+			gate{"transport-cycle-bytes", b.MeanCycleBytesCompressed, c.MeanCycleBytesCompressed},
 		)
 	}
 	var summary string

@@ -43,6 +43,7 @@ func (c Config) modeRun(mode broadcast.Mode, nq int, p float64, dq int) (*sim.Re
 		Limits:         c.Limits,
 		Adaptive:       c.Adaptive,
 		AdaptiveTarget: c.AdaptiveTarget,
+		Compress:       c.Compress,
 	})
 }
 

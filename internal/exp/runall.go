@@ -73,6 +73,9 @@ func Experiments() []Experiment {
 		{ID: "ext-succinct", Desc: "Extension — succinct first tier vs node-pointer stream over document scale", Run: func(c Config) (*stats.Table, error) {
 			return SuccinctEncoding(c, nil)
 		}},
+		{ID: "ext-transport", Desc: "Extension — per-frame DEFLATE transport vs bare wire over document size", Run: func(c Config) (*stats.Table, error) {
+			return TransportCompression(c, nil)
+		}},
 		{ID: "nasa-compare", Desc: "Replication — NITF vs NASA document sets (§4.1)", Run: SchemaCompare},
 		{ID: "fig11-confidence", Desc: "Fig. 11(a) with error bars over 5 workload seeds", Run: func(c Config) (*stats.Table, error) {
 			return Fig11Confidence(c, ParamNQ, []float64{100, 500, 1000}, 5)

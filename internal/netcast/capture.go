@@ -1,6 +1,7 @@
 package netcast
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/netcast/transport"
 	"repro/internal/succinct"
 	"repro/internal/wire"
 	"repro/internal/xmldoc"
@@ -16,10 +18,13 @@ import (
 
 // captureMagic heads a capture file. Version 2 captures hold checksummed v2
 // frames; version 1 captures (legacy magic, plain 5-byte frame headers)
-// still parse.
+// still parse. Version 3 captures hold transport envelopes copied verbatim
+// off a compressed downlink — byte-faithful, so a capture replays exactly
+// what was on the air.
 const (
 	captureMagic   = "XBCAST2\n"
 	captureMagicV1 = "XBCAST1\n"
+	captureMagicV3 = "XBCAST3\n"
 )
 
 // Record subscribes to a broadcast address and copies numCycles complete
@@ -38,7 +43,23 @@ func Record(ctx context.Context, broadcastAddr string, numCycles int, w io.Write
 	if deadline, ok := ctx.Deadline(); ok {
 		_ = conn.SetReadDeadline(deadline)
 	}
-	if _, err := io.WriteString(w, captureMagic); err != nil {
+	// Sniff the downlink: a compressed server opens with a transport hello,
+	// in which case the capture stores the transport envelopes verbatim
+	// (magic v3) so the file is byte-faithful to the air. A bare downlink
+	// records checksummed v2 frames as before.
+	br := bufio.NewReaderSize(conn, downlinkBufSize)
+	var tr *transport.Reader
+	if first, perr := br.Peek(4); perr == nil && transport.IsHelloPrefix(first) {
+		if _, err := transport.ReadHello(br); err != nil {
+			return 0, fmt.Errorf("netcast: record hello: %w", err)
+		}
+		tr = transport.NewReaderFromBufio(br)
+	}
+	magic := captureMagic
+	if tr != nil {
+		magic = captureMagicV3
+	}
+	if _, err := io.WriteString(w, magic); err != nil {
 		return 0, err
 	}
 	var (
@@ -50,9 +71,25 @@ func Record(ctx context.Context, broadcastAddr string, numCycles int, w io.Write
 		if err := ctx.Err(); err != nil {
 			return recorded, err
 		}
-		t, payload, err := readFrame(conn)
-		if err != nil {
-			return recorded, fmt.Errorf("netcast: record read: %w", err)
+		var (
+			t       FrameType
+			payload []byte
+			raw     []byte // transport envelope bytes, verbatim
+		)
+		if tr != nil {
+			fr, err := tr.Next()
+			if err != nil {
+				return recorded, fmt.Errorf("netcast: record read: %w", err)
+			}
+			raw = fr.Raw
+			if t, payload, err = decodeInner(fr.Inner); err != nil {
+				return recorded, fmt.Errorf("netcast: record read: %w", err)
+			}
+		} else {
+			var err error
+			if t, payload, err = readFrame(br); err != nil {
+				return recorded, fmt.Errorf("netcast: record read: %w", err)
+			}
 		}
 		// The cycle boundary is the channel head on a multichannel stream
 		// (every channel's share opens with one), the cycle head otherwise.
@@ -75,7 +112,11 @@ func Record(ctx context.Context, broadcastAddr string, numCycles int, w io.Write
 		if !inCycle {
 			continue // wait for a cycle boundary before recording
 		}
-		if err := writeFrame(w, t, payload); err != nil {
+		if tr != nil {
+			if _, err := w.Write(raw); err != nil {
+				return recorded, err
+			}
+		} else if err := writeFrame(w, t, payload); err != nil {
 			return recorded, err
 		}
 	}
@@ -192,6 +233,16 @@ func ReadCapture(r io.Reader) ([]CycleRecord, error) {
 	case captureMagic:
 	case captureMagicV1:
 		read = readFrameV1
+	case captureMagicV3:
+		// Transport envelopes: unwrap each to its inner v2 frame.
+		tr := transport.NewReader(r)
+		read = func(io.Reader) (FrameType, []byte, error) {
+			fr, err := tr.Next()
+			if err != nil {
+				return 0, nil, err
+			}
+			return decodeInner(fr.Inner)
+		}
 	default:
 		return nil, fmt.Errorf("netcast: not a capture file")
 	}

@@ -1,7 +1,6 @@
 package netcast
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/binary"
@@ -121,7 +120,7 @@ type Client struct {
 	model core.SizeModel
 	up    net.Conn
 	down  net.Conn
-	br    *bufio.Reader // buffered downlink; recreated on reconnect
+	dl    *frameSource // buffered downlink; recreated on reconnect
 
 	upAddr, downAddr string // redial targets for recovery
 
@@ -159,6 +158,27 @@ type Client struct {
 	resubmits  int64
 	resubDrops int64
 	resumedCnt int64
+
+	// rng seeds this client's backoff jitter. Each client (and each
+	// logical client behind a mux) owns its source: the shared global
+	// would race under -race when thousands of logical clients back off
+	// concurrently, and per-client streams keep jitter independent.
+	rng *rand.Rand
+}
+
+// newClientRand returns a per-client jitter source, seeded from the global
+// generator (the only use of the shared source, and a synchronised one).
+func newClientRand() *rand.Rand {
+	return rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
+}
+
+// jitter returns this client's backoff jitter source, created on first use
+// so zero-value and test-constructed clients work.
+func (c *Client) jitter() *rand.Rand {
+	if c.rng == nil {
+		c.rng = newClientRand()
+	}
+	return c.rng
 }
 
 // SessionEntry is one acked submission in a resumable session.
@@ -227,7 +247,7 @@ func Dial(uplinkAddr, broadcastAddr string, model core.SizeModel) (*Client, erro
 		model:      model,
 		up:         up,
 		down:       down,
-		br:         bufio.NewReaderSize(down, downlinkBufSize),
+		dl:         newFrameSource(down),
 		upAddr:     uplinkAddr,
 		downAddr:   broadcastAddr,
 		AckTimeout: defaultAckTimeout,
@@ -261,42 +281,57 @@ func (c *Client) Submit(q xpath.Path) error {
 	if err != nil {
 		return fmt.Errorf("netcast: submit ack: %w", err)
 	}
+	covered, id, hasID, err := parseSubmitAck(t, payload)
+	if err != nil {
+		return err
+	}
+	if hasID {
+		c.recordSession(id, q.String())
+		c.resumeCapable = true
+	}
+	c.coveredFrom = covered
+	return nil
+}
+
+// parseSubmitAck interprets one uplink response to a query submission —
+// shared by Client.Submit and the multiplexed LogicalClient. hasID reports
+// the durable-request-ID ack form ("ok:<covered>:<id>") from a
+// journal-aware server.
+func parseSubmitAck(t FrameType, payload []byte) (covered uint32, id int64, hasID bool, err error) {
 	if t == FrameReject {
 		retryAfter, reason, derr := decodeReject(payload)
 		if derr != nil {
-			return fmt.Errorf("netcast: submit ack: %w", derr)
+			return 0, 0, false, fmt.Errorf("netcast: submit ack: %w", derr)
 		}
-		return &RejectedError{RetryAfter: retryAfter, Reason: reason}
+		return 0, 0, false, &RejectedError{RetryAfter: retryAfter, Reason: reason}
 	}
 	if t != FrameAck {
-		return fmt.Errorf("netcast: unexpected ack frame type %d", t)
+		return 0, 0, false, fmt.Errorf("netcast: unexpected ack frame type %d", t)
 	}
 	msg := string(payload)
 	if strings.HasPrefix(msg, "err:") {
-		return fmt.Errorf("netcast: server rejected query: %s", strings.TrimSpace(msg[4:]))
+		return 0, 0, false, fmt.Errorf("netcast: server rejected query: %s", strings.TrimSpace(msg[4:]))
 	}
 	if rest, ok := strings.CutPrefix(msg, "ok:"); ok {
 		// Two ack forms: "ok:<covered>" (legacy) and "ok:<covered>:<id>"
 		// from a durability-aware server, where <id> is the journaled
 		// request ID the client presents on session resume.
-		covered := rest
+		cov := rest
 		if i := strings.IndexByte(rest, ':'); i >= 0 {
-			covered = rest[:i]
-			id, err := strconv.ParseInt(rest[i+1:], 10, 64)
+			cov = rest[:i]
+			id, err = strconv.ParseInt(rest[i+1:], 10, 64)
 			if err != nil {
-				return fmt.Errorf("netcast: malformed ack %q", msg)
+				return 0, 0, false, fmt.Errorf("netcast: malformed ack %q", msg)
 			}
-			c.recordSession(id, q.String())
-			c.resumeCapable = true
+			hasID = true
 		}
-		n, err := strconv.ParseUint(covered, 10, 32)
+		n, err := strconv.ParseUint(cov, 10, 32)
 		if err != nil {
-			return fmt.Errorf("netcast: malformed ack %q", msg)
+			return 0, 0, false, fmt.Errorf("netcast: malformed ack %q", msg)
 		}
-		c.coveredFrom = uint32(n)
-		return nil
+		return uint32(n), id, hasID, nil
 	}
-	return fmt.Errorf("netcast: malformed ack %q", msg)
+	return 0, 0, false, fmt.Errorf("netcast: malformed ack %q", msg)
 }
 
 // recordSession remembers an acked submission for session resumption. A
@@ -445,21 +480,28 @@ func (c *Client) SubmitRetry(ctx context.Context, q xpath.Path) error {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-control.Or(c.Clock).After(backoffWait(rej.RetryAfter)):
+		case <-control.Or(c.Clock).After(c.backoffWait(rej.RetryAfter)):
 		}
 	}
 }
 
 // backoffWait turns a server retry-after hint into a client wait: clamped to
-// the reconnect backoff bounds, with up to 50% random jitter added.
-func backoffWait(hint time.Duration) time.Duration {
+// the reconnect backoff bounds, with up to 50% random jitter added from this
+// client's own source.
+func (c *Client) backoffWait(hint time.Duration) time.Duration {
+	return backoffJitter(c.jitter(), hint)
+}
+
+// backoffJitter clamps hint to the reconnect backoff bounds and adds up to
+// 50% jitter from rng.
+func backoffJitter(rng *rand.Rand, hint time.Duration) time.Duration {
 	if hint < reconnectBaseDelay {
 		hint = reconnectBaseDelay
 	}
 	if hint > reconnectMaxDelay {
 		hint = reconnectMaxDelay
 	}
-	return hint + time.Duration(rand.Int64N(int64(hint)/2+1))
+	return hint + time.Duration(rng.Int64N(int64(hint)/2+1))
 }
 
 // Retrieve follows the access protocol over the broadcast stream until every
@@ -519,7 +561,7 @@ func (c *Client) Retrieve(ctx context.Context, q xpath.Path) (_ []*xmldoc.Docume
 		dropCycle()
 		c.resubmit(q)
 		for {
-			payload, skipped, err := resyncFrame(c.br, FrameCycleHead)
+			payload, skipped, err := c.dl.resync(FrameCycleHead)
 			stats.DozeBytes += skipped
 			if err != nil {
 				return err
@@ -552,13 +594,13 @@ func (c *Client) Retrieve(ctx context.Context, q xpath.Path) (_ []*xmldoc.Docume
 			conn, err := net.DialTimeout("tcp", c.downAddr, 5*time.Second)
 			if err == nil {
 				c.down = conn
-				c.br = bufio.NewReaderSize(conn, downlinkBufSize)
+				c.dl = newFrameSource(conn)
 				applyDeadline()
 				stats.Reconnects++
 				c.resubmit(q)
 				return nil
 			}
-			jittered := delay + time.Duration(rand.Int64N(int64(delay)/2+1))
+			jittered := delay + time.Duration(c.jitter().Int64N(int64(delay)/2+1))
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
@@ -596,7 +638,8 @@ func (c *Client) Retrieve(ctx context.Context, q xpath.Path) (_ []*xmldoc.Docume
 			return nil, stats, err
 		}
 		applyDeadline()
-		t, payload, err := readFrame(c.br)
+		t, payload, air, err := c.dl.next()
+		stats.DozeBytes += c.dl.takeDoze()
 		if err != nil {
 			if err := recoverStream(err); err != nil {
 				return nil, stats, err
@@ -619,21 +662,21 @@ func (c *Client) Retrieve(ctx context.Context, q xpath.Path) (_ []*xmldoc.Docume
 			stats.Cycles++
 		case FrameIndex:
 			if !inCycle {
-				stats.DozeBytes += int64(len(payload))
+				stats.DozeBytes += air
 				continue
 			}
 			if twoTier && knowsDocs {
 				// Improved protocol: the first tier was already read once.
-				stats.DozeBytes += int64(len(payload))
+				stats.DozeBytes += air
 				continue
 			}
 			if head.Number < c.coveredFrom {
 				// This cycle's index predates our submission and need not
 				// cover our query; doze until a covering cycle.
-				stats.DozeBytes += int64(len(payload))
+				stats.DozeBytes += air
 				continue
 			}
-			stats.TuningBytes += int64(len(payload))
+			stats.TuningBytes += air
 			docs, offs, derr := c.decodeAndNavigate(payload, head, nav, twoTier)
 			if derr != nil {
 				if err := recoverStream(errFrameCorrupt); err != nil {
@@ -659,10 +702,10 @@ func (c *Client) Retrieve(ctx context.Context, q xpath.Path) (_ []*xmldoc.Docume
 			}
 		case FrameSecondTier:
 			if !inCycle || !knowsDocs {
-				stats.DozeBytes += int64(len(payload))
+				stats.DozeBytes += air
 				continue
 			}
-			stats.TuningBytes += int64(len(payload))
+			stats.TuningBytes += air
 			entries, derr := wire.DecodeSecondTier(payload, c.model)
 			if derr != nil {
 				if err := recoverStream(errFrameCorrupt); err != nil {
@@ -685,10 +728,16 @@ func (c *Client) Retrieve(ctx context.Context, q xpath.Path) (_ []*xmldoc.Docume
 			}
 			id := xmldoc.DocID(binary.LittleEndian.Uint16(payload))
 			if _, want := wantThis[id]; !want {
-				stats.DozeBytes += int64(len(payload))
+				stats.DozeBytes += air
 				continue
 			}
-			stats.TuningBytes += int64(len(payload) - 2)
+			// On the bare protocol the 2 ID bytes are header, not content;
+			// a transport envelope is atomic, so its whole air cost counts.
+			cost := air
+			if !c.dl.isTransport() {
+				cost -= 2
+			}
+			stats.TuningBytes += cost
 			root, derr := xmldoc.Parse(bytes.NewReader(payload[2:]))
 			if derr != nil {
 				if err := recoverStream(errFrameCorrupt); err != nil {
@@ -771,7 +820,7 @@ func (c *Client) flushResubmits() {
 			// instead of redialing (which would only add connection churn
 			// to an overloaded server).
 			backedOff = true
-			<-control.Or(c.Clock).After(backoffWait(rej.RetryAfter))
+			<-control.Or(c.Clock).After(c.backoffWait(rej.RetryAfter))
 		case errors.As(err, &rej):
 			return // still shedding after one wait; try again next recovery
 		case !redialed:

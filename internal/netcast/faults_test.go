@@ -1,7 +1,6 @@
 package netcast
 
 import (
-	"bufio"
 	"context"
 	"io"
 	"net"
@@ -164,9 +163,9 @@ func cycleFrames(t *testing.T, b *broadcast.Builder, mode broadcast.Mode, num in
 	if err != nil {
 		t.Fatalf("head.encode: %v", err)
 	}
-	frames := []outFrame{{FrameCycleHead, headBytes}, {FrameIndex, indexSeg}}
+	frames := []outFrame{{t: FrameCycleHead, payload: headBytes}, {t: FrameIndex, payload: indexSeg}}
 	if stSeg != nil {
-		frames = append(frames, outFrame{FrameSecondTier, stSeg})
+		frames = append(frames, outFrame{t: FrameSecondTier, payload: stSeg})
 	}
 	for _, p := range cy.Docs {
 		doc := b.DocByID(p.ID)
@@ -174,7 +173,7 @@ func cycleFrames(t *testing.T, b *broadcast.Builder, mode broadcast.Mode, num in
 		payload[0] = byte(p.ID)
 		payload[1] = byte(p.ID >> 8)
 		payload = append(payload, doc.Marshal()...)
-		frames = append(frames, outFrame{FrameDoc, payload})
+		frames = append(frames, outFrame{t: FrameDoc, payload: payload})
 	}
 	return frames
 }
@@ -199,7 +198,7 @@ func pipeClient(t *testing.T, prelude, cycle []outFrame) *Client {
 			}
 		}
 	}()
-	return &Client{model: core.DefaultSizeModel(), down: cliEnd, br: bufio.NewReaderSize(cliEnd, downlinkBufSize)}
+	return &Client{model: core.DefaultSizeModel(), down: cliEnd, dl: newFrameSource(cliEnd)}
 }
 
 // TestMidStreamJoin: a client whose subscription starts between a cycle

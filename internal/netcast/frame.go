@@ -130,6 +130,26 @@ func writeFrame(w io.Writer, t FrameType, payload []byte) error {
 	return err
 }
 
+// appendFrame appends one encoded v2 frame to dst, returning the extended
+// slice: the in-memory form of writeFrame, used where a complete frame must
+// exist as bytes before it goes anywhere — transport envelopes, mux frames,
+// capture files. The two encoders are byte-identical by construction.
+func appendFrame(dst []byte, t FrameType, payload []byte) ([]byte, error) {
+	if len(payload) > maxFrame {
+		return nil, fmt.Errorf("netcast: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [frameHdrLen]byte
+	hdr[0] = frameSync0
+	hdr[1] = frameSync1
+	hdr[2] = byte(t)
+	binary.LittleEndian.PutUint32(hdr[3:], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	var trailer [frameCRCLen]byte
+	binary.LittleEndian.PutUint32(trailer[:], frameCRC(hdr[2:], payload))
+	return append(dst, trailer[:]...), nil
+}
+
 // readFrame reads one v2 frame, verifying sync bytes and checksum. Corrupt
 // frames return an error satisfying isCorrupt; I/O failures pass through
 // unwrapped so callers can distinguish resync from reconnect.

@@ -1,7 +1,6 @@
 package netcast
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/binary"
@@ -15,13 +14,14 @@ import (
 	"repro/internal/xpath"
 )
 
-// chanStream is one channel's downlink: the connection, its buffered reader,
-// the redial target, and at most one channel head that was read off the
-// stream but whose share has not been consumed yet (a data channel can run
-// ahead of the cycle the client is working on).
+// chanStream is one channel's downlink: the connection, its frame source
+// (which sniffs transport-layer compression per stream), the redial target,
+// and at most one channel head that was read off the stream but whose share
+// has not been consumed yet (a data channel can run ahead of the cycle the
+// client is working on).
 type chanStream struct {
 	conn    net.Conn
-	br      *bufio.Reader
+	src     *frameSource
 	addr    string
 	pending *channelHead
 }
@@ -57,7 +57,7 @@ func DialChannels(uplinkAddr string, channelAddrs []string, model core.SizeModel
 			closeAll()
 			return nil, fmt.Errorf("netcast: dial broadcast channel %d: %w", i, err)
 		}
-		chans = append(chans, &chanStream{conn: conn, br: bufio.NewReaderSize(conn, downlinkBufSize), addr: addr})
+		chans = append(chans, &chanStream{conn: conn, src: newFrameSource(conn), addr: addr})
 	}
 	return &Client{
 		model:      model,
@@ -104,6 +104,7 @@ func (c *Client) retrieveMulti(ctx context.Context, q xpath.Path) ([]*xmldoc.Doc
 		}
 		cs := c.chans[ch]
 		cs.pending = nil
+		stats.DozeBytes += cs.src.takeDoze()
 		if isCorrupt(err) {
 			stats.Resyncs++
 			c.resubmit(q)
@@ -119,7 +120,7 @@ func (c *Client) retrieveMulti(ctx context.Context, q xpath.Path) ([]*xmldoc.Doc
 			conn, derr := net.DialTimeout("tcp", cs.addr, 5*time.Second)
 			if derr == nil {
 				cs.conn = conn
-				cs.br = bufio.NewReaderSize(conn, downlinkBufSize)
+				cs.src = newFrameSource(conn)
 				applyDeadlines()
 				c.resubmit(q)
 				return nil
@@ -127,7 +128,7 @@ func (c *Client) retrieveMulti(ctx context.Context, q xpath.Path) ([]*xmldoc.Doc
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(backoffWait(delay)):
+			case <-time.After(c.backoffWait(delay)):
 			}
 			if delay *= 2; delay > reconnectMaxDelay {
 				delay = reconnectMaxDelay
@@ -193,12 +194,13 @@ func (c *Client) nextHead(ctx context.Context, ch int, stats *ClientStats) (*cha
 	}
 	for {
 		armIdle(ctx, cs.conn)
-		t, payload, err := readFrame(cs.br)
+		t, payload, air, err := cs.src.next()
+		stats.DozeBytes += cs.src.takeDoze()
 		if err != nil {
 			return nil, err
 		}
 		if t != FrameChannelHead {
-			stats.DozeBytes += int64(len(payload))
+			stats.DozeBytes += air
 			continue
 		}
 		h, derr := decodeChannelHead(payload)
@@ -230,7 +232,8 @@ func (c *Client) readIndexShare(ctx context.Context, nav *core.Navigator, knowsD
 	)
 	for {
 		armIdle(ctx, c.chans[0].conn)
-		t, payload, err := readFrame(c.chans[0].br)
+		t, payload, air, err := c.chans[0].src.next()
+		stats.DozeBytes += c.chans[0].src.takeDoze()
 		if err != nil {
 			return nil, nil, err
 		}
@@ -242,7 +245,7 @@ func (c *Client) readIndexShare(ctx context.Context, nav *core.Navigator, knowsD
 			}
 			head = h
 		case FrameChannelDir:
-			stats.TuningBytes += int64(len(payload))
+			stats.TuningBytes += air
 			entries, derr := wire.DecodeChannelDir(payload, c.model)
 			if derr != nil {
 				return nil, nil, errFrameCorrupt
@@ -253,10 +256,10 @@ func (c *Client) readIndexShare(ctx context.Context, nav *core.Navigator, knowsD
 			// while the result set is unknown and the cycle covers the
 			// submission.
 			if *knowsDocs || head == nil || chead.Number < c.coveredFrom {
-				stats.DozeBytes += int64(len(payload))
+				stats.DozeBytes += air
 				return chead, dir, nil
 			}
-			stats.TuningBytes += int64(len(payload))
+			stats.TuningBytes += air
 			docs, _, derr := c.decodeAndNavigate(payload, head, nav, head.TwoTier)
 			if derr != nil {
 				return nil, nil, errFrameCorrupt
@@ -272,7 +275,7 @@ func (c *Client) readIndexShare(ctx context.Context, nav *core.Navigator, knowsD
 			// The next cycle began without an index frame: corrupt share.
 			return nil, nil, errFrameCorrupt
 		default:
-			stats.DozeBytes += int64(len(payload))
+			stats.DozeBytes += air
 		}
 	}
 }
@@ -295,13 +298,14 @@ func (c *Client) drainDataShare(ctx context.Context, ch int, num uint32, remaini
 		take := h.Number == num
 		for docs := 0; docs < int(h.NumDocs); {
 			armIdle(ctx, c.chans[ch].conn)
-			t, payload, err := readFrame(c.chans[ch].br)
+			t, payload, air, err := c.chans[ch].src.next()
+			stats.DozeBytes += c.chans[ch].src.takeDoze()
 			if err != nil {
 				return err
 			}
 			switch t {
 			case FrameSecondTier:
-				stats.DozeBytes += int64(len(payload))
+				stats.DozeBytes += air
 			case FrameDoc:
 				docs++
 				if len(payload) < 2 {
@@ -309,10 +313,14 @@ func (c *Client) drainDataShare(ctx context.Context, ch int, num uint32, remaini
 				}
 				id := xmldoc.DocID(binary.LittleEndian.Uint16(payload))
 				if _, need := remaining[id]; !need || !take {
-					stats.DozeBytes += int64(len(payload))
+					stats.DozeBytes += air
 					continue
 				}
-				stats.TuningBytes += int64(len(payload) - 2)
+				cost := air
+				if !c.chans[ch].src.isTransport() {
+					cost -= 2 // bare protocol: the 2 ID bytes are header
+				}
+				stats.TuningBytes += cost
 				root, derr := xmldoc.Parse(bytes.NewReader(payload[2:]))
 				if derr != nil {
 					return errFrameCorrupt
@@ -322,7 +330,7 @@ func (c *Client) drainDataShare(ctx context.Context, ch int, num uint32, remaini
 			case FrameChannelHead:
 				return errFrameCorrupt // share ended short of its doc count
 			default:
-				stats.DozeBytes += int64(len(payload))
+				stats.DozeBytes += air
 			}
 		}
 		if take {

@@ -2,6 +2,7 @@ package netcast
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"net"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/broadcast"
+	"repro/internal/netcast/transport"
 	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -123,7 +125,25 @@ type ServerConfig struct {
 	// snapshots. Zero selects journal.DefaultSnapshotEvery; negative
 	// disables automatic snapshots. Ignored without StateDir.
 	SnapshotEvery int
+	// Compress enables the transport layer on the downlink: every broadcast
+	// stream opens with a transport hello and carries per-frame DEFLATE
+	// envelopes (frames below the size floor, and frames deflate cannot
+	// shrink, ship raw inside the envelope). Each frame is compressed once
+	// at fan-out and the identical bytes go to every subscriber. Uplink
+	// compression is granted to clients that request it in their hello.
+	// Off, not a single downlink byte differs from the bare protocol.
+	Compress bool
+	// MuxCredit is the per-stream flow-control window granted to
+	// multiplexed uplink connections (how many frames one logical client
+	// may have in flight unanswered). Default 32. Note that UplinkRate
+	// still applies per TCP connection, so a rate-limited mux carrying
+	// thousands of logical clients shares one bucket.
+	MuxCredit int
 }
+
+// defaultMuxCredit is the per-stream flow-control window granted to mux
+// uplinks when ServerConfig.MuxCredit is zero.
+const defaultMuxCredit = 32
 
 // subWriteTimeout bounds each frame write to one subscriber.
 const subWriteTimeout = 2 * time.Second
@@ -146,6 +166,13 @@ type Server struct {
 	// bcLns holds one broadcast listener per channel; single-channel servers
 	// have exactly one.
 	bcLns []net.Listener
+
+	// downEnc compresses downlink frames once at fan-out; nil without
+	// ServerConfig.Compress. It lives on the cycle-loop goroutine (the only
+	// fanOut caller), so it needs no lock. downHello is the pre-encoded
+	// transport hello every subscriber stream opens with.
+	downEnc   *transport.Encoder
+	downHello []byte
 
 	// jn is the durability journal; nil without ServerConfig.StateDir.
 	// Journal appends happen under mu, so the log's record order always
@@ -224,10 +251,13 @@ type subscriber struct {
 	quitOnce sync.Once
 }
 
-// outFrame is one queued downlink frame.
+// outFrame is one queued downlink frame. On a compressing server the
+// transport envelope is encoded once at fan-out and carried in wire; the
+// writer then puts those exact bytes on every subscriber's connection.
 type outFrame struct {
 	t       FrameType
 	payload []byte
+	wire    []byte // pre-encoded transport envelope; nil on a bare server
 }
 
 // finish closes the subscriber's queue exactly once; its writer goroutine
@@ -271,6 +301,12 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Channels > 1 && cfg.Mode != broadcast.TwoTierMode {
 		return nil, fmt.Errorf("netcast: multichannel broadcast requires two-tier mode")
 	}
+	if cfg.Compress && cfg.Channels > 1 {
+		// The channel directory's hop offsets index the uncompressed stream;
+		// envelope sizes would invalidate them. Same restriction as
+		// sim.Config.Compress.
+		return nil, fmt.Errorf("netcast: Compress requires a single broadcast channel, got K=%d", cfg.Channels)
+	}
 	if cfg.CycleInterval == 0 {
 		cfg.CycleInterval = 50 * time.Millisecond
 	}
@@ -285,6 +321,9 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.SubscriberQueue <= 0 {
 		cfg.SubscriberQueue = 256
+	}
+	if cfg.MuxCredit <= 0 {
+		cfg.MuxCredit = defaultMuxCredit
 	}
 	clock := control.Or(cfg.Clock)
 	var adaptive *engine.AdaptiveLimiter
@@ -406,6 +445,15 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		stop:       make(chan struct{}),
 		loopDone:   make(chan struct{}),
 		done:       make(chan struct{}),
+	}
+	if cfg.Compress {
+		s.downEnc = transport.NewEncoder(true, 0)
+		var hb bytes.Buffer
+		if err := transport.WriteHello(&hb, transport.Hello{Compress: true}); err != nil {
+			closeAll()
+			return nil, err
+		}
+		s.downHello = hb.Bytes()
 	}
 	s.wg.Add(2 + len(bcLns))
 	go s.acceptUplink()
@@ -703,7 +751,10 @@ func (b *tokenBucket) take(now time.Time) time.Duration {
 
 // serveUplink handles one uplink connection: QUERY frames in, ACK or REJECT
 // frames out. An idle deadline reaps dead clients; a token bucket sheds
-// per-connection floods without dropping the connection.
+// per-connection floods without dropping the connection. The connection's
+// first bytes are sniffed once: a transport hello switches it to the
+// multiplexed loop (serveUplinkMux), anything else is served as the bare
+// lockstep protocol, byte for byte.
 func (s *Server) serveUplink(conn net.Conn) {
 	defer s.wg.Done()
 	s.mu.Lock()
@@ -719,11 +770,19 @@ func (s *Server) serveUplink(conn net.Conn) {
 	if s.cfg.UplinkRate > 0 {
 		bucket = newTokenBucket(s.cfg.UplinkRate, s.cfg.UplinkBurst, s.clock.Now())
 	}
+	br := bufio.NewReaderSize(conn, downlinkBufSize)
+	if s.cfg.UplinkIdleTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.UplinkIdleTimeout))
+	}
+	if p, err := br.Peek(4); err == nil && transport.IsHelloPrefix(p) {
+		s.serveUplinkMux(conn, br, bucket)
+		return
+	}
 	for {
 		if s.cfg.UplinkIdleTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.UplinkIdleTimeout))
 		}
-		t, payload, err := readFrame(conn)
+		t, payload, err := readFrame(br)
 		if err != nil {
 			// Corrupt frame, idle timeout or disconnect: the uplink is a
 			// lockstep request/ack protocol, so drop the connection and let
@@ -741,69 +800,152 @@ func (s *Server) serveUplink(conn net.Conn) {
 			s.inflight.Done()
 			return
 		}
-		var out outFrame
-		switch t {
-		case FrameResume:
-			ids, derr := decodeResume(payload)
-			if derr != nil {
-				out = outFrame{FrameAck, []byte("err: " + derr.Error())}
-				break
+		out, drop := s.uplinkRespond(t, payload, bucket)
+		_ = conn.SetWriteDeadline(time.Now().Add(subWriteTimeout))
+		err = writeFrame(conn, out.t, out.payload)
+		s.inflight.Done()
+		if err != nil || drop {
+			return
+		}
+		_ = conn.SetWriteDeadline(time.Time{})
+	}
+}
+
+// uplinkRespond computes the response to one uplink frame — shared by the
+// bare and multiplexed loops, so admission control, journaling and resume
+// semantics are identical regardless of framing. drop reports a protocol
+// violation: the response is still written, then the connection dies.
+func (s *Server) uplinkRespond(t FrameType, payload []byte, bucket *tokenBucket) (out outFrame, drop bool) {
+	switch t {
+	case FrameResume:
+		ids, derr := decodeResume(payload)
+		if derr != nil {
+			return outFrame{t: FrameAck, payload: []byte("err: " + derr.Error())}, false
+		}
+		ack, aerr := encodeResumeAck(s.epoch, s.generation, s.resumeEntries(ids))
+		if aerr != nil {
+			return outFrame{t: FrameAck, payload: []byte("err: " + aerr.Error())}, false
+		}
+		return outFrame{t: FrameResumeAck, payload: ack}, false
+	case FrameQuery:
+		if bucket != nil {
+			if s.adaptive != nil {
+				// The controller retunes the sustained rate; the burst
+				// capacity stays as configured.
+				bucket.rate = s.adaptive.UplinkRate()
 			}
-			ack, aerr := encodeResumeAck(s.epoch, s.generation, s.resumeEntries(ids))
-			if aerr != nil {
-				out = outFrame{FrameAck, []byte("err: " + aerr.Error())}
-				break
+			if wait := bucket.take(s.clock.Now()); wait > 0 {
+				s.rejectedRate.Add(1)
+				return outFrame{t: FrameReject, payload: encodeReject(wait, "rate limited")}, false
 			}
-			out = outFrame{FrameResumeAck, ack}
-		case FrameQuery:
-			if bucket != nil {
-				if s.adaptive != nil {
-					// The controller retunes the sustained rate; the burst
-					// capacity stays as configured.
-					bucket.rate = s.adaptive.UplinkRate()
+		}
+		covered, id, err := s.submit(string(payload))
+		switch {
+		case err == nil:
+			// The ack names the covering cycle and the durable request ID
+			// the client presents on session resume.
+			return outFrame{t: FrameAck, payload: []byte(fmt.Sprintf("ok:%d:%d", covered, id))}, false
+		case errors.Is(err, engine.ErrOverload):
+			s.rejectedPending.Add(1)
+			// The cap frees up as cycles retire requests, so the next cycle
+			// boundary is the natural retry point: the configured interval,
+			// or the controller's measured cycle latency when one is running
+			// (under load cycles retire slower than the interval promises).
+			retry := s.cfg.CycleInterval
+			if s.adaptive != nil {
+				if ra := s.adaptive.RetryAfter(); ra > 0 {
+					retry = ra
 				}
-				if wait := bucket.take(s.clock.Now()); wait > 0 {
-					s.rejectedRate.Add(1)
-					out = outFrame{FrameReject, encodeReject(wait, "rate limited")}
-				}
 			}
-			if out.t == 0 {
-				covered, id, err := s.submit(string(payload))
-				switch {
-				case err == nil:
-					// The ack names the covering cycle and the durable
-					// request ID the client presents on session resume.
-					out = outFrame{FrameAck, []byte(fmt.Sprintf("ok:%d:%d", covered, id))}
-				case errors.Is(err, engine.ErrOverload):
-					s.rejectedPending.Add(1)
-					// The cap frees up as cycles retire requests, so the next
-					// cycle boundary is the natural retry point: the configured
-					// interval, or the controller's measured cycle latency when
-					// one is running (under load cycles retire slower than the
-					// interval promises).
-					retry := s.cfg.CycleInterval
-					if s.adaptive != nil {
-						if ra := s.adaptive.RetryAfter(); ra > 0 {
-							retry = ra
-						}
-					}
-					out = outFrame{FrameReject, encodeReject(retry, "pending set full")}
-				default:
-					out = outFrame{FrameAck, []byte("err: " + err.Error())}
-				}
-			}
+			return outFrame{t: FrameReject, payload: encodeReject(retry, "pending set full")}, false
 		default:
-			_ = writeFrame(conn, FrameAck, []byte("err: unexpected frame"))
+			return outFrame{t: FrameAck, payload: []byte("err: " + err.Error())}, false
+		}
+	default:
+		return outFrame{t: FrameAck, payload: []byte("err: unexpected frame")}, true
+	}
+}
+
+// serveUplinkMux is the multiplexed uplink loop: one TCP connection carries
+// many logical clients, each tagged by a varint stream ID on its transport
+// frames. The server grants the client's hello (compression only if the
+// server enables it too), then answers each inner frame on its own stream.
+// Responses batch in a buffered writer that flushes whenever the read side
+// would block, so fan-in throughput scales with pipelining depth while a
+// lone query still acks promptly.
+func (s *Server) serveUplinkMux(conn net.Conn, br *bufio.Reader, bucket *tokenBucket) {
+	h, err := transport.ReadHello(br)
+	if err != nil {
+		return
+	}
+	grant := transport.Hello{
+		Compress: h.Compress && s.cfg.Compress,
+		Mux:      h.Mux,
+		Credit:   uint32(s.cfg.MuxCredit),
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(subWriteTimeout))
+	if err := transport.WriteHello(conn, grant); err != nil {
+		return
+	}
+	_ = conn.SetWriteDeadline(time.Time{})
+	tr := transport.NewReaderFromBufio(br)
+	enc := transport.NewEncoder(grant.Compress, 0)
+	bw := bufio.NewWriterSize(conn, downlinkBufSize)
+	respond := func(stream int64, out outFrame) error {
+		inner, err := appendFrame(nil, out.t, out.payload)
+		if err != nil {
+			return err
+		}
+		env, err := enc.Encode(stream, inner)
+		if err != nil {
+			return err
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(subWriteTimeout))
+		if _, err := bw.Write(env); err != nil {
+			return err
+		}
+		if br.Buffered() == 0 {
+			// Nothing more to read without blocking: put the batched
+			// responses on the wire before waiting.
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		}
+		_ = conn.SetWriteDeadline(time.Time{})
+		return nil
+	}
+	for {
+		if s.cfg.UplinkIdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.UplinkIdleTimeout))
+		}
+		fr, err := tr.Next()
+		if err != nil {
+			// The mux uplink stays drop-and-redial like the bare protocol:
+			// corruption here means the client side is broken (TCP already
+			// ordered the bytes), so guessing at framing buys nothing.
+			return
+		}
+		t, payload, derr := decodeInner(fr.Inner)
+		if derr != nil {
+			return
+		}
+		s.inflight.Add(1)
+		if s.draining.Load() {
+			_ = respond(fr.Stream, outFrame{t: FrameReject, payload: encodeReject(s.cfg.CycleInterval, "server shutting down")})
+			_ = bw.Flush()
 			s.inflight.Done()
 			return
 		}
-		_ = conn.SetWriteDeadline(time.Now().Add(subWriteTimeout))
-		err = writeFrame(conn, out.t, out.payload)
+		out, drop := s.uplinkRespond(t, payload, bucket)
+		err = respond(fr.Stream, out)
 		s.inflight.Done()
 		if err != nil {
 			return
 		}
-		_ = conn.SetWriteDeadline(time.Time{})
+		if drop {
+			_ = bw.Flush()
+			return
+		}
 	}
 }
 
@@ -942,9 +1084,19 @@ func (s *Server) serveSubscriber(sub *subscriber) {
 		sub.conn.Close()
 	}()
 	bw := bufio.NewWriterSize(sub.conn, 64<<10)
+	if s.downHello != nil {
+		_ = sub.conn.SetWriteDeadline(time.Now().Add(subWriteTimeout))
+		if _, err := bw.Write(s.downHello); err != nil {
+			return
+		}
+	}
 	for f := range sub.ch {
 		_ = sub.conn.SetWriteDeadline(time.Now().Add(subWriteTimeout))
-		if err := writeFrame(bw, f.t, f.payload); err != nil {
+		if f.wire != nil {
+			if _, err := bw.Write(f.wire); err != nil {
+				return
+			}
+		} else if err := writeFrame(bw, f.t, f.payload); err != nil {
 			return
 		}
 		if len(sub.ch) == 0 {
@@ -1122,6 +1274,17 @@ func (s *Server) broadcastCycle() error {
 // whose queue is full has stalled past what its buffer and write deadline
 // absorb; it is dropped so the broadcast never blocks on one receiver.
 func (s *Server) fanOut(channel int, t FrameType, payload []byte) {
+	var wireBytes []byte
+	if s.downEnc != nil {
+		// Compress once; every subscriber gets the identical envelope.
+		inner, err := appendFrame(make([]byte, 0, len(payload)+frameHdrLen+frameCRCLen), t, payload)
+		if err == nil {
+			wireBytes, err = s.downEnc.Encode(transport.NoStream, inner)
+		}
+		if err != nil {
+			return // payload exceeds the frame limit; unreachable by construction
+		}
+	}
 	s.mu.Lock()
 	subs := make([]*subscriber, 0, len(s.subs))
 	for sub := range s.subs {
@@ -1132,7 +1295,7 @@ func (s *Server) fanOut(channel int, t FrameType, payload []byte) {
 	s.mu.Unlock()
 	for _, sub := range subs {
 		select {
-		case sub.ch <- outFrame{t: t, payload: payload}:
+		case sub.ch <- outFrame{t: t, payload: payload, wire: wireBytes}:
 		default:
 			s.mu.Lock()
 			delete(s.subs, sub)

@@ -1,0 +1,156 @@
+package netcast
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/netcast/transport"
+)
+
+// frameSource adapts one downlink connection to frame-at-a-time reads. The
+// server speaks either the bare v2/v3 protocol or the transport layer
+// (per-frame DEFLATE under the same frames); the source sniffs which by
+// peeking the stream's first bytes — a transport hello switches it into
+// transport mode, anything else is served exactly as before, byte for byte.
+//
+// Every frame comes back with its air cost: on the bare protocol that is
+// the payload size (matching the pre-transport accounting exactly), in
+// transport mode it is the envelope's wire size — so tuning and doze
+// metrics count *compressed* air bytes when compression is negotiated,
+// which is the whole point of compressing.
+type frameSource struct {
+	br      *bufio.Reader
+	tr      *transport.Reader // non-nil once a transport hello was sniffed
+	sniffed bool
+
+	// doze accumulates bytes the source skipped internally while
+	// realigning after transport-level corruption; takeDoze drains it into
+	// the caller's stats.
+	doze int64
+
+	// A transport-level resync leaves the recovered frame stashed here so
+	// the corruption error can surface to the protocol layer (which must
+	// count the resync and drop its cycle state) without losing the frame.
+	hasStash bool
+	stashT   FrameType
+	stashP   []byte
+	stashAir int64
+}
+
+// newFrameSource wraps a downlink connection.
+func newFrameSource(conn io.Reader) *frameSource {
+	return &frameSource{br: bufio.NewReaderSize(conn, downlinkBufSize)}
+}
+
+// sniff inspects the stream's first bytes once: a transport hello switches
+// the source into transport mode. A peek failure is left for the next read
+// to report (a legacy stream's first frame is always longer than the peek).
+func (fs *frameSource) sniff() error {
+	if fs.sniffed {
+		return nil
+	}
+	p, err := fs.br.Peek(4)
+	if err == nil && transport.IsHelloPrefix(p) {
+		h, err := transport.ReadHello(fs.br)
+		if err != nil {
+			return fmt.Errorf("netcast: transport hello: %w", err)
+		}
+		_ = h // the downlink hello only announces framing; nothing to grant
+		fs.tr = transport.NewReaderFromBufio(fs.br)
+	}
+	fs.sniffed = true
+	return nil
+}
+
+// isTransport reports whether the downlink negotiated the transport layer.
+// Meaningful after the first next/resync call.
+func (fs *frameSource) isTransport() bool { return fs.tr != nil }
+
+// takeDoze drains bytes skipped during internal transport-level resyncs.
+func (fs *frameSource) takeDoze() int64 {
+	d := fs.doze
+	fs.doze = 0
+	return d
+}
+
+// next reads one protocol frame and its air cost. Corruption — at either
+// the transport or the frame layer — satisfies isCorrupt; in transport
+// mode the stream is realigned internally first (the recovered frame is
+// stashed for the following call), so the protocol layer's recovery logic
+// never has to know which layer detected the damage.
+func (fs *frameSource) next() (t FrameType, payload []byte, air int64, err error) {
+	if err := fs.sniff(); err != nil {
+		return 0, nil, 0, err
+	}
+	if fs.tr == nil {
+		t, payload, err = readFrame(fs.br)
+		return t, payload, int64(len(payload)), err
+	}
+	if fs.hasStash {
+		fs.hasStash = false
+		return fs.stashT, fs.stashP, fs.stashAir, nil
+	}
+	fr, err := fs.tr.Next()
+	if err != nil {
+		if !transport.IsCorrupt(err) {
+			return 0, nil, 0, err
+		}
+		// Realign at the transport layer now; surface the corruption once.
+		rfr, skipped, rerr := fs.tr.Resync()
+		fs.doze += skipped
+		if rerr != nil {
+			return 0, nil, 0, rerr
+		}
+		if st, sp, derr := decodeInner(rfr.Inner); derr == nil {
+			fs.stashT, fs.stashP, fs.stashAir, fs.hasStash = st, sp, int64(rfr.Wire), true
+		} else {
+			fs.doze += int64(rfr.Wire)
+		}
+		return 0, nil, 0, fmt.Errorf("%w: %v", errFrameCorrupt, err)
+	}
+	t, payload, derr := decodeInner(fr.Inner)
+	if derr != nil {
+		// A CRC-valid envelope wrapping an undecodable inner frame; the
+		// stream itself is still aligned.
+		return 0, nil, 0, fmt.Errorf("%w: inner frame: %v", errFrameCorrupt, derr)
+	}
+	return t, payload, int64(fr.Wire), nil
+}
+
+// resync scans for the next frame of type want, returning the bytes skipped
+// on the way (the caller adds them to doze accounting).
+func (fs *frameSource) resync(want FrameType) (payload []byte, skipped int64, err error) {
+	if err := fs.sniff(); err != nil {
+		return nil, 0, err
+	}
+	if fs.tr == nil {
+		return resyncFrame(fs.br, want)
+	}
+	for {
+		t, p, air, err := fs.next()
+		skipped += fs.takeDoze()
+		if err != nil {
+			if isCorrupt(err) {
+				continue
+			}
+			return nil, skipped, err
+		}
+		if t == want {
+			return p, skipped, nil
+		}
+		skipped += air
+	}
+}
+
+// decodeInner parses the protocol frame wrapped by a transport envelope.
+// readFrame copies the payload out, so the result outlives the transport
+// reader's buffer reuse.
+func decodeInner(inner []byte) (FrameType, []byte, error) {
+	t, payload, err := readFrame(bytes.NewReader(inner))
+	if err != nil {
+		return 0, nil, err
+	}
+	return t, payload, nil
+}

@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// FuzzTransportDecode throws arbitrary bytes at the transport decoder —
+// truncated deflate streams, oversized declared lengths, mangled stream
+// IDs, random garbage — asserting it never panics, never returns an inner
+// frame past the decompression-bomb cap, and classifies every failure as
+// either corruption or end-of-stream.
+func FuzzTransportDecode(f *testing.F) {
+	// Well-formed seeds: raw, compressed, and mux-stamped frames.
+	enc := NewEncoder(true, 0)
+	if env, err := enc.Encode(NoStream, bytes.Repeat([]byte("<x/>"), 200)); err == nil {
+		f.Add(env)
+	}
+	if env, err := enc.Encode(12345, []byte("tiny")); err == nil {
+		f.Add(env)
+	}
+	var h bytes.Buffer
+	WriteHello(&h, Hello{Compress: true, Mux: true, Credit: 64})
+	f.Add(h.Bytes())
+
+	// A truncated deflate stream inside an otherwise valid envelope.
+	var comp bytes.Buffer
+	fw, _ := flate.NewWriter(&comp, flate.DefaultCompression)
+	fw.Write(bytes.Repeat([]byte("abcd"), 500))
+	fw.Close()
+	trunc := comp.Bytes()[:comp.Len()/2]
+	var env []byte
+	env = append(env, syncA, syncB, flagDeflate)
+	env = binary.AppendUvarint(env, uint64(len(trunc)))
+	env = append(env, trunc...)
+	env = binary.LittleEndian.AppendUint32(env, crc32Checksum(env[2:]))
+	f.Add(env)
+
+	// An oversized declared length.
+	var over []byte
+	over = append(over, syncA, syncB, byte(flagStream))
+	over = binary.AppendUvarint(over, 7)
+	over = binary.AppendUvarint(over, uint64(MaxInner)*4)
+	f.Add(over)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			fr, err := r.Next()
+			if err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF || IsCorrupt(err) {
+					if IsCorrupt(err) {
+						// A corrupt stream must still support resync
+						// without panicking.
+						if _, _, rerr := r.Resync(); rerr == nil {
+							continue
+						}
+					}
+					return
+				}
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			if len(fr.Inner) > MaxInner {
+				t.Fatalf("inner frame of %d bytes escaped the bomb cap", len(fr.Inner))
+			}
+			if fr.Wire <= 0 || fr.Wire != len(fr.Raw) {
+				t.Fatalf("wire accounting broken: Wire=%d len(Raw)=%d", fr.Wire, len(fr.Raw))
+			}
+		}
+	})
+}

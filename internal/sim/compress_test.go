@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/broadcast"
+)
+
+// TestCompressionShrinksCyclesAndAccess pins the transport compression win
+// at Table 2 scale: the same two-tier workload run with per-frame DEFLATE
+// must answer every query identically, shrink the mean on-air cycle to at
+// most 70% of the plain program's (the issue's ≥30% bar), and improve mean
+// access time at the same fixed bandwidth — shorter cycles mean every
+// result document lands sooner.
+func TestCompressionShrinksCyclesAndAccess(t *testing.T) {
+	c, reqs := workload(t, 40, 60, 7)
+	run := func(compress bool) *Result {
+		t.Helper()
+		res, err := Run(Config{
+			Collection:    c,
+			Mode:          broadcast.TwoTierMode,
+			CycleCapacity: capacityFor(c),
+			Requests:      reqs,
+			Compress:      compress,
+		})
+		if err != nil {
+			t.Fatalf("Run(compress=%v): %v", compress, err)
+		}
+		return res
+	}
+	plain := run(false)
+	comp := run(true)
+
+	for i := range plain.Clients {
+		if !reflect.DeepEqual(plain.Clients[i].Docs, comp.Clients[i].Docs) {
+			t.Fatalf("client %d answers diverged: plain %v, compressed %v",
+				i, plain.Clients[i].Docs, comp.Clients[i].Docs)
+		}
+	}
+	pb, cb := plain.MeanCycleBytes(), comp.MeanCycleBytes()
+	if cb > 0.70*pb {
+		t.Errorf("compressed mean cycle %.0f B > 70%% of plain %.0f B (ratio %.2f)", cb, pb, cb/pb)
+	}
+	if pa, ca := plain.MeanAccessBytes(), comp.MeanAccessBytes(); ca >= pa {
+		t.Errorf("compressed mean access %.0f B did not improve on plain %.0f B", ca, pa)
+	}
+	t.Logf("cycle bytes: plain %.0f compressed %.0f (ratio %.2f); access: plain %.0f compressed %.0f",
+		pb, cb, cb/pb, plain.MeanAccessBytes(), comp.MeanAccessBytes())
+}
+
+// TestCompressionOneTier exercises the compressed one-tier protocol (the
+// whole index re-read every cycle, compressed): every query completes and
+// tuning is accounted in compressed envelope sizes.
+func TestCompressionOneTier(t *testing.T) {
+	c, reqs := workload(t, 15, 20, 11)
+	res, err := Run(Config{
+		Collection:    c,
+		Mode:          broadcast.OneTierMode,
+		CycleCapacity: capacityFor(c),
+		Requests:      reqs,
+		Compress:      true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, cl := range res.Clients {
+		if want := reqs[i].Query.MatchingDocs(c); !reflect.DeepEqual(cl.Docs, want) {
+			t.Errorf("client %d docs = %v, want %v", i, cl.Docs, want)
+		}
+		if cl.IndexTuningBytes <= 0 || cl.DocTuningBytes <= 0 {
+			t.Errorf("client %d tuning not accounted: index %d doc %d",
+				i, cl.IndexTuningBytes, cl.DocTuningBytes)
+		}
+	}
+}
+
+// TestCompressRejectsUnsupportedCombos pins the validation: the compressed
+// model is single-channel and lossless, so Channels > 1 or LossProb > 0
+// alongside Compress is a configuration error, not a silent fallback.
+func TestCompressRejectsUnsupportedCombos(t *testing.T) {
+	c, reqs := workload(t, 5, 3, 7)
+	base := Config{
+		Collection:    c,
+		Mode:          broadcast.TwoTierMode,
+		CycleCapacity: capacityFor(c),
+		Requests:      reqs,
+		Compress:      true,
+	}
+	multi := base
+	multi.Channels = 3
+	if _, err := Run(multi); err == nil {
+		t.Error("Compress + Channels=3 accepted, want configuration error")
+	}
+	lossy := base
+	lossy.LossProb = 0.1
+	if _, err := Run(lossy); err == nil {
+		t.Error("Compress + LossProb accepted, want configuration error")
+	}
+}

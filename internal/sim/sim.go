@@ -15,6 +15,7 @@ import (
 	"repro/internal/broadcast"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/netcast/transport"
 	"repro/internal/schedule"
 	"repro/internal/succinct"
 	"repro/internal/xmldoc"
@@ -127,6 +128,16 @@ type Config struct {
 	// clients hop channels with a single tuner. 0 or 1 (the default) is the
 	// serial single-channel program. Requires TwoTierMode when > 1.
 	Channels int
+	// Compress models the netcast transport's per-frame DEFLATE on the
+	// downlink: every wire segment is encoded, deflated and accounted at
+	// its transport-envelope size, so cycles occupy less air and the clock
+	// — and therefore access time at fixed bandwidth — advances by
+	// compressed bytes. Compressed frames are atomic: a client reads whole
+	// segments, so index tuning counts the whole compressed tier rather
+	// than navigated packets. The model is single-channel and lossless;
+	// Channels > 1 or LossProb > 0 alongside Compress is a configuration
+	// error.
+	Compress bool
 }
 
 func (c *Config) applyDefaults() {
@@ -165,6 +176,12 @@ func (c *Config) validate() error {
 	}
 	if c.IndexEncoding == core.EncodingSuccinct && c.Mode != broadcast.TwoTierMode {
 		return fmt.Errorf("sim: succinct index encoding requires TwoTierMode")
+	}
+	if c.Compress && c.Channels > 1 {
+		return fmt.Errorf("sim: Config.Compress does not support multichannel runs")
+	}
+	if c.Compress && c.LossProb > 0 {
+		return fmt.Errorf("sim: Config.Compress does not support loss injection")
 	}
 	return c.Model.Validate()
 }
@@ -336,6 +353,10 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.LossProb > 0 {
 		loss = &lossProcess{p: cfg.LossProb, rng: rand.New(rand.NewSource(cfg.LossSeed))}
 	}
+	var airEnc *airEncoder
+	if cfg.Compress {
+		airEnc = newAirEncoder()
+	}
 	var (
 		now       int64
 		admitted  int // prefix of byArrival already active
@@ -390,12 +411,20 @@ func Run(cfg Config) (*Result, error) {
 				return nil, err
 			}
 		}
-		if cfg.CycleSink != nil {
+		var air *cycleAir
+		if cfg.Compress || cfg.CycleSink != nil {
 			enc, err := eng.EncodeCycle(ecy)
 			if err != nil {
 				return nil, fmt.Errorf("sim: %w", err)
 			}
-			cfg.CycleSink(ecy, enc)
+			if cfg.Compress {
+				if air, err = airEnc.measure(ecy, enc); err != nil {
+					return nil, fmt.Errorf("sim: %w", err)
+				}
+			}
+			if cfg.CycleSink != nil {
+				cfg.CycleSink(ecy, enc)
+			}
 			eng.Recycle(enc)
 		}
 		cy := ecy
@@ -413,6 +442,11 @@ func Run(cfg Config) (*Result, error) {
 			Pending:         len(pending),
 		}
 		st.IndexRepetitions = cy.IndexRepetitions()
+		if air != nil {
+			// A compressed cycle occupies its transport-envelope total on
+			// air; the clock below advances by the same amount.
+			st.DurationBytes = air.total
+		}
 		for i := range cy.Channels {
 			st.ChannelBytes = append(st.ChannelBytes, cy.Channels[i].Bytes)
 		}
@@ -421,7 +455,7 @@ func Run(cfg Config) (*Result, error) {
 		// Clients: attend the cycle.
 		stillActive := active[:0]
 		for _, cl := range active {
-			attendCycle(cl, cy, cfg, loss, sr)
+			attendCycle(cl, cy, cfg, loss, sr, air)
 			if cl.done {
 				completed++
 			} else {
@@ -433,7 +467,8 @@ func Run(cfg Config) (*Result, error) {
 		// Clients whose requests arrive while this cycle is on air eavesdrop
 		// on the index channel: they sync at the next index repetition and
 		// may catch documents already airing for earlier requests, before the
-		// server has even admitted them.
+		// server has even admitted them. (Multichannel only, so never on a
+		// compressed run.)
 		for i := admitted; i < len(byArrival); i++ {
 			if byArrival[i].req.Arrival >= cy.End() {
 				break
@@ -442,6 +477,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		now = cy.End()
+		if air != nil {
+			now = cy.Start + air.total
+		}
 		cycleNum++
 	}
 
@@ -450,6 +488,95 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.Engine = eng.Metrics()
 	return res, nil
+}
+
+// innerFrameOverhead models the v2 frame bytes wrapped around each wire
+// segment on a compressed downlink: the 7-byte header (sync, type, length)
+// plus the 4-byte checksum. The transport layer deflates the whole inner
+// frame, so this overhead rides inside the compressed body.
+const innerFrameOverhead = 11
+
+// airEncoder models the transport layer's per-frame DEFLATE for byte-time
+// accounting. One reused encoder per run mirrors the per-connection encoder
+// of the networked transport; the inner frame's header and checksum bytes
+// are modelled as zeros (their exact values move a compressed frame's size
+// by at most a byte or two).
+type airEncoder struct {
+	enc *transport.Encoder
+	buf []byte
+}
+
+func newAirEncoder() *airEncoder {
+	return &airEncoder{enc: transport.NewEncoder(true, 0)}
+}
+
+// frameAir is the on-air size of one wire segment: the transport envelope
+// around the deflated (or raw, when incompressible) inner frame.
+func (a *airEncoder) frameAir(payload []byte) (int, error) {
+	var pad [innerFrameOverhead]byte
+	a.buf = append(a.buf[:0], pad[:7]...) // frame header
+	a.buf = append(a.buf, payload...)
+	a.buf = append(a.buf, pad[:4]...) // frame checksum
+	env, err := a.enc.Encode(transport.NoStream, a.buf)
+	if err != nil {
+		return 0, err
+	}
+	return len(env), nil
+}
+
+// rawEnvLen is the transport envelope length of an n-byte inner frame sent
+// raw: sync (2), flags (1), uvarint body length, body, checksum (4).
+func rawEnvLen(n int) int {
+	l := 1
+	for v := uint64(n); v >= 0x80; v >>= 7 {
+		l++
+	}
+	return 2 + 1 + l + n + 4
+}
+
+// cycleAir is one cycle's compressed on-air layout: per-segment envelope
+// sizes plus each document frame's end offset within the doc region.
+type cycleAir struct {
+	head, index, secondTier int
+	doc                     []int
+	docEnd                  []int64
+	total                   int64
+}
+
+// measure computes a cycle's compressed layout from its encoded wire
+// segments. The cycle head — short, high-entropy metadata — is modelled as
+// a raw envelope; every other segment is deflated exactly as the transport
+// would send it.
+func (a *airEncoder) measure(cy *broadcast.Cycle, enc *engine.Encoded) (*cycleAir, error) {
+	air := &cycleAir{head: rawEnvLen(cy.HeadBytes + innerFrameOverhead)}
+	var err error
+	if air.index, err = a.frameAir(enc.Index); err != nil {
+		return nil, err
+	}
+	if enc.SecondTier != nil {
+		if air.secondTier, err = a.frameAir(enc.SecondTier); err != nil {
+			return nil, err
+		}
+	}
+	air.doc = make([]int, len(enc.Docs))
+	air.docEnd = make([]int64, len(enc.Docs))
+	off := int64(0)
+	for i, p := range enc.Docs {
+		n, err := a.frameAir(p)
+		if err != nil {
+			return nil, err
+		}
+		air.doc[i] = n
+		off += int64(n)
+		air.docEnd[i] = off
+	}
+	air.total = int64(air.head+air.index+air.secondTier) + off
+	return air, nil
+}
+
+// docStart is the absolute byte-time the compressed doc region begins.
+func (air *cycleAir) docStart(cy *broadcast.Cycle) int64 {
+	return cy.Start + int64(air.head+air.index+air.secondTier)
 }
 
 // lossProcess draws independent reception failures.
@@ -469,9 +596,13 @@ func (l *lossProcess) fail() bool {
 // first-tier read is retried next cycle, a lost per-cycle index read skips
 // this cycle's documents, and a lost document stays in the remaining set and
 // is rescheduled by the server.
-func attendCycle(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossProcess, sr *succinctReader) {
+func attendCycle(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossProcess, sr *succinctReader, air *cycleAir) {
 	if len(cy.Channels) > 1 {
 		attendMultichannel(cl, cy, cfg, loss, sr)
+		return
+	}
+	if air != nil {
+		attendCompressed(cl, cy, cfg, air)
 		return
 	}
 	cl.stats.CyclesListened++
@@ -517,6 +648,36 @@ func attendCycle(cl *client, cy *broadcast.Cycle, cfg Config, loss *lossProcess,
 			delete(cl.remaining, p.ID)
 			cl.receive(p.ID, cy.DocStart()+int64(p.Offset+p.Size))
 		}
+	}
+	cl.done = len(cl.remaining) == 0
+}
+
+// attendCompressed plays one client's protocol over a compressed cycle.
+// Compressed frames are atomic — the radio must hold a whole envelope to
+// inflate it — so every index read costs the full compressed segment
+// (whole-tier by construction) and every document download costs its
+// envelope. Completion times fall on compressed frame boundaries. The
+// compressed model is lossless, so no reception ever fails.
+func attendCompressed(cl *client, cy *broadcast.Cycle, cfg Config, air *cycleAir) {
+	cl.stats.CyclesListened++
+	switch cfg.Mode {
+	case broadcast.TwoTierMode:
+		if !cl.knowsDocs {
+			cl.stats.IndexTuningBytes += int64(air.index)
+			cl.knowsDocs = true
+		}
+		cl.stats.IndexTuningBytes += int64(air.secondTier)
+	case broadcast.OneTierMode:
+		cl.stats.IndexTuningBytes += int64(air.index)
+	}
+	docStart := air.docStart(cy)
+	for i, p := range cy.Docs {
+		if _, need := cl.remaining[p.ID]; !need {
+			continue
+		}
+		cl.stats.DocTuningBytes += int64(air.doc[i])
+		delete(cl.remaining, p.ID)
+		cl.receive(p.ID, docStart+air.docEnd[i])
 	}
 	cl.done = len(cl.remaining) == 0
 }

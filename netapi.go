@@ -43,6 +43,16 @@ type (
 	// BroadcastResumeStatus is one query's disposition from a session-resume
 	// handshake: ResumeResumed, ResumeServed or ResumeResubmit.
 	BroadcastResumeStatus = netcast.ResumeStatus
+	// BroadcastMux is a multiplexed uplink connection: one TCP socket
+	// carrying many logical clients on varint-tagged streams with per-stream
+	// flow-control credit. Open logical clients with (*BroadcastMux).Open.
+	BroadcastMux = netcast.Mux
+	// BroadcastMuxConfig parameterises DialBroadcastMux, including whether to
+	// request per-frame DEFLATE on the uplink.
+	BroadcastMuxConfig = netcast.MuxConfig
+	// BroadcastLogicalClient is one logical client on a multiplexed uplink:
+	// it submits queries under its own stream ID and sees only its own acks.
+	BroadcastLogicalClient = netcast.LogicalClient
 )
 
 // Session-resume dispositions ((*BroadcastClient).Resume).
@@ -79,6 +89,15 @@ func DialBroadcastChannels(uplinkAddr string, channelAddrs []string, model SizeM
 	return netcast.DialChannels(uplinkAddr, channelAddrs, model)
 }
 
+// DialBroadcastMux opens a multiplexed uplink connection: one TCP socket
+// over which (*BroadcastMux).Open mints any number of logical clients, each
+// submitting on its own flow-controlled stream. Compression is granted only
+// when both ends opt in (BroadcastMuxConfig.Compress and
+// BroadcastServerConfig.Compress).
+func DialBroadcastMux(uplinkAddr string, cfg BroadcastMuxConfig) (*BroadcastMux, error) {
+	return netcast.DialMux(uplinkAddr, cfg)
+}
+
 // CycleRecord is one captured broadcast cycle.
 type CycleRecord = netcast.CycleRecord
 
@@ -89,8 +108,9 @@ func RecordBroadcast(ctx context.Context, broadcastAddr string, numCycles int, w
 }
 
 // ReadBroadcastCapture parses a capture file into cycle records whose index
-// and offset segments can be decoded and inspected. Both current (XBCAST2,
-// checksummed frames) and legacy (XBCAST1) captures are accepted.
+// and offset segments can be decoded and inspected. Current (XBCAST2,
+// checksummed frames), compressed-transport (XBCAST3, verbatim transport
+// envelopes) and legacy (XBCAST1) captures are all accepted.
 func ReadBroadcastCapture(r io.Reader) ([]CycleRecord, error) {
 	return netcast.ReadCapture(r)
 }
